@@ -1,0 +1,206 @@
+#ifndef OMNIFAIR_BENCH_BENCH_COMMON_H_
+#define OMNIFAIR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/agarwal.h"
+#include "baselines/baseline.h"
+#include "core/omnifair.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "linalg/vector_ops.h"
+#include "ml/metrics.h"
+#include "ml/trainer_registry.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+
+namespace omnifair {
+namespace bench {
+
+/// Environment override helpers so all benches share the same knobs:
+///   OMNIFAIR_BENCH_ROWS  - dataset size (0 = per-bench default)
+///   OMNIFAIR_BENCH_SEEDS - number of random splits averaged
+inline size_t EnvRows(size_t fallback) {
+  const char* value = std::getenv("OMNIFAIR_BENCH_ROWS");
+  if (value == nullptr) return fallback;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+inline int EnvSeeds(int fallback) {
+  const char* value = std::getenv("OMNIFAIR_BENCH_SEEDS");
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Per-dataset bench defaults: a fraction of the paper's sizes so the whole
+/// suite regenerates in minutes; scale up via OMNIFAIR_BENCH_ROWS to match
+/// Table 4 exactly.
+inline size_t DefaultRows(const std::string& dataset) {
+  if (dataset == "adult") return EnvRows(5000);
+  if (dataset == "compas") return EnvRows(4000);
+  if (dataset == "lsac") return EnvRows(4000);
+  if (dataset == "bank") return EnvRows(4000);
+  return EnvRows(4000);
+}
+
+/// The two majority groups per dataset used for single-constraint
+/// experiments (the paper's "groups defined on the sensitive attribute").
+inline GroupingFunction MainGroups(const std::string& dataset) {
+  if (dataset == "adult") return GroupByAttributeValues("sex", {"Male", "Female"});
+  if (dataset == "compas") {
+    return GroupByAttributeValues("race", {"African-American", "Caucasian"});
+  }
+  if (dataset == "lsac") return GroupByAttributeValues("race", {"White", "Black"});
+  if (dataset == "bank") {
+    return GroupByAttributeValues("age_group", {"working_age", "young_or_senior"});
+  }
+  return GroupByAttribute("sex");
+}
+
+inline Dataset MakeBenchDataset(const std::string& dataset, uint64_t seed) {
+  SyntheticOptions options;
+  options.num_rows = DefaultRows(dataset);
+  options.seed = seed;
+  return MakeDatasetByName(dataset, options);
+}
+
+/// Unified per-run outcome for every method (OmniFair, the six baselines,
+/// and the unconstrained reference).
+struct MethodResult {
+  bool supported = false;
+  bool satisfied = false;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double test_disparity = 0.0;
+  double test_auc = 0.5;
+  double seconds = 0.0;
+  int models_trained = 0;
+};
+
+inline MethodResult AuditToResult(const Classifier& model,
+                                  const FeatureEncoder& encoder,
+                                  const Dataset& test, const FairnessSpec& spec) {
+  MethodResult out;
+  auto audit = Audit(model, encoder, test, {spec});
+  if (audit.ok()) {
+    out.test_accuracy = audit->accuracy;
+    out.test_disparity = audit->max_disparity;
+    out.test_auc = audit->roc_auc;
+  }
+  return out;
+}
+
+/// Runs one method on one split. `method` is one of: "unconstrained",
+/// "omnifair", "kamiran", "calmon", "zafar", "celis", "agarwal", "thomas".
+/// For "thomas" the trainer is ignored (it brings its own CMA-ES model).
+inline MethodResult RunMethod(const std::string& method,
+                              const TrainValTestSplit& split,
+                              const std::string& trainer_name,
+                              const FairnessSpec& spec, uint64_t seed) {
+  MethodResult out;
+  if (method == "unconstrained" || method == "omnifair") {
+    auto trainer = MakeTrainer(trainer_name, seed);
+    FairnessSpec effective = spec;
+    if (method == "unconstrained") effective.epsilon = 10.0;  // never binds
+    OmniFairOptions options;
+    options.warm_start = false;
+    OmniFair omnifair(options);
+    auto fair = omnifair.Train(split.train, split.val, trainer.get(), {effective});
+    if (!fair.ok()) return out;
+    out = AuditToResult(*fair->model, fair->encoder, split.test, spec);
+    out.supported = true;
+    out.satisfied = fair->satisfied;
+    out.val_accuracy = fair->val_accuracy;
+    out.seconds = fair->train_seconds;
+    out.models_trained = fair->models_trained;
+    return out;
+  }
+
+  std::unique_ptr<FairnessBaseline> baseline;
+  if (method == "agarwal") {
+    // Fewer game iterations in the bench suite; quality is unaffected at
+    // these dataset sizes and the method stays ~bench-scale.
+    AgarwalReductions::Options options;
+    options.iterations = 40;
+    baseline = std::make_unique<AgarwalReductions>(options);
+  } else {
+    baseline = MakeBaseline(method);
+  }
+  std::unique_ptr<Trainer> trainer;
+  if (method != "thomas") {
+    trainer = MakeTrainer(trainer_name, seed);
+    if (!baseline->SupportsTrainer(*trainer)) return out;  // NA(2)
+  }
+  if (!baseline->SupportsMetric(*spec.metric)) return out;  // NA(2)
+  auto result = baseline->Train(split.train, split.val, trainer.get(), spec);
+  if (!result.ok()) return out;
+  out = AuditToResult(*result->model, result->encoder, split.test, spec);
+  out.supported = true;
+  out.satisfied = result->satisfied;
+  out.val_accuracy = result->val_accuracy;
+  out.seconds = result->train_seconds;
+  out.models_trained = result->models_trained;
+  return out;
+}
+
+/// Aggregates per-seed runs. Unsupported runs (NA(2)) are skipped by Add;
+/// satisfied-run means are tracked separately so tables can follow the
+/// paper's protocol: a method's cell is NA(1) only when *no* split
+/// satisfied the constraint, otherwise it reports the mean over the
+/// satisfying splits.
+struct Aggregate {
+  int runs = 0;
+  int satisfied = 0;
+  double test_accuracy = 0.0;
+  double test_disparity = 0.0;
+  double test_auc = 0.0;
+  double seconds = 0.0;
+  double models = 0.0;
+  double sat_accuracy = 0.0;
+  double sat_disparity = 0.0;
+  double sat_auc = 0.0;
+
+  void Add(const MethodResult& r) {
+    if (!r.supported) return;
+    ++runs;
+    test_accuracy += r.test_accuracy;
+    test_disparity += r.test_disparity;
+    test_auc += r.test_auc;
+    seconds += r.seconds;
+    models += r.models_trained;
+    if (r.satisfied) {
+      ++satisfied;
+      sat_accuracy += r.test_accuracy;
+      sat_disparity += r.test_disparity;
+      sat_auc += r.test_auc;
+    }
+  }
+  double MeanAccuracy() const { return runs ? test_accuracy / runs : 0.0; }
+  double MeanDisparity() const { return runs ? test_disparity / runs : 0.0; }
+  double MeanAuc() const { return runs ? test_auc / runs : 0.0; }
+  double MeanSeconds() const { return runs ? seconds / runs : 0.0; }
+  double MeanModels() const { return runs ? models / runs : 0.0; }
+  double SatisfiedAccuracy() const {
+    return satisfied ? sat_accuracy / satisfied : 0.0;
+  }
+  double SatisfiedDisparity() const {
+    return satisfied ? sat_disparity / satisfied : 0.0;
+  }
+  double SatisfiedAuc() const { return satisfied ? sat_auc / satisfied : 0.0; }
+  bool AllSatisfied() const { return runs > 0 && satisfied == runs; }
+  bool AnySatisfied() const { return satisfied > 0; }
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Google-benchmark microbenchmarks for the kernels every experiment leans
+// on: example-weight computation (Eq. 12), fairness-part evaluation, and
+// one Fit per model family. These quantify the claim that OmniFair's
+// per-lambda overhead is dominated by the black-box Fit itself — the
+// declarative layer adds microseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/problem.h"
+
+namespace omnifair {
+namespace bench {
+namespace {
+
+struct MicroFixture {
+  Dataset data;
+  TrainValTestSplit split;
+  std::unique_ptr<Trainer> trainer;
+  std::unique_ptr<FairnessProblem> problem;
+
+  explicit MicroFixture(const std::string& trainer_name) {
+    SyntheticOptions options;
+    options.num_rows = 4000;
+    options.seed = 7;
+    data = MakeCompasDataset(options);
+    split = SplitDefault(data, 3);
+    trainer = MakeTrainer(trainer_name);
+    auto created = FairnessProblem::Create(
+        split.train, split.val,
+        {MakeSpec(MainGroups("compas"), "sp", 0.03)}, trainer.get());
+    problem = std::move(*created);
+  }
+};
+
+void BM_WeightComputation(benchmark::State& state) {
+  MicroFixture fx("lr");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.problem->weight_computer().Compute(0.05, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.split.train.NumRows()));
+}
+BENCHMARK(BM_WeightComputation);
+
+void BM_FairnessPartEvaluation(benchmark::State& state) {
+  MicroFixture fx("lr");
+  auto model = fx.problem->FitWithLambdas({0.0}, nullptr);
+  const std::vector<int> preds = fx.problem->PredictVal(*model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.problem->val_evaluator().FairnessPart(0, preds));
+  }
+}
+BENCHMARK(BM_FairnessPartEvaluation);
+
+void BM_FitModel(benchmark::State& state, const std::string& name) {
+  MicroFixture fx(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.problem->FitWithLambdas({0.05}, nullptr));
+  }
+}
+BENCHMARK_CAPTURE(BM_FitModel, lr, std::string("lr"));
+BENCHMARK_CAPTURE(BM_FitModel, dt, std::string("dt"));
+BENCHMARK_CAPTURE(BM_FitModel, xgb, std::string("xgb"));
+BENCHMARK_CAPTURE(BM_FitModel, nn, std::string("nn"));
+
+void BM_AuditModel(benchmark::State& state) {
+  MicroFixture fx("lr");
+  auto model = fx.problem->FitWithLambdas({0.0}, nullptr);
+  const FairnessSpec spec = MakeSpec(MainGroups("compas"), "sp", 0.03);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Audit(*model, fx.problem->encoder(), fx.split.test, {spec}));
+  }
+}
+BENCHMARK(BM_AuditModel);
+
+}  // namespace
+}  // namespace bench
+}  // namespace omnifair
+
+BENCHMARK_MAIN();

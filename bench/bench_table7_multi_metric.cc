@@ -1,0 +1,78 @@
+// Reproduces Table 7: enforcing SP and FNR simultaneously on COMPAS (LR),
+// sweeping epsilon. The paper finds epsilon = 0.01 and 0.02 infeasible
+// (N/A), and from 0.03 upward both disparities drop by an order of
+// magnitude with < 1% accuracy loss.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+namespace omnifair {
+namespace bench {
+namespace {
+
+void Run() {
+  const int seeds = EnvSeeds(3);
+  PrintHeader("Table 7: enforcing SP and FNR on COMPAS (LR)");
+
+  // Baseline (unconstrained) row.
+  double base_accuracy = 0.0;
+  double base_sp = 0.0;
+  double base_fnr = 0.0;
+  const GroupingFunction groups = MainGroups("compas");
+  for (int s = 0; s < seeds; ++s) {
+    const Dataset data = MakeBenchDataset("compas", 500 + s);
+    const TrainValTestSplit split = SplitDefault(data, 600 + s);
+    auto trainer = MakeTrainer("lr");
+    OmniFair omnifair;
+    auto fair = omnifair.Train(split.train, split.val, trainer.get(),
+                               {MakeSpec(groups, "sp", 10.0)});
+    if (!fair.ok()) continue;
+    auto audit = Audit(*fair->model, fair->encoder, split.test,
+                       {MakeSpec(groups, "sp", 10.0), MakeSpec(groups, "fnr", 10.0)});
+    base_accuracy += audit->accuracy;
+    base_sp += std::fabs(audit->fairness_parts[0]);
+    base_fnr += std::fabs(audit->fairness_parts[1]);
+  }
+  std::printf("%-9s %9s %8s %8s\n", "epsilon", "accuracy", "SP", "FNR");
+  std::printf("%-9s %8.1f%% %8.3f %8.3f\n", "baseline", 100.0 * base_accuracy / seeds,
+              base_sp / seeds, base_fnr / seeds);
+
+  for (double epsilon : {0.01, 0.02, 0.03, 0.04, 0.05, 0.06}) {
+    int feasible = 0;
+    double accuracy = 0.0;
+    double sp = 0.0;
+    double fnr = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      const Dataset data = MakeBenchDataset("compas", 500 + s);
+      const TrainValTestSplit split = SplitDefault(data, 600 + s);
+      auto trainer = MakeTrainer("lr");
+      OmniFair omnifair;
+      const std::vector<FairnessSpec> specs = {MakeSpec(groups, "sp", epsilon),
+                                               MakeSpec(groups, "fnr", epsilon)};
+      auto fair = omnifair.Train(split.train, split.val, trainer.get(), specs);
+      if (!fair.ok() || !fair->satisfied) continue;
+      ++feasible;
+      auto audit = Audit(*fair->model, fair->encoder, split.test, specs);
+      accuracy += audit->accuracy;
+      sp += std::fabs(audit->fairness_parts[0]);
+      fnr += std::fabs(audit->fairness_parts[1]);
+    }
+    if (feasible == 0) {
+      std::printf("%-9.2f %9s %8s %8s\n", epsilon, "N/A", "N/A", "N/A");
+    } else {
+      std::printf("%-9.2f %8.1f%% %8.3f %8.3f   (%d/%d splits feasible)\n", epsilon,
+                  100.0 * accuracy / feasible, sp / feasible, fnr / feasible,
+                  feasible, seeds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace omnifair
+
+int main() {
+  omnifair::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Constraint customization (§4.3 + Example 4): two user-defined fairness
+// metrics, written without touching any OmniFair internals.
+//
+//   1. AverageErrorCostMetric — the paper's AEC metric: errors carry
+//      asymmetric costs (a false negative costs 4x a false positive, the
+//      bank-marketing reading: a missed subscriber costs more than a
+//      wasted call), and the *average cost per group* must be similar.
+//   2. A fully custom LambdaMetric — "recall among the young": the
+//      fraction of true positives recovered, declared inline as
+//      coefficients on the identity function (Definition 3).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/omnifair.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/trainer_registry.h"
+
+int main() {
+  using namespace omnifair;
+
+  SyntheticOptions options;
+  options.num_rows = 6000;
+  const Dataset dataset = MakeBankDataset(options);
+  const TrainValTestSplit split = SplitDefault(dataset, 33);
+  const GroupingFunction groups =
+      GroupByAttributeValues("age_group", {"working_age", "young_or_senior"});
+
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+
+  // --- Customized metric 1: average error cost -----------------------------
+  FairnessSpec aec_spec;
+  aec_spec.grouping = groups;
+  aec_spec.metric = std::make_shared<AverageErrorCostMetric>(/*cost_fp=*/1.0,
+                                                             /*cost_fn=*/4.0);
+  aec_spec.epsilon = 0.05;
+
+  auto aec_model = omnifair.Train(split.train, split.val, trainer.get(), {aec_spec});
+  if (aec_model.ok()) {
+    auto audit = Audit(*aec_model->model, aec_model->encoder, split.test, {aec_spec});
+    std::printf("[AEC] satisfied=%s test accuracy=%.1f%% AEC disparity=%.3f\n",
+                aec_model->satisfied ? "yes" : "no", 100.0 * audit->accuracy,
+                audit->max_disparity);
+  }
+
+  // --- Customized metric 2: recall parity, declared inline -----------------
+  // recall = (1/|{y=1}|) * sum_{y_i=1} 1(h(x_i)=y_i): coefficients 1/|pos|
+  // on positives, 0 elsewhere — exactly the Figure 1 code box, in C++.
+  auto recall_metric = std::make_shared<LambdaMetric>(
+      "recall",
+      [](const Dataset& d, const std::vector<size_t>& group,
+         const std::vector<int>*) {
+        MetricCoefficients coef;
+        size_t positives = 0;
+        for (size_t i : group) positives += (d.Label(i) == 1);
+        coef.c.assign(group.size(), 0.0);
+        if (positives == 0) return coef;
+        for (size_t k = 0; k < group.size(); ++k) {
+          if (d.Label(group[k]) == 1) {
+            coef.c[k] = 1.0 / static_cast<double>(positives);
+          }
+        }
+        return coef;
+      },
+      /*depends_on_predictions=*/false);
+
+  FairnessSpec recall_spec;
+  recall_spec.grouping = groups;
+  recall_spec.metric = recall_metric;
+  recall_spec.epsilon = 0.05;
+
+  auto recall_model =
+      omnifair.Train(split.train, split.val, trainer.get(), {recall_spec});
+  if (recall_model.ok()) {
+    auto audit =
+        Audit(*recall_model->model, recall_model->encoder, split.test, {recall_spec});
+    std::printf("[recall] satisfied=%s test accuracy=%.1f%% recall disparity=%.3f\n",
+                recall_model->satisfied ? "yes" : "no", 100.0 * audit->accuracy,
+                audit->max_disparity);
+  }
+
+  std::printf(
+      "\nBoth metrics were declared by the user; the tuning algorithms\n"
+      "(Algorithm 1/2) were reused unchanged — the point of Definition 3.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "baselines/agarwal.h"
+
+#include <cmath>
+
+#include "core/problem.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace omnifair {
+
+AgarwalReductions::AgarwalReductions(Options options) : options_(options) {}
+namespace {
+
+/// The randomized classifier ExpGrad returns: a uniform mixture over the
+/// learner's best responses, realized by averaging probabilities.
+class AverageEnsembleClassifier : public Classifier {
+ public:
+  explicit AverageEnsembleClassifier(std::vector<std::unique_ptr<Classifier>> members)
+      : members_(std::move(members)) {
+    OF_CHECK(!members_.empty());
+  }
+
+  std::vector<double> PredictProba(const Matrix& X) const override {
+    std::vector<double> proba(X.rows(), 0.0);
+    for (const auto& member : members_) {
+      const std::vector<double> p = member->PredictProba(X);
+      for (size_t i = 0; i < proba.size(); ++i) proba[i] += p[i];
+    }
+    const double inv = 1.0 / static_cast<double>(members_.size());
+    for (double& p : proba) p *= inv;
+    return proba;
+  }
+
+  std::string Name() const override { return "expgrad_ensemble"; }
+
+ private:
+  std::vector<std::unique_ptr<Classifier>> members_;
+};
+
+}  // namespace
+
+bool AgarwalReductions::SupportsMetric(const FairnessMetric& metric) const {
+  // The reductions framework needs constraints expressible as conditional
+  // moments of (h, y) not conditioned on h: MR, SP, FPR, FNR (Table 1).
+  const std::string name = metric.Name();
+  return name == "sp" || name == "mr" || name == "fpr" || name == "fnr";
+}
+
+Result<BaselineResult> AgarwalReductions::Train(const Dataset& train,
+                                                const Dataset& val, Trainer* trainer,
+                                                const FairnessSpec& spec) {
+  if (!SupportsMetric(*spec.metric)) {
+    return Status::Unsupported("Agarwal reductions do not support metric " +
+                               spec.metric->Name());
+  }
+  Stopwatch stopwatch;
+  Result<std::unique_ptr<FairnessProblem>> problem =
+      FairnessProblem::Create(train, val, {spec}, trainer);
+  if (!problem.ok()) return problem.status();
+  const size_t k = (*problem)->NumConstraints();
+
+  // Multiplier weights over 2k one-sided constraints (+ a slack coordinate),
+  // kept as unnormalized positives; the simplex is scaled to multiplier_bound.
+  std::vector<double> raw(2 * k + 1, 1.0);
+  std::vector<double> lambdas(k, 0.0);
+  std::vector<std::unique_ptr<Classifier>> iterates;
+  const Classifier* previous = nullptr;
+
+  for (int t = 0; t < options_.iterations; ++t) {
+    double mass = 0.0;
+    for (double r : raw) mass += r;
+    for (size_t j = 0; j < k; ++j) {
+      const double lambda_plus = options_.multiplier_bound * raw[2 * j] / mass;
+      const double lambda_minus = options_.multiplier_bound * raw[2 * j + 1] / mass;
+      // Learner's objective: AP + sum_j (lambda_minus - lambda_plus) FP_j.
+      lambdas[j] = lambda_minus - lambda_plus;
+    }
+    std::unique_ptr<Classifier> h = (*problem)->FitWithLambdas(lambdas, previous);
+    // Drive the multiplier player with validation-split violations, the
+    // same estimation set every other method tunes against.
+    const std::vector<int> val_preds = (*problem)->PredictVal(*h);
+    const std::vector<double> fps =
+        (*problem)->val_evaluator().FairnessParts(val_preds);
+    // Exponentiated-gradient ascent on the one-sided violations.
+    const double eta =
+        options_.learning_rate / std::sqrt(static_cast<double>(t + 1));
+    for (size_t j = 0; j < k; ++j) {
+      // Target a slightly tighter band during the game so the averaged
+      // classifier lands inside the declared epsilon on validation.
+      const double epsilon = 0.6 * (*problem)->Epsilon(j);
+      raw[2 * j] *= std::exp(eta * (fps[j] - epsilon));
+      raw[2 * j + 1] *= std::exp(eta * (-fps[j] - epsilon));
+    }
+    // Renormalize to avoid overflow; relative magnitudes are what matter.
+    double norm = 0.0;
+    for (double r : raw) norm += r;
+    for (double& r : raw) r /= norm;
+
+    iterates.push_back(std::move(h));
+    previous = iterates.back().get();
+  }
+
+  // Drop the burn-in prefix: early iterates are near-unconstrained and
+  // drag the mixture's disparity up.
+  const size_t burn_in = iterates.size() / 5;
+  std::vector<std::unique_ptr<Classifier>> mixture;
+  for (size_t i = burn_in; i < iterates.size(); ++i) {
+    mixture.push_back(std::move(iterates[i]));
+  }
+
+  BaselineResult result;
+  result.encoder = (*problem)->encoder();
+  result.model = std::make_unique<AverageEnsembleClassifier>(std::move(mixture));
+  const std::vector<int> val_preds = (*problem)->PredictVal(*result.model);
+  result.satisfied = (*problem)->val_evaluator().MaxViolation(val_preds) <= 1e-12;
+  result.val_accuracy = (*problem)->ValAccuracy(val_preds);
+  result.val_fairness_parts = (*problem)->val_evaluator().FairnessParts(val_preds);
+  result.models_trained = (*problem)->models_trained();
+  result.train_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace omnifair

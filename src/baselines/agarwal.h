@@ -1,0 +1,44 @@
+#ifndef OMNIFAIR_BASELINES_AGARWAL_H_
+#define OMNIFAIR_BASELINES_AGARWAL_H_
+
+#include "baselines/baseline.h"
+
+namespace omnifair {
+
+/// Agarwal et al. [3] reductions approach ("ExpGrad", in-processing but
+/// model-agnostic — the closest competitor to OmniFair in Table 1).
+///
+/// Fair classification is cast as a two-player zero-sum game between a
+/// learner (best response: cost-sensitive fit with the current Lagrangian
+/// example weights) and a multiplier player running exponentiated gradient
+/// over the constraint violations. The saddle point is approximated by
+/// iterating T rounds and returning the *randomized* classifier that
+/// averages all iterates' probabilities. This reproduces the paper's
+/// observations: covers the whole accuracy-fairness trade-off, model-
+/// agnostic, but ~10x slower than OmniFair (T retrainings without
+/// monotonicity guidance) and less accurate at small epsilon (averaging).
+class AgarwalReductions : public FairnessBaseline {
+ public:
+  struct Options {
+    int iterations = 50;
+    /// Bound B on the multiplier L1 norm.
+    double multiplier_bound = 2.0;
+    /// Exponentiated-gradient learning rate.
+    double learning_rate = 2.0;
+  };
+
+  explicit AgarwalReductions(Options options);
+  AgarwalReductions() : AgarwalReductions(Options()) {}
+
+  std::string Name() const override { return "agarwal"; }
+  bool SupportsMetric(const FairnessMetric& metric) const override;
+  Result<BaselineResult> Train(const Dataset& train, const Dataset& val,
+                               Trainer* trainer, const FairnessSpec& spec) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_AGARWAL_H_

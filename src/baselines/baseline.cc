@@ -1,0 +1,34 @@
+#include "baselines/baseline.h"
+
+#include "baselines/agarwal.h"
+#include "baselines/calmon.h"
+#include "baselines/celis.h"
+#include "baselines/hardt.h"
+#include "baselines/reweighing.h"
+#include "baselines/thomas.h"
+#include "baselines/zafar.h"
+#include "util/logging.h"
+
+namespace omnifair {
+
+bool FairnessBaseline::SupportsTrainer(const Trainer& /*trainer*/) const {
+  return true;
+}
+
+std::unique_ptr<FairnessBaseline> MakeBaseline(const std::string& name) {
+  if (name == "kamiran") return std::make_unique<KamiranReweighing>();
+  if (name == "calmon") return std::make_unique<CalmonPreprocessing>();
+  if (name == "zafar") return std::make_unique<ZafarCovariance>();
+  if (name == "celis") return std::make_unique<CelisMeta>();
+  if (name == "hardt") return std::make_unique<HardtPostProcessing>();
+  if (name == "agarwal") return std::make_unique<AgarwalReductions>();
+  if (name == "thomas") return std::make_unique<ThomasSeldonian>();
+  OF_CHECK(false) << "unknown baseline name: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> AllBaselineNames() {
+  return {"kamiran", "calmon", "zafar", "celis", "agarwal", "thomas"};
+}
+
+}  // namespace omnifair

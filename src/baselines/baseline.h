@@ -1,0 +1,64 @@
+#ifndef OMNIFAIR_BASELINES_BASELINE_H_
+#define OMNIFAIR_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "data/dataset.h"
+#include "data/encoder.h"
+#include "ml/classifier.h"
+#include "util/status.h"
+
+namespace omnifair {
+
+/// Common result type for all re-implemented competitor methods, mirroring
+/// FairModel enough for side-by-side benchmarking.
+struct BaselineResult {
+  std::unique_ptr<Classifier> model;
+  FeatureEncoder encoder;
+  /// Whether the declared constraint held on the validation split. False
+  /// corresponds to the paper's NA(1) entries.
+  bool satisfied = false;
+  double val_accuracy = 0.0;
+  std::vector<double> val_fairness_parts;
+  int models_trained = 0;
+  double train_seconds = 0.0;
+};
+
+/// Interface of a competitor fairness method (Table 1 of the paper). Each
+/// implementation documents which constraints/models it supports; requesting
+/// an unsupported combination returns kUnsupported — the paper's NA(2).
+class FairnessBaseline {
+ public:
+  virtual ~FairnessBaseline() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Trains a model under a single fairness specification. Infeasibility
+  /// (no knob setting meets epsilon on validation) is reported by a result
+  /// with satisfied=false, matching how the OmniFair facade reports it.
+  virtual Result<BaselineResult> Train(const Dataset& train, const Dataset& val,
+                                       Trainer* trainer,
+                                       const FairnessSpec& spec) = 0;
+
+  /// Whether the method supports this fairness metric at all.
+  virtual bool SupportsMetric(const FairnessMetric& metric) const = 0;
+
+  /// Whether the method works with this model family (paper's
+  /// model-agnostic column). Default: any trainer.
+  virtual bool SupportsTrainer(const Trainer& trainer) const;
+};
+
+/// Factory by name: the six Table-1 methods "kamiran", "calmon", "zafar",
+/// "celis", "agarwal", "thomas", plus the beyond-the-paper post-processing
+/// baseline "hardt". Aborts on unknown names.
+std::unique_ptr<FairnessBaseline> MakeBaseline(const std::string& name);
+
+/// All six baseline names in Table 5 row order.
+std::vector<std::string> AllBaselineNames();
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_BASELINE_H_

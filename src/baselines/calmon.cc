@@ -1,0 +1,117 @@
+#include "baselines/calmon.h"
+
+#include <cmath>
+
+#include "core/problem.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace omnifair {
+namespace {
+
+/// Repairs labels of `train` in place: each group's positive rate moves
+/// degree-fraction of the way to `target_rate` by flipping a deterministic
+/// pseudo-random subset of labels within the group.
+Dataset RepairLabels(const Dataset& train, const GroupMap& groups, double target_rate,
+                     double degree, uint64_t seed) {
+  Dataset repaired = train;
+  Rng rng(seed);
+  for (const auto& [name, members] : groups) {
+    if (members.empty()) continue;
+    size_t positives = 0;
+    for (size_t i : members) positives += (train.Label(i) == 1);
+    const double rate =
+        static_cast<double>(positives) / static_cast<double>(members.size());
+    const double desired = rate + degree * (target_rate - rate);
+    if (desired < rate) {
+      // Flip some positives to negative with probability p.
+      const double p = rate > 0.0 ? (rate - desired) / rate : 0.0;
+      for (size_t i : members) {
+        if (train.Label(i) == 1 && rng.NextBernoulli(p)) repaired.SetLabel(i, 0);
+      }
+    } else if (desired > rate) {
+      const double p = rate < 1.0 ? (desired - rate) / (1.0 - rate) : 0.0;
+      for (size_t i : members) {
+        if (train.Label(i) == 0 && rng.NextBernoulli(p)) repaired.SetLabel(i, 1);
+      }
+    }
+  }
+  return repaired;
+}
+
+}  // namespace
+
+bool CalmonPreprocessing::SupportsMetric(const FairnessMetric& metric) const {
+  return metric.Name() == "sp";
+}
+
+Result<BaselineResult> CalmonPreprocessing::Train(const Dataset& train,
+                                                  const Dataset& val, Trainer* trainer,
+                                                  const FairnessSpec& spec) {
+  if (!SupportsMetric(*spec.metric)) {
+    return Status::Unsupported("Calmon preprocessing only supports statistical parity");
+  }
+  Stopwatch stopwatch;
+
+  // Dataset-specific distortion parameters exist only for adult and compas
+  // (paper §E.1): elsewhere the method cannot produce a valid repair.
+  const bool has_parameters = train.name() == "adult" || train.name() == "compas";
+
+  BaselineResult result;
+  double best_accuracy = -1.0;
+  int models_trained = 0;
+  const GroupMap groups = spec.grouping(train);
+  const double target_rate = train.PositiveRate();
+
+  const std::vector<double> degrees =
+      has_parameters
+          ? std::vector<double>{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.3, 1.1, 1.2, 1.35, 1.5}
+          : std::vector<double>{};
+  for (double degree : degrees) {
+    const Dataset repaired = RepairLabels(train, groups, target_rate, degree, 97);
+    Result<std::unique_ptr<FairnessProblem>> problem =
+        FairnessProblem::Create(repaired, val, {spec}, trainer);
+    if (!problem.ok()) return problem.status();
+    std::unique_ptr<Classifier> model =
+        (*problem)->FitWithLambdas({0.0}, /*weight_model=*/nullptr);
+    ++models_trained;
+    const std::vector<int> val_preds = (*problem)->PredictVal(*model);
+    const bool satisfied = (*problem)->val_evaluator().MaxViolation(val_preds) <= 1e-12;
+    const double accuracy = (*problem)->ValAccuracy(val_preds);
+    if (satisfied && accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      result.model = std::move(model);
+      result.encoder = (*problem)->encoder();
+      result.satisfied = true;
+      result.val_accuracy = accuracy;
+      result.val_fairness_parts = (*problem)->val_evaluator().FairnessParts(val_preds);
+    } else if (result.model == nullptr) {
+      result.model = std::move(model);
+      result.encoder = (*problem)->encoder();
+      result.val_accuracy = accuracy;
+      result.val_fairness_parts = (*problem)->val_evaluator().FairnessParts(val_preds);
+    }
+  }
+
+  if (result.model == nullptr) {
+    // No distortion parameters for this dataset: train unconstrained so the
+    // caller still gets a model, flagged unsatisfied (NA(1)).
+    Result<std::unique_ptr<FairnessProblem>> problem =
+        FairnessProblem::Create(train, val, {spec}, trainer);
+    if (!problem.ok()) return problem.status();
+    std::unique_ptr<Classifier> model = (*problem)->FitWithLambdas({0.0}, nullptr);
+    ++models_trained;
+    const std::vector<int> val_preds = (*problem)->PredictVal(*model);
+    result.model = std::move(model);
+    result.encoder = (*problem)->encoder();
+    result.val_accuracy = (*problem)->ValAccuracy(val_preds);
+    result.val_fairness_parts = (*problem)->val_evaluator().FairnessParts(val_preds);
+    result.satisfied = false;
+  }
+  result.models_trained = models_trained;
+  result.train_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace omnifair

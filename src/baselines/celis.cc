@@ -1,0 +1,63 @@
+#include "baselines/celis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/grid_search.h"
+#include "core/problem.h"
+#include "util/stopwatch.h"
+
+namespace omnifair {
+
+CelisMeta::CelisMeta(Options options) : options_(options) {}
+
+bool CelisMeta::SupportsMetric(const FairnessMetric& metric) const {
+  const std::string name = metric.Name();
+  return name == "sp" || name == "mr" || name == "fpr" || name == "fnr" ||
+         name == "fdr" || name == "for";
+}
+
+bool CelisMeta::SupportsTrainer(const Trainer& trainer) const {
+  return trainer.Name() == "logistic_regression";
+}
+
+Result<BaselineResult> CelisMeta::Train(const Dataset& train, const Dataset& val,
+                                        Trainer* trainer, const FairnessSpec& spec) {
+  if (!SupportsMetric(*spec.metric)) {
+    return Status::Unsupported("Celis does not support metric " + spec.metric->Name());
+  }
+  if (trainer == nullptr || !SupportsTrainer(*trainer)) {
+    return Status::Unsupported("Celis meta-algorithm is tied to LR");
+  }
+  Stopwatch stopwatch;
+  Result<std::unique_ptr<FairnessProblem>> problem =
+      FairnessProblem::Create(train, val, {spec}, trainer);
+  if (!problem.ok()) return problem.status();
+
+  GridSearchOptions grid_options;
+  grid_options.max_lambda = options_.max_multiplier;
+  grid_options.points_per_dim = options_.grid_points;
+  const size_t k = (*problem)->NumConstraints();
+  if (k > 1) {
+    // Multi-group adaptation (paper Figure 9): the total retraining budget
+    // stays fixed, so the per-dimension resolution collapses — which is
+    // exactly why the method fails to reduce SP_max across three groups.
+    grid_options.points_per_dim = std::max(
+        3, static_cast<int>(std::pow(static_cast<double>(options_.grid_points),
+                                     1.0 / static_cast<double>(k))));
+  }
+  const GridSearchTuner grid(grid_options);
+  MultiTuneResult tuned = grid.Run(**problem);
+
+  BaselineResult result;
+  result.model = std::move(tuned.model);
+  result.encoder = (*problem)->encoder();
+  result.satisfied = tuned.satisfied;
+  result.val_accuracy = tuned.val_accuracy;
+  result.val_fairness_parts = std::move(tuned.val_fairness_parts);
+  result.models_trained = tuned.models_trained;
+  result.train_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace omnifair

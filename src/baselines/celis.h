@@ -1,0 +1,44 @@
+#ifndef OMNIFAIR_BASELINES_CELIS_H_
+#define OMNIFAIR_BASELINES_CELIS_H_
+
+#include "baselines/baseline.h"
+
+namespace omnifair {
+
+/// Celis et al. [12] meta-algorithm (in-processing, LR only in practice).
+///
+/// The original reduces fair classification with linear-fractional
+/// constraints (including FDR/FOR) to a family of cost-sensitive
+/// classification problems indexed by Lagrange multipliers, solved over a
+/// dense multiplier grid. We reproduce exactly that shape: a fine grid over
+/// the multiplier, one cost-sensitive retraining per grid point (weights
+/// from the same Lagrangian expansion OmniFair uses), keeping the most
+/// accurate validating model. Characteristics preserved from the paper:
+/// supports FDR (the only baseline that does), an order of magnitude slower
+/// than OmniFair (dense grid vs. guided search, Figures 5/6), may fail at
+/// tight epsilon because the grid resolution misses the feasible band
+/// (NA(1) at epsilon = 0.03 in Table 5), and is tied to the LR family
+/// (NA(2) otherwise).
+class CelisMeta : public FairnessBaseline {
+ public:
+  struct Options {
+    double max_multiplier = 1.0;
+    int grid_points = 129;
+  };
+
+  explicit CelisMeta(Options options);
+  CelisMeta() : CelisMeta(Options()) {}
+
+  std::string Name() const override { return "celis"; }
+  bool SupportsMetric(const FairnessMetric& metric) const override;
+  bool SupportsTrainer(const Trainer& trainer) const override;
+  Result<BaselineResult> Train(const Dataset& train, const Dataset& val,
+                               Trainer* trainer, const FairnessSpec& spec) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_CELIS_H_

@@ -1,0 +1,212 @@
+#include "baselines/cmaes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace omnifair {
+namespace {
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix C (row-major,
+/// d x d). On return `eigenvalues` holds the (unsorted) eigenvalues and
+/// `eigenvectors` the corresponding columns.
+void JacobiEigen(std::vector<double> C, size_t d, std::vector<double>* eigenvalues,
+                 std::vector<double>* eigenvectors) {
+  std::vector<double>& V = *eigenvectors;
+  V.assign(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) V[i * d + i] = 1.0;
+
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < d; ++p) {
+      for (size_t q = p + 1; q < d; ++q) off += C[p * d + q] * C[p * d + q];
+    }
+    if (off < 1e-22) break;
+    for (size_t p = 0; p < d; ++p) {
+      for (size_t q = p + 1; q < d; ++q) {
+        const double apq = C[p * d + q];
+        if (std::fabs(apq) < 1e-18) continue;
+        const double app = C[p * d + p];
+        const double aqq = C[q * d + q];
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (size_t i = 0; i < d; ++i) {
+          const double cip = C[i * d + p];
+          const double ciq = C[i * d + q];
+          C[i * d + p] = c * cip - s * ciq;
+          C[i * d + q] = s * cip + c * ciq;
+        }
+        for (size_t i = 0; i < d; ++i) {
+          const double cpi = C[p * d + i];
+          const double cqi = C[q * d + i];
+          C[p * d + i] = c * cpi - s * cqi;
+          C[q * d + i] = s * cpi + c * cqi;
+        }
+        for (size_t i = 0; i < d; ++i) {
+          const double vip = V[i * d + p];
+          const double viq = V[i * d + q];
+          V[i * d + p] = c * vip - s * viq;
+          V[i * d + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  eigenvalues->resize(d);
+  for (size_t i = 0; i < d; ++i) (*eigenvalues)[i] = C[i * d + i];
+}
+
+}  // namespace
+
+Cmaes::Cmaes(CmaesOptions options) : options_(options) {}
+
+CmaesResult Cmaes::Minimize(const Objective& objective,
+                            const std::vector<double>& x0) {
+  const size_t d = x0.size();
+  OF_CHECK_GT(d, 0u);
+  Rng rng(options_.seed);
+
+  const int lambda = options_.population > 0
+                         ? options_.population
+                         : 4 + static_cast<int>(3.0 * std::log(static_cast<double>(d)));
+  const int mu = lambda / 2;
+
+  // Recombination weights.
+  std::vector<double> weights(mu);
+  for (int i = 0; i < mu; ++i) {
+    weights[i] = std::log(static_cast<double>(mu) + 0.5) -
+                 std::log(static_cast<double>(i) + 1.0);
+  }
+  const double weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (double& w : weights) w /= weight_sum;
+  double mu_eff = 0.0;
+  for (double w : weights) mu_eff += w * w;
+  mu_eff = 1.0 / mu_eff;
+
+  // Strategy parameters (Hansen's defaults).
+  const double dn = static_cast<double>(d);
+  const double cc = (4.0 + mu_eff / dn) / (dn + 4.0 + 2.0 * mu_eff / dn);
+  const double cs = (mu_eff + 2.0) / (dn + mu_eff + 5.0);
+  const double c1 = 2.0 / ((dn + 1.3) * (dn + 1.3) + mu_eff);
+  const double cmu = std::min(
+      1.0 - c1, 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((dn + 2.0) * (dn + 2.0) + mu_eff));
+  const double damps =
+      1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff - 1.0) / (dn + 1.0)) - 1.0) + cs;
+  const double chi_n = std::sqrt(dn) * (1.0 - 1.0 / (4.0 * dn) + 1.0 / (21.0 * dn * dn));
+
+  std::vector<double> mean = x0;
+  double sigma = options_.sigma;
+  std::vector<double> C(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) C[i * d + i] = 1.0;
+  std::vector<double> ps(d, 0.0);
+  std::vector<double> pc(d, 0.0);
+  std::vector<double> eigenvalues(d, 1.0);
+  std::vector<double> B(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) B[i * d + i] = 1.0;
+
+  CmaesResult result;
+  result.best_x = x0;
+  result.best_value = objective(x0);
+  result.evaluations = 1;
+
+  std::vector<std::vector<double>> zs(lambda, std::vector<double>(d));
+  std::vector<std::vector<double>> ys(lambda, std::vector<double>(d));
+  std::vector<std::vector<double>> xs(lambda, std::vector<double>(d));
+  std::vector<double> values(lambda);
+  std::vector<int> order(lambda);
+
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    // Sample offspring: x = mean + sigma * B * diag(sqrt(eig)) * z.
+    for (int i = 0; i < lambda; ++i) {
+      for (size_t j = 0; j < d; ++j) zs[i][j] = rng.NextGaussian();
+      for (size_t r = 0; r < d; ++r) {
+        double acc = 0.0;
+        for (size_t cidx = 0; cidx < d; ++cidx) {
+          acc += B[r * d + cidx] * std::sqrt(std::max(eigenvalues[cidx], 1e-20)) *
+                 zs[i][cidx];
+        }
+        ys[i][r] = acc;
+        xs[i][r] = mean[r] + sigma * acc;
+      }
+      values[i] = objective(xs[i]);
+      ++result.evaluations;
+      if (values[i] < result.best_value) {
+        result.best_value = values[i];
+        result.best_x = xs[i];
+      }
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&values](int a, int b) { return values[a] < values[b]; });
+
+    // Recombination.
+    std::vector<double> y_w(d, 0.0);
+    std::vector<double> old_mean = mean;
+    for (int i = 0; i < mu; ++i) {
+      for (size_t j = 0; j < d; ++j) y_w[j] += weights[i] * ys[order[i]][j];
+    }
+    for (size_t j = 0; j < d; ++j) mean[j] += sigma * y_w[j];
+
+    // Step-size path: ps = (1-cs) ps + sqrt(cs(2-cs)mu_eff) * C^{-1/2} y_w,
+    // where C^{-1/2} = B diag(1/sqrt(eig)) B^T.
+    std::vector<double> c_inv_half_yw(d, 0.0);
+    for (size_t r = 0; r < d; ++r) {
+      // t = B^T y_w
+      double t = 0.0;
+      for (size_t j = 0; j < d; ++j) t += B[j * d + r] * y_w[j];
+      c_inv_half_yw[r] = t / std::sqrt(std::max(eigenvalues[r], 1e-20));
+    }
+    std::vector<double> mapped(d, 0.0);
+    for (size_t r = 0; r < d; ++r) {
+      double acc = 0.0;
+      for (size_t cidx = 0; cidx < d; ++cidx) acc += B[r * d + cidx] * c_inv_half_yw[cidx];
+      mapped[r] = acc;
+    }
+    const double ps_coef = std::sqrt(cs * (2.0 - cs) * mu_eff);
+    double ps_norm2 = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      ps[j] = (1.0 - cs) * ps[j] + ps_coef * mapped[j];
+      ps_norm2 += ps[j] * ps[j];
+    }
+    const double ps_norm = std::sqrt(ps_norm2);
+
+    // Covariance path with stall (hsig).
+    const double hsig_threshold =
+        (1.4 + 2.0 / (dn + 1.0)) * chi_n *
+        std::sqrt(1.0 - std::pow(1.0 - cs, 2.0 * (iteration + 1)));
+    const double hsig = ps_norm < hsig_threshold ? 1.0 : 0.0;
+    const double pc_coef = std::sqrt(cc * (2.0 - cc) * mu_eff);
+    for (size_t j = 0; j < d; ++j) {
+      pc[j] = (1.0 - cc) * pc[j] + hsig * pc_coef * y_w[j];
+    }
+
+    // Covariance update: rank-1 + rank-mu.
+    const double c1a = c1 * (1.0 - (1.0 - hsig) * cc * (2.0 - cc));
+    for (size_t r = 0; r < d; ++r) {
+      for (size_t cidx = 0; cidx < d; ++cidx) {
+        double rank_mu = 0.0;
+        for (int i = 0; i < mu; ++i) {
+          rank_mu += weights[i] * ys[order[i]][r] * ys[order[i]][cidx];
+        }
+        C[r * d + cidx] = (1.0 - c1a - cmu) * C[r * d + cidx] +
+                          c1 * pc[r] * pc[cidx] + cmu * rank_mu;
+      }
+    }
+
+    // Step-size adaptation.
+    sigma *= std::exp((cs / damps) * (ps_norm / chi_n - 1.0));
+    sigma = std::clamp(sigma, 1e-12, 1e6);
+
+    // Refresh the eigendecomposition.
+    JacobiEigen(C, d, &eigenvalues, &B);
+  }
+  return result;
+}
+
+}  // namespace omnifair

@@ -1,0 +1,50 @@
+#ifndef OMNIFAIR_BASELINES_CMAES_H_
+#define OMNIFAIR_BASELINES_CMAES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace omnifair {
+
+/// Options for the CMA-ES optimizer.
+struct CmaesOptions {
+  int max_iterations = 250;
+  /// Initial step size.
+  double sigma = 0.5;
+  /// Population size; 0 means the standard 4 + floor(3 ln d).
+  int population = 0;
+  /// Stop when the best objective improves less than this over a window.
+  double tolerance = 1e-10;
+  uint64_t seed = 31;
+};
+
+/// Result of a CMA-ES run.
+struct CmaesResult {
+  std::vector<double> best_x;
+  double best_value = 0.0;
+  int iterations = 0;
+  long long evaluations = 0;
+};
+
+/// Covariance Matrix Adaptation Evolution Strategy (minimization), the
+/// derivative-free optimizer behind Thomas et al. [43]'s Seldonian
+/// framework. Full rank-1 + rank-mu covariance adaptation with cumulative
+/// step-size control; eigendecomposition by cyclic Jacobi (dimensions here
+/// are small: one weight per encoded feature).
+class Cmaes {
+ public:
+  using Objective = std::function<double(const std::vector<double>&)>;
+
+  explicit Cmaes(CmaesOptions options = {});
+
+  /// Minimizes `objective` starting from x0.
+  CmaesResult Minimize(const Objective& objective, const std::vector<double>& x0);
+
+ private:
+  CmaesOptions options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_CMAES_H_

@@ -1,0 +1,131 @@
+#include "baselines/hardt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/problem.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace omnifair {
+
+HardtPostProcessing::HardtPostProcessing(Options options) : options_(options) {}
+
+GroupThresholdClassifier::GroupThresholdClassifier(std::shared_ptr<Classifier> base,
+                                                   int group1_feature,
+                                                   int group2_feature,
+                                                   double threshold1,
+                                                   double threshold2)
+    : base_(std::move(base)),
+      group1_feature_(group1_feature),
+      group2_feature_(group2_feature),
+      threshold1_(threshold1),
+      threshold2_(threshold2) {
+  OF_CHECK(base_ != nullptr);
+}
+
+std::vector<double> GroupThresholdClassifier::PredictProba(const Matrix& X) const {
+  std::vector<double> proba = base_->PredictProba(X);
+  for (size_t i = 0; i < X.rows(); ++i) {
+    double threshold = 0.5;
+    if (group1_feature_ >= 0 && X(i, static_cast<size_t>(group1_feature_)) > 0.5) {
+      threshold = threshold1_;
+    } else if (group2_feature_ >= 0 &&
+               X(i, static_cast<size_t>(group2_feature_)) > 0.5) {
+      threshold = threshold2_;
+    }
+    // Re-center so thresholding at 0.5 reproduces score >= threshold, while
+    // keeping the per-group score ordering (for AUC).
+    proba[i] = std::clamp(0.5 + 0.5 * (proba[i] - threshold), 0.0, 1.0);
+  }
+  return proba;
+}
+
+Result<BaselineResult> HardtPostProcessing::Train(const Dataset& train,
+                                                  const Dataset& val,
+                                                  Trainer* trainer,
+                                                  const FairnessSpec& spec) {
+  if (trainer == nullptr) return Status::InvalidArgument("trainer is null");
+  Stopwatch stopwatch;
+  Result<std::unique_ptr<FairnessProblem>> problem =
+      FairnessProblem::Create(train, val, {spec}, trainer);
+  if (!problem.ok()) return problem.status();
+  if ((*problem)->NumConstraints() != 1) {
+    return Status::Unsupported(
+        "post-processing thresholds are implemented for one pairwise constraint");
+  }
+
+  // One unconstrained base fit.
+  std::shared_ptr<Classifier> base =
+      (*problem)->FitWithLambdas({0.0}, /*weight_model=*/nullptr);
+
+  // Locate the one-hot feature columns of the two groups so the wrapped
+  // classifier can route rows to their thresholds at decision time.
+  const ConstraintSpec& constraint = (*problem)->train_evaluator().constraint(0);
+  int group1_feature = -1;
+  int group2_feature = -1;
+  const std::vector<std::string>& names = (*problem)->encoder().feature_names();
+  for (size_t f = 0; f < names.size(); ++f) {
+    const size_t eq = names[f].find('=');
+    if (eq == std::string::npos) continue;
+    const std::string category = names[f].substr(eq + 1);
+    if (category == constraint.group1) group1_feature = static_cast<int>(f);
+    if (category == constraint.group2) group2_feature = static_cast<int>(f);
+  }
+  if (group1_feature < 0 || group2_feature < 0) {
+    return Status::Unsupported(
+        "post-processing needs the sensitive attribute one-hot encoded in the "
+        "features (drop_columns must not remove it)");
+  }
+
+  // Threshold grid on validation scores.
+  const std::vector<double> val_scores =
+      base->PredictProba((*problem)->val_features());
+  std::vector<double> grid(static_cast<size_t>(options_.thresholds_per_group));
+  for (size_t k = 0; k < grid.size(); ++k) {
+    grid[k] = static_cast<double>(k + 1) / static_cast<double>(grid.size() + 1);
+  }
+
+  BaselineResult result;
+  result.encoder = (*problem)->encoder();
+  double best_accuracy = -1.0;
+  const Matrix& Xval = (*problem)->val_features();
+  std::vector<int> predictions(val_scores.size());
+  auto group_of = [&](size_t i) {
+    if (Xval(i, static_cast<size_t>(group1_feature)) > 0.5) return 1;
+    if (Xval(i, static_cast<size_t>(group2_feature)) > 0.5) return 2;
+    return 0;
+  };
+
+  double best_t1 = 0.5;
+  double best_t2 = 0.5;
+  for (double t1 : grid) {
+    for (double t2 : grid) {
+      for (size_t i = 0; i < val_scores.size(); ++i) {
+        const int group = group_of(i);
+        const double threshold = group == 1 ? t1 : (group == 2 ? t2 : 0.5);
+        predictions[i] = val_scores[i] >= threshold ? 1 : 0;
+      }
+      const double fp = (*problem)->val_evaluator().FairnessPart(0, predictions);
+      if (std::fabs(fp) > spec.epsilon) continue;
+      const double accuracy = (*problem)->ValAccuracy(predictions);
+      if (accuracy > best_accuracy) {
+        best_accuracy = accuracy;
+        best_t1 = t1;
+        best_t2 = t2;
+      }
+    }
+  }
+
+  result.satisfied = best_accuracy >= 0.0;
+  result.model = std::make_unique<GroupThresholdClassifier>(
+      base, group1_feature, group2_feature, best_t1, best_t2);
+  const std::vector<int> val_preds = (*problem)->PredictVal(*result.model);
+  result.val_accuracy = (*problem)->ValAccuracy(val_preds);
+  result.val_fairness_parts = (*problem)->val_evaluator().FairnessParts(val_preds);
+  result.models_trained = (*problem)->models_trained();
+  result.train_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace omnifair

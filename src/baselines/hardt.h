@@ -1,0 +1,68 @@
+#ifndef OMNIFAIR_BASELINES_HARDT_H_
+#define OMNIFAIR_BASELINES_HARDT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace omnifair {
+
+/// Hardt, Price & Srebro (2016) style post-processing.
+///
+/// This family is NOT in the paper's Table 1 — we include it because it is
+/// the third classic intervention stage (pre / in / post) and any credible
+/// open-source fairness library ships one. A base model is trained
+/// unconstrained; fairness comes from *group-specific decision thresholds*
+/// chosen on the validation split to maximize accuracy subject to the
+/// declared constraint. Model-agnostic and cheap (one fit + a threshold
+/// grid), but requires the sensitive attribute at decision time — the
+/// classic deployment objection to post-processing, which the wrapped
+/// classifier makes explicit by reading the group's one-hot column from
+/// the encoded features.
+class HardtPostProcessing : public FairnessBaseline {
+ public:
+  struct Options {
+    /// Thresholds examined per group (uniform grid over (0, 1)).
+    int thresholds_per_group = 41;
+  };
+
+  explicit HardtPostProcessing(Options options);
+  HardtPostProcessing() : HardtPostProcessing(Options()) {}
+
+  std::string Name() const override { return "hardt"; }
+  /// Any metric works: thresholds are evaluated exactly on validation.
+  bool SupportsMetric(const FairnessMetric& metric) const override { return true; }
+  Result<BaselineResult> Train(const Dataset& train, const Dataset& val,
+                               Trainer* trainer, const FairnessSpec& spec) override;
+
+ private:
+  Options options_;
+};
+
+/// The wrapped decision rule: predict 1 iff base score >= threshold of the
+/// row's group (group decided by the sensitive attribute's one-hot columns
+/// in the encoded features; rows in neither group use the default 0.5).
+class GroupThresholdClassifier : public Classifier {
+ public:
+  GroupThresholdClassifier(std::shared_ptr<Classifier> base, int group1_feature,
+                           int group2_feature, double threshold1,
+                           double threshold2);
+
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::string Name() const override { return "group_threshold"; }
+
+  double threshold1() const { return threshold1_; }
+  double threshold2() const { return threshold2_; }
+
+ private:
+  std::shared_ptr<Classifier> base_;
+  int group1_feature_;
+  int group2_feature_;
+  double threshold1_;
+  double threshold2_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_HARDT_H_

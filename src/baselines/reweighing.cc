@@ -1,0 +1,119 @@
+#include "baselines/reweighing.h"
+
+#include <cmath>
+#include <iterator>
+
+#include "core/problem.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace omnifair {
+
+bool KamiranReweighing::SupportsMetric(const FairnessMetric& metric) const {
+  return metric.Name() == "sp";
+}
+
+std::vector<double> KamiranReweighing::ComputeWeights(const Dataset& train,
+                                                      const GroupMap& groups) {
+  const size_t n = train.NumRows();
+  const double total = static_cast<double>(n);
+  size_t positives = 0;
+  for (int y : train.labels()) positives += (y == 1);
+  const double p_y1 = static_cast<double>(positives) / total;
+  const double p_y0 = 1.0 - p_y1;
+
+  std::vector<double> weights(n, 1.0);
+  for (const auto& [name, members] : groups) {
+    if (members.empty()) continue;
+    const double p_g = static_cast<double>(members.size()) / total;
+    size_t group_positives = 0;
+    for (size_t i : members) group_positives += (train.Label(i) == 1);
+    const double p_g_y1 = static_cast<double>(group_positives) / total;
+    const double p_g_y0 = p_g - p_g_y1;
+    const double w_pos = p_g_y1 > 0.0 ? p_g * p_y1 / p_g_y1 : 1.0;
+    const double w_neg = p_g_y0 > 0.0 ? p_g * p_y0 / p_g_y0 : 1.0;
+    for (size_t i : members) {
+      weights[i] = train.Label(i) == 1 ? w_pos : w_neg;
+    }
+  }
+  return weights;
+}
+
+Result<BaselineResult> KamiranReweighing::Train(const Dataset& train,
+                                                const Dataset& val, Trainer* trainer,
+                                                const FairnessSpec& spec) {
+  if (!SupportsMetric(*spec.metric)) {
+    return Status::Unsupported("Kamiran reweighing only supports statistical parity");
+  }
+  Stopwatch stopwatch;
+  Result<std::unique_ptr<FairnessProblem>> problem =
+      FairnessProblem::Create(train, val, {spec}, trainer);
+  if (!problem.ok()) return problem.status();
+
+  const GroupMap groups = spec.grouping((*problem)->train());
+  const std::vector<double> kamiran = ComputeWeights((*problem)->train(), groups);
+
+  BaselineResult result;
+  result.encoder = (*problem)->encoder();
+  double best_accuracy = -1.0;
+  std::vector<double> weights(kamiran.size());
+
+  auto try_eta = [&](double eta) {
+    for (size_t i = 0; i < kamiran.size(); ++i) {
+      weights[i] = std::max(1.0 + eta * (kamiran[i] - 1.0), 0.0);
+    }
+    std::unique_ptr<Classifier> model = (*problem)->FitWithWeights(weights);
+    const std::vector<int> val_preds = (*problem)->PredictVal(*model);
+    // The bisection signal is the first pairwise disparity; satisfaction is
+    // checked against every induced constraint.
+    const double fp = (*problem)->val_evaluator().FairnessPart(0, val_preds);
+    const bool satisfied = (*problem)->val_evaluator().MaxViolation(val_preds) <= 1e-12;
+    const double accuracy = (*problem)->ValAccuracy(val_preds);
+    if ((satisfied && accuracy > best_accuracy) || result.model == nullptr) {
+      if (satisfied) best_accuracy = accuracy;
+      result.model = std::move(model);
+      result.satisfied = satisfied;
+      result.val_accuracy = accuracy;
+      result.val_fairness_parts = (*problem)->val_evaluator().FairnessParts(val_preds);
+    }
+    return fp;
+  };
+
+  // Coarse scan from no correction (eta=0) to strong overcorrection, then
+  // bisect on the first sign change of the validation disparity. This is
+  // the FairPrep-style strength tuning described in the header.
+  const double coarse[] = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0};
+  double previous_eta = 0.0;
+  double previous_fp = 0.0;
+  double bracket_lo = -1.0;
+  double bracket_hi = -1.0;
+  for (size_t s = 0; s < std::size(coarse); ++s) {
+    const double fp = try_eta(coarse[s]);
+    if (std::fabs(fp) <= spec.epsilon) break;  // best candidate recorded
+    if (s > 0 && (fp > 0.0) != (previous_fp > 0.0)) {
+      bracket_lo = previous_eta;
+      bracket_hi = coarse[s];
+      break;
+    }
+    previous_eta = coarse[s];
+    previous_fp = fp;
+  }
+  if (!result.satisfied && bracket_lo >= 0.0) {
+    for (int iter = 0; iter < 10 && !result.satisfied; ++iter) {
+      const double mid = 0.5 * (bracket_lo + bracket_hi);
+      const double fp = try_eta(mid);
+      if (std::fabs(fp) <= spec.epsilon) break;
+      if ((fp > 0.0) == (previous_fp > 0.0)) {
+        bracket_lo = mid;
+      } else {
+        bracket_hi = mid;
+      }
+    }
+  }
+
+  result.models_trained = (*problem)->models_trained();
+  result.train_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace omnifair

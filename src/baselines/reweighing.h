@@ -1,0 +1,36 @@
+#ifndef OMNIFAIR_BASELINES_REWEIGHING_H_
+#define OMNIFAIR_BASELINES_REWEIGHING_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/groups.h"
+
+namespace omnifair {
+
+/// Kamiran & Calders [28] reweighing (preprocessing). Each training example
+/// gets weight w(g, y) = P(g) * P(y) / P(g, y), which removes the
+/// statistical dependence between group membership and the label in the
+/// weighted empirical distribution. Model-agnostic; supports statistical
+/// parity only (no access to h(x) at preprocessing time).
+///
+/// The original method has no accuracy-fairness knob; following common
+/// benchmarking practice (FairPrep [41]) we add a strength parameter
+/// eta (w_eta = 1 + eta * (w - 1), eta in a small grid including
+/// overcorrection > 1) and pick the most accurate validating setting.
+class KamiranReweighing : public FairnessBaseline {
+ public:
+  std::string Name() const override { return "kamiran"; }
+  bool SupportsMetric(const FairnessMetric& metric) const override;
+  Result<BaselineResult> Train(const Dataset& train, const Dataset& val,
+                               Trainer* trainer, const FairnessSpec& spec) override;
+
+  /// The closed-form Kamiran weights for the given grouping of `train`.
+  /// Rows outside every group get weight 1.
+  static std::vector<double> ComputeWeights(const Dataset& train,
+                                            const GroupMap& groups);
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_REWEIGHING_H_

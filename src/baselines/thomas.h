@@ -1,0 +1,46 @@
+#ifndef OMNIFAIR_BASELINES_THOMAS_H_
+#define OMNIFAIR_BASELINES_THOMAS_H_
+
+#include "baselines/baseline.h"
+
+namespace omnifair {
+
+/// Thomas et al. [43] (Science 2019) Seldonian-style baseline.
+///
+/// The framework designs new ML algorithms that accept behavioural
+/// constraints directly; its released instantiation trains a linear
+/// classifier with CMA-ES on a fairness-penalized objective. We reproduce
+/// that: CMA-ES (see cmaes.h) minimizes
+///     -train_accuracy + rho * max(0, |FP| - margin * epsilon)
+/// over linear-model parameters, then verifies the constraint on the
+/// validation split (the Seldonian safety test). As in the paper's Table 5,
+/// the method brings its own model family — SupportsTrainer is false for
+/// every standard trainer (NA(2)*), and benches run it as its own column.
+class ThomasSeldonian : public FairnessBaseline {
+ public:
+  struct Options {
+    double penalty = 20.0;
+    /// Train-side tightening of epsilon so the validation test passes.
+    double margin = 0.8;
+    int cmaes_iterations = 120;
+    uint64_t seed = 67;
+  };
+
+  explicit ThomasSeldonian(Options options);
+  ThomasSeldonian() : ThomasSeldonian(Options()) {}
+
+  std::string Name() const override { return "thomas"; }
+  bool SupportsMetric(const FairnessMetric& metric) const override;
+  bool SupportsTrainer(const Trainer& trainer) const override { return false; }
+  /// `trainer` is ignored (may be null): the method trains its own linear
+  /// model via CMA-ES.
+  Result<BaselineResult> Train(const Dataset& train, const Dataset& val,
+                               Trainer* trainer, const FairnessSpec& spec) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_THOMAS_H_

@@ -1,0 +1,29 @@
+#ifndef OMNIFAIR_BASELINES_ZAFAR_H_
+#define OMNIFAIR_BASELINES_ZAFAR_H_
+
+#include "baselines/baseline.h"
+
+namespace omnifair {
+
+/// Zafar et al. [47] (in-processing, decision-boundary classifiers only).
+///
+/// Fairness is encoded as a bound on the covariance between group
+/// membership and the signed distance to the decision boundary. We solve
+/// the penalized form: weighted logistic loss + mu * cov(z, theta.x)^2 by
+/// gradient descent on our own logistic model, sweeping the multiplier mu
+/// and keeping the most accurate validating model. As in the paper, the
+/// method (a) only works for logistic regression (NA(2) for RF/XGB/NN) and
+/// (b) its knob does not track epsilon directly, so the best model often
+/// coincides across epsilon values (one point in Figure 4a).
+class ZafarCovariance : public FairnessBaseline {
+ public:
+  std::string Name() const override { return "zafar"; }
+  bool SupportsMetric(const FairnessMetric& metric) const override;
+  bool SupportsTrainer(const Trainer& trainer) const override;
+  Result<BaselineResult> Train(const Dataset& train, const Dataset& val,
+                               Trainer* trainer, const FairnessSpec& spec) override;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_BASELINES_ZAFAR_H_

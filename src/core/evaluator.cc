@@ -1,0 +1,83 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+ConstraintEvaluator::ConstraintEvaluator(std::vector<ConstraintSpec> constraints,
+                                         const Dataset& dataset)
+    : constraints_(std::move(constraints)), dataset_(dataset) {
+  group1_members_.resize(constraints_.size());
+  group2_members_.resize(constraints_.size());
+  // Cache group maps per distinct grouping function application: grouping
+  // functions are opaque callables, so we conservatively evaluate each
+  // constraint's grouping once. Constraints induced from the same spec share
+  // the same target (shared_ptr metric) but we cannot compare std::function
+  // identities; evaluating the grouping per constraint keeps this simple and
+  // is cheap relative to model training.
+  for (size_t j = 0; j < constraints_.size(); ++j) {
+    const GroupMap groups = constraints_[j].grouping(dataset_);
+    auto g1 = groups.find(constraints_[j].group1);
+    auto g2 = groups.find(constraints_[j].group2);
+    if (g1 != groups.end()) group1_members_[j] = g1->second;
+    if (g2 != groups.end()) group2_members_[j] = g2->second;
+  }
+}
+
+bool ConstraintEvaluator::HasEmptyGroup(size_t j) const {
+  OF_CHECK_LT(j, constraints_.size());
+  return group1_members_[j].empty() || group2_members_[j].empty();
+}
+
+double ConstraintEvaluator::FairnessPart(size_t j,
+                                         const std::vector<int>& predictions) const {
+  OF_CHECK_LT(j, constraints_.size());
+  OF_CHECK_EQ(predictions.size(), dataset_.NumRows());
+  if (HasEmptyGroup(j)) return 0.0;
+  const FairnessMetric& metric = *constraints_[j].metric;
+  return metric.Evaluate(dataset_, group1_members_[j], predictions) -
+         metric.Evaluate(dataset_, group2_members_[j], predictions);
+}
+
+std::vector<double> ConstraintEvaluator::FairnessParts(
+    const std::vector<int>& predictions) const {
+  std::vector<double> parts(constraints_.size());
+  for (size_t j = 0; j < constraints_.size(); ++j) {
+    parts[j] = FairnessPart(j, predictions);
+  }
+  return parts;
+}
+
+double ConstraintEvaluator::MaxViolation(const std::vector<int>& predictions) const {
+  double max_violation = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < constraints_.size(); ++j) {
+    const double violation =
+        std::fabs(FairnessPart(j, predictions)) - constraints_[j].epsilon;
+    max_violation = std::max(max_violation, violation);
+  }
+  return max_violation;
+}
+
+size_t ConstraintEvaluator::MostViolated(const std::vector<int>& predictions) const {
+  size_t best = 0;
+  double best_violation = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < constraints_.size(); ++j) {
+    const double violation =
+        std::fabs(FairnessPart(j, predictions)) - constraints_[j].epsilon;
+    if (violation > best_violation) {
+      best_violation = violation;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool ConstraintEvaluator::Satisfied(const std::vector<int>& predictions) const {
+  return MaxViolation(predictions) <= 1e-12;
+}
+
+}  // namespace omnifair

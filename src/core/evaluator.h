@@ -1,0 +1,62 @@
+#ifndef OMNIFAIR_CORE_EVALUATOR_H_
+#define OMNIFAIR_CORE_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "data/dataset.h"
+#include "ml/classifier.h"
+
+namespace omnifair {
+
+/// Materializes a set of pairwise constraints on one dataset split and
+/// evaluates the fairness parts FP_j(theta) = f(h, g1_j) - f(h, g2_j) and
+/// accuracy AP(theta) for candidate models. Group memberships are resolved
+/// once at construction; metric evaluation is per-prediction-vector.
+class ConstraintEvaluator {
+ public:
+  /// `dataset` is the split this evaluator measures on (train or val or
+  /// test); constraints' grouping functions are applied to it here.
+  ConstraintEvaluator(std::vector<ConstraintSpec> constraints, const Dataset& dataset);
+
+  size_t NumConstraints() const { return constraints_.size(); }
+  const ConstraintSpec& constraint(size_t j) const { return constraints_[j]; }
+
+  /// Whether group `group1`/`group2` of constraint j is empty on this split
+  /// (possible for small validation splits; such constraints evaluate to 0).
+  bool HasEmptyGroup(size_t j) const;
+
+  /// FP_j = f(h, g1) - f(h, g2) under constraint j's metric.
+  double FairnessPart(size_t j, const std::vector<int>& predictions) const;
+
+  /// All fairness parts at once.
+  std::vector<double> FairnessParts(const std::vector<int>& predictions) const;
+
+  /// max_j (|FP_j| - epsilon_j); <= 0 means all constraints satisfied.
+  double MaxViolation(const std::vector<int>& predictions) const;
+
+  /// Index of the most violated constraint (paper Algorithm 2 line 4);
+  /// meaningful only when MaxViolation > 0.
+  size_t MostViolated(const std::vector<int>& predictions) const;
+
+  /// True when every |FP_j| <= epsilon_j.
+  bool Satisfied(const std::vector<int>& predictions) const;
+
+  /// Group member indices for constraint j on this split.
+  const std::vector<size_t>& Group1(size_t j) const { return group1_members_[j]; }
+  const std::vector<size_t>& Group2(size_t j) const { return group2_members_[j]; }
+
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  std::vector<ConstraintSpec> constraints_;
+  const Dataset& dataset_;
+  std::vector<std::vector<size_t>> group1_members_;
+  std::vector<std::vector<size_t>> group2_members_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_EVALUATOR_H_

@@ -1,0 +1,79 @@
+#include "core/grid_search.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+GridSearchTuner::GridSearchTuner(GridSearchOptions options) : options_(options) {}
+
+MultiTuneResult GridSearchTuner::Run(FairnessProblem& problem) const {
+  return RunCollecting(problem, /*points=*/nullptr);
+}
+
+MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
+                                               std::vector<GridPoint>* points) const {
+  const size_t k = problem.NumConstraints();
+  OF_CHECK_GE(k, 1u);
+  OF_CHECK_GE(options_.points_per_dim, 2);
+  const int models_before = problem.models_trained();
+
+  // The weight model for prediction-parameterized metrics: the
+  // unconstrained fit.
+  std::vector<double> lambdas(k, 0.0);
+  std::unique_ptr<Classifier> base_model = problem.FitWithLambdas(lambdas, nullptr);
+
+  MultiTuneResult result;
+  result.lambdas.assign(k, 0.0);
+
+  const double lo = -options_.max_lambda;
+  const double step =
+      2.0 * options_.max_lambda / static_cast<double>(options_.points_per_dim - 1);
+  const long long total = static_cast<long long>(
+      std::pow(static_cast<double>(options_.points_per_dim), static_cast<double>(k)));
+
+  double best_accuracy = -1.0;
+  for (long long index = 0; index < total; ++index) {
+    long long rest = index;
+    for (size_t dim = 0; dim < k; ++dim) {
+      lambdas[dim] = lo + step * static_cast<double>(rest % options_.points_per_dim);
+      rest /= options_.points_per_dim;
+    }
+    std::unique_ptr<Classifier> model =
+        problem.FitWithLambdas(lambdas, base_model.get());
+    const std::vector<int> val_preds = problem.PredictVal(*model);
+    const bool satisfied = problem.val_evaluator().MaxViolation(val_preds) <= 1e-12;
+    const double accuracy = problem.ValAccuracy(val_preds);
+    if (points != nullptr) {
+      GridPoint point;
+      point.lambdas = lambdas;
+      point.val_accuracy = accuracy;
+      point.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+      point.satisfied = satisfied;
+      points->push_back(std::move(point));
+    }
+    if (satisfied && accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      result.model = std::move(model);
+      result.lambdas = lambdas;
+      result.satisfied = true;
+      result.val_accuracy = accuracy;
+      result.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+    }
+  }
+
+  if (result.model == nullptr) {
+    // No satisfying grid point: return the unconstrained model, unsatisfied.
+    const std::vector<int> val_preds = problem.PredictVal(*base_model);
+    result.val_accuracy = problem.ValAccuracy(val_preds);
+    result.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+    result.model = std::move(base_model);
+    result.lambdas.assign(k, 0.0);
+    result.satisfied = false;
+  }
+  result.models_trained = problem.models_trained() - models_before;
+  return result;
+}
+
+}  // namespace omnifair

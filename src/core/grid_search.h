@@ -1,0 +1,50 @@
+#ifndef OMNIFAIR_CORE_GRID_SEARCH_H_
+#define OMNIFAIR_CORE_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "core/hill_climbing.h"
+#include "core/problem.h"
+
+namespace omnifair {
+
+/// Options for the grid-search baseline over Lambda (§6.2's "hypothetical
+/// baseline solution"). The grid spans [-max_lambda, max_lambda] in each of
+/// the k dimensions with `points_per_dim` samples — cost grows as
+/// points_per_dim^k, which is exactly why the paper replaces it with
+/// hill climbing.
+struct GridSearchOptions {
+  double max_lambda = 1.0;
+  int points_per_dim = 9;
+};
+
+/// One evaluated grid point, exposed so benches can plot satisfactory
+/// regions (paper Figure 2).
+struct GridPoint {
+  std::vector<double> lambdas;
+  double val_accuracy = 0.0;
+  std::vector<double> val_fairness_parts;
+  bool satisfied = false;
+};
+
+/// Exhaustive grid search over Lambda; picks the satisfying point with the
+/// highest validation accuracy. For prediction-parameterized metrics the
+/// weights use the unconstrained model's predictions (one-shot
+/// approximation).
+class GridSearchTuner {
+ public:
+  explicit GridSearchTuner(GridSearchOptions options = {});
+
+  MultiTuneResult Run(FairnessProblem& problem) const;
+
+  /// Like Run but also returns every evaluated point via `points`.
+  MultiTuneResult RunCollecting(FairnessProblem& problem,
+                                std::vector<GridPoint>* points) const;
+
+ private:
+  GridSearchOptions options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_GRID_SEARCH_H_

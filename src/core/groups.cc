@@ -1,0 +1,78 @@
+#include "core/groups.h"
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+GroupingFunction GroupByAttribute(const std::string& column_name) {
+  return [column_name](const Dataset& dataset) {
+    const Column& col = dataset.ColumnByName(column_name);
+    OF_CHECK(col.type() == ColumnType::kCategorical)
+        << "GroupByAttribute requires a categorical column: " << column_name;
+    GroupMap groups;
+    for (size_t i = 0; i < col.size(); ++i) {
+      groups[col.CategoryOf(i)].push_back(i);
+    }
+    return groups;
+  };
+}
+
+GroupingFunction GroupByAttributeValues(const std::string& column_name,
+                                        const std::vector<std::string>& values) {
+  return [column_name, values](const Dataset& dataset) {
+    const Column& col = dataset.ColumnByName(column_name);
+    OF_CHECK(col.type() == ColumnType::kCategorical)
+        << "GroupByAttributeValues requires a categorical column: " << column_name;
+    GroupMap groups;
+    for (const std::string& value : values) groups[value];  // keep declared order
+    for (size_t i = 0; i < col.size(); ++i) {
+      const std::string& category = col.CategoryOf(i);
+      auto it = groups.find(category);
+      if (it != groups.end()) it->second.push_back(i);
+    }
+    return groups;
+  };
+}
+
+GroupingFunction GroupByIntersection(const std::vector<std::string>& column_names) {
+  return [column_names](const Dataset& dataset) {
+    GroupMap groups;
+    for (size_t i = 0; i < dataset.NumRows(); ++i) {
+      std::string key;
+      for (size_t c = 0; c < column_names.size(); ++c) {
+        const Column& col = dataset.ColumnByName(column_names[c]);
+        OF_CHECK(col.type() == ColumnType::kCategorical)
+            << "GroupByIntersection requires categorical columns";
+        if (c > 0) key += "|";
+        key += col.CategoryOf(i);
+      }
+      groups[key].push_back(i);
+    }
+    return groups;
+  };
+}
+
+GroupingFunction GroupByPredicates(
+    std::vector<std::pair<std::string, std::function<bool(const Dataset&, size_t)>>>
+        predicates) {
+  return [predicates](const Dataset& dataset) {
+    GroupMap groups;
+    for (const auto& [name, predicate] : predicates) {
+      std::vector<size_t>& members = groups[name];
+      for (size_t i = 0; i < dataset.NumRows(); ++i) {
+        if (predicate(dataset, i)) members.push_back(i);
+      }
+    }
+    return groups;
+  };
+}
+
+bool IsValidGrouping(const GroupMap& groups) {
+  size_t non_empty = 0;
+  for (const auto& [name, members] : groups) {
+    if (!members.empty()) ++non_empty;
+  }
+  return non_empty >= 2;
+}
+
+}  // namespace omnifair

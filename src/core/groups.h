@@ -1,0 +1,48 @@
+#ifndef OMNIFAIR_CORE_GROUPS_H_
+#define OMNIFAIR_CORE_GROUPS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace omnifair {
+
+/// The dictionary a grouping function returns (Definition 2 in the paper):
+/// group id -> member row indices. std::map keeps iteration deterministic.
+/// Groups may overlap; a valid grouping yields at least two groups.
+using GroupMap = std::map<std::string, std::vector<size_t>>;
+
+/// A declarative grouping function g: takes a dataset, partitions (or covers)
+/// its rows into named demographic groups. Users may pass any callable —
+/// this is the paper's "users can write any logic for forming groups".
+using GroupingFunction = std::function<GroupMap(const Dataset&)>;
+
+/// Groups by the distinct values of one categorical column (the classic
+/// sensitive-attribute grouping, e.g. g(D) by "race").
+GroupingFunction GroupByAttribute(const std::string& column_name);
+
+/// Groups by a column but keeps only the listed categories (rows with other
+/// values belong to no group). Used e.g. to compare African-American vs
+/// Caucasian while ignoring smaller groups.
+GroupingFunction GroupByAttributeValues(const std::string& column_name,
+                                        const std::vector<std::string>& values);
+
+/// Intersectional grouping (§4.3): the cross product of several categorical
+/// columns, e.g. {"race", "sex"} -> "African-American|Female", ...
+/// Empty intersections are omitted.
+GroupingFunction GroupByIntersection(const std::vector<std::string>& column_names);
+
+/// Fully custom grouping from named predicates; groups may overlap.
+GroupingFunction GroupByPredicates(
+    std::vector<std::pair<std::string, std::function<bool(const Dataset&, size_t)>>>
+        predicates);
+
+/// Validates that the group map covers at least two non-empty groups.
+bool IsValidGrouping(const GroupMap& groups);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_GROUPS_H_

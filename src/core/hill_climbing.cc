@@ -1,0 +1,60 @@
+#include "core/hill_climbing.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+HillClimber::HillClimber(HillClimbOptions options) : options_(options) {}
+
+MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
+  const size_t k = problem.NumConstraints();
+  OF_CHECK_GE(k, 1u);
+  const int models_before = problem.models_trained();
+  const int max_iterations = options_.max_iterations_factor * static_cast<int>(k);
+  const LambdaTuner tuner(options_.tune);
+
+  MultiTuneResult result;
+  result.lambdas.assign(k, 0.0);
+
+  // Line 1-2: Lambda = 0, fit the unconstrained model.
+  std::unique_ptr<Classifier> model =
+      problem.FitWithLambdas(result.lambdas, /*weight_model=*/nullptr);
+  std::vector<int> val_preds = problem.PredictVal(*model);
+
+  int consecutive_failures = 0;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    if (problem.val_evaluator().MaxViolation(val_preds) <= 1e-12) {
+      result.satisfied = true;
+      break;
+    }
+    ++result.iterations;
+    // Line 4: most violated constraint.
+    const size_t j = problem.val_evaluator().MostViolated(val_preds);
+    // Line 5: Algorithm 1 on coordinate j, other coordinates fixed.
+    TuneResult coordinate =
+        tuner.TuneCoordinate(problem, j, &result.lambdas, model.get());
+    model = std::move(coordinate.model);
+    val_preds = problem.PredictVal(*model);
+    if (coordinate.satisfied) {
+      consecutive_failures = 0;
+    } else if (++consecutive_failures >= 2) {
+      // Two coordinate tunes in a row could not be satisfied even to their
+      // minimum degree: the intersection of satisfactory regions is empty
+      // along this path (retrying the same marginal is deterministic).
+      break;
+    }
+  }
+
+  if (!result.satisfied) {
+    result.satisfied = problem.val_evaluator().MaxViolation(val_preds) <= 1e-12;
+  }
+  result.val_accuracy = problem.ValAccuracy(val_preds);
+  result.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+  result.model = std::move(model);
+  result.models_trained = problem.models_trained() - models_before;
+  return result;
+}
+
+}  // namespace omnifair

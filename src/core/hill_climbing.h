@@ -1,0 +1,49 @@
+#ifndef OMNIFAIR_CORE_HILL_CLIMBING_H_
+#define OMNIFAIR_CORE_HILL_CLIMBING_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/lambda_tuner.h"
+#include "core/problem.h"
+
+namespace omnifair {
+
+/// Outcome of a multi-constraint tuning run (Algorithm 2 or grid search).
+struct MultiTuneResult {
+  std::unique_ptr<Classifier> model;
+  std::vector<double> lambdas;
+  bool satisfied = false;
+  double val_accuracy = 0.0;
+  std::vector<double> val_fairness_parts;
+  int models_trained = 0;
+  /// Hill-climbing coordinate iterations performed (grid search leaves 0).
+  int iterations = 0;
+};
+
+/// Options of the marginal hill-climbing algorithm.
+struct HillClimbOptions {
+  TuneOptions tune;
+  /// Iteration cap is max_iterations_factor * k where k = #constraints
+  /// (the paper uses 5k iterations).
+  int max_iterations_factor = 5;
+};
+
+/// Algorithm 2: marginal hill climbing over Lambda. Starts at Lambda = 0;
+/// while some constraint is violated on validation, picks the most violated
+/// constraint (line 4) and invokes Algorithm 1 on that coordinate only,
+/// satisfying it to the minimum degree (which empirically minimizes the
+/// accuracy impact and the disruption of other constraints).
+class HillClimber {
+ public:
+  explicit HillClimber(HillClimbOptions options = {});
+
+  MultiTuneResult Run(FairnessProblem& problem) const;
+
+ private:
+  HillClimbOptions options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_HILL_CLIMBING_H_

@@ -1,0 +1,258 @@
+#include "core/lambda_tuner.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace omnifair {
+namespace {
+
+/// Bookkeeping for the best satisfying model seen during a tune.
+struct BestCandidate {
+  std::unique_ptr<Classifier> model;
+  double lambda = 0.0;
+  double val_accuracy = -1.0;
+  std::vector<double> val_fairness_parts;
+
+  void Consider(std::unique_ptr<Classifier> candidate, double candidate_lambda,
+                double accuracy, std::vector<double> fairness_parts) {
+    if (model == nullptr || accuracy > val_accuracy) {
+      model = std::move(candidate);
+      lambda = candidate_lambda;
+      val_accuracy = accuracy;
+      val_fairness_parts = std::move(fairness_parts);
+    }
+  }
+};
+
+}  // namespace
+
+LambdaTuner::LambdaTuner(TuneOptions options) : options_(options) {}
+
+TuneResult LambdaTuner::TuneSingle(FairnessProblem& problem) const {
+  OF_CHECK_EQ(problem.NumConstraints(), 1u)
+      << "TuneSingle expects a single-constraint problem; use HillClimber";
+  std::vector<double> lambdas = {0.0};
+  return TuneCoordinate(problem, 0, &lambdas, /*initial_model=*/nullptr);
+}
+
+TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
+                                       std::vector<double>* lambdas,
+                                       const Classifier* initial_model) const {
+  OF_CHECK(lambdas != nullptr);
+  OF_CHECK_EQ(lambdas->size(), problem.NumConstraints());
+  OF_CHECK_LT(j, lambdas->size());
+  const double epsilon = problem.Epsilon(j);
+  const int models_before = problem.models_trained();
+  const bool prediction_dependent = problem.DependsOnPredictions();
+
+  // Stage 1 (Algorithm 1 lines 1-3): model at the current Lambda. When
+  // called from TuneSingle this is the unconstrained lambda=0 model.
+  std::unique_ptr<Classifier> theta0;
+  const Classifier* theta0_ptr = initial_model;
+  if (theta0_ptr == nullptr) {
+    theta0 = problem.FitWithLambdas(*lambdas, /*weight_model=*/nullptr);
+    theta0_ptr = theta0.get();
+  }
+  std::vector<int> val_preds = problem.PredictVal(*theta0_ptr);
+  const double fp0 = problem.val_evaluator().FairnessPart(j, val_preds);
+
+  auto finish = [&](BestCandidate best, bool satisfied) {
+    TuneResult result;
+    result.satisfied = satisfied;
+    result.model = std::move(best.model);
+    result.lambda = best.lambda;
+    result.val_accuracy = best.val_accuracy;
+    result.val_fairness_parts = std::move(best.val_fairness_parts);
+    result.models_trained = problem.models_trained() - models_before;
+    (*lambdas)[j] = result.lambda;
+    return result;
+  };
+
+  if (std::fabs(fp0) <= epsilon) {
+    // Already satisfied at the current lambda: by Lemma 2 this has maximum
+    // accuracy among satisfying settings along this coordinate.
+    BestCandidate best;
+    std::unique_ptr<Classifier> model = std::move(theta0);
+    if (model == nullptr) {
+      // Caller owns initial_model; refit so the result owns its model.
+      model = problem.FitWithLambdas(*lambdas, theta0_ptr);
+      val_preds = problem.PredictVal(*model);
+    }
+    best.Consider(std::move(model), (*lambdas)[j], problem.ValAccuracy(val_preds),
+                  problem.val_evaluator().FairnessParts(val_preds));
+    return finish(std::move(best), /*satisfied=*/true);
+  }
+
+  // Stage 2 (lines 4-5): the violation has a sign; "resolved" means FP
+  // entered the feasible band or crossed to the other side of it (possible
+  // with discrete model jumps). This crossing-based predicate is equivalent
+  // to the paper's sign-normalized FP >= -epsilon test under monotonicity,
+  // and stays correct when the linear-search approximation for
+  // prediction-parameterized metrics reverses the effective direction.
+  auto resolved = [&](double fp) {
+    if (std::fabs(fp) <= epsilon) return true;
+    return fp0 > 0.0 ? fp < 0.0 : fp > 0.0;
+  };
+  // Lemma 2: FP increases with lambda, so a violated FP < -epsilon calls
+  // for larger lambda and vice versa.
+  const double lemma_direction = fp0 > 0.0 ? -1.0 : 1.0;
+  const double base = (*lambdas)[j];
+
+  BestCandidate best;
+  auto evaluate_and_consider = [&](std::unique_ptr<Classifier> model,
+                                   double lambda_value, double* fp_out) {
+    std::vector<int> preds = problem.PredictVal(*model);
+    const double fp = problem.val_evaluator().FairnessPart(j, preds);
+    *fp_out = fp;
+    if (std::fabs(fp) <= epsilon) {
+      best.Consider(std::move(model), lambda_value, problem.ValAccuracy(preds),
+                    problem.val_evaluator().FairnessParts(preds));
+      return std::unique_ptr<Classifier>();  // consumed
+    }
+    return model;  // not a candidate; hand back for reuse
+  };
+
+  double direction = lemma_direction;
+  double magnitude_lo = 0.0;  // violating side of the bracket
+  double magnitude_hi = 0.0;  // resolved side of the bracket
+  bool bounded = false;
+  // theta_l: model at the violating lower bound; its train-split predictions
+  // approximate the weights for FOR/FDR (paper Algorithm 1 line 16).
+  std::unique_ptr<Classifier> theta_l;
+  const Classifier* weight_model = theta0_ptr;
+
+  // Bounding-stage fits may run on a training subsample (future-work
+  // scalability extension); subsampled models only steer the bracket and
+  // are never returned as candidates.
+  const bool subsampled_bounding = options_.bounding_subsample < 1.0;
+  auto bounding_fit = [&](const std::vector<double>& lambdas_value,
+                          const Classifier* weight_model_value) {
+    return problem.FitWithLambdasSubsampled(lambdas_value, weight_model_value,
+                                            options_.bounding_subsample,
+                                            options_.subsample_seed);
+  };
+
+  std::vector<double> trial = *lambdas;
+  if (!prediction_dependent) {
+    // Stage 2.1 (lines 21-27): exponential search. Weights are exact given
+    // lambda, so Lemma 2's direction is reliable.
+    double magnitude = options_.initial_step;
+    for (int doubling = 0; doubling < options_.max_doublings; ++doubling) {
+      trial[j] = base + direction * magnitude;
+      std::unique_ptr<Classifier> theta_u = bounding_fit(trial, nullptr);
+      double fp = 0.0;
+      if (subsampled_bounding) {
+        const std::vector<int> preds = problem.PredictVal(*theta_u);
+        fp = problem.val_evaluator().FairnessPart(j, preds);
+      } else {
+        theta_u = evaluate_and_consider(std::move(theta_u), trial[j], &fp);
+      }
+      if (resolved(fp)) {
+        magnitude_hi = magnitude;
+        bounded = true;
+        break;
+      }
+      magnitude_lo = magnitude;
+      magnitude = 2.0 * magnitude;
+    }
+  } else {
+    // Stage 2.2 (lines 29-37): linear search with incremental weight
+    // re-estimation from the previous model. Because the frozen-coefficient
+    // approximation can reverse the metric's response direction (the
+    // denominator |h=c| reacts to lambda too), we walk BOTH directions in
+    // lock-step and keep whichever side resolves first.
+    struct Side {
+      double sign;
+      double magnitude = 0.0;
+      std::unique_ptr<Classifier> theta_l;  // last violating model
+      const Classifier* weight_model;
+    };
+    Side sides[2] = {{lemma_direction, 0.0, nullptr, theta0_ptr},
+                     {-lemma_direction, 0.0, nullptr, theta0_ptr}};
+    for (int step = 0; step < options_.max_linear_steps && !bounded; ++step) {
+      for (Side& side : sides) {
+        const double next_magnitude = side.magnitude + options_.delta;
+        trial[j] = base + side.sign * next_magnitude;
+        std::unique_ptr<Classifier> theta_u = bounding_fit(trial, side.weight_model);
+        double fp = 0.0;
+        std::unique_ptr<Classifier> kept;
+        if (subsampled_bounding) {
+          const std::vector<int> preds = problem.PredictVal(*theta_u);
+          fp = problem.val_evaluator().FairnessPart(j, preds);
+          kept = std::move(theta_u);
+        } else {
+          kept = evaluate_and_consider(std::move(theta_u), trial[j], &fp);
+        }
+        if (resolved(fp)) {
+          direction = side.sign;
+          magnitude_lo = side.magnitude;
+          magnitude_hi = next_magnitude;
+          theta_l = std::move(side.theta_l);
+          weight_model = theta_l != nullptr ? theta_l.get() : theta0_ptr;
+          bounded = true;
+          break;
+        }
+        side.magnitude = next_magnitude;
+        if (kept != nullptr) {
+          side.theta_l = std::move(kept);
+          side.weight_model = side.theta_l.get();
+        }
+      }
+    }
+  }
+
+  if (!bounded) {
+    // No lambda within budget resolves the constraint: infeasible (NA(1)).
+    if (best.model == nullptr) {
+      // Return the model at the starting lambda as best effort.
+      trial[j] = base;
+      std::unique_ptr<Classifier> fallback = problem.FitWithLambdas(trial, weight_model);
+      std::vector<int> preds = problem.PredictVal(*fallback);
+      best.model = std::move(fallback);
+      best.lambda = base;
+      best.val_accuracy = problem.ValAccuracy(preds);
+      best.val_fairness_parts = problem.val_evaluator().FairnessParts(preds);
+    }
+    return finish(std::move(best), /*satisfied=*/false);
+  }
+
+  // Stage 3 (lines 11-19): binary search down to tau. The smallest
+  // satisfying magnitude has the least accuracy impact (Lemma 2, Eq. 16),
+  // and BestCandidate keeps the satisfying model with the highest
+  // validation accuracy seen anywhere in the search.
+  while (magnitude_hi - magnitude_lo >= options_.tau) {
+    const double magnitude_mid = 0.5 * (magnitude_lo + magnitude_hi);
+    trial[j] = base + direction * magnitude_mid;
+    std::unique_ptr<Classifier> theta_m = problem.FitWithLambdas(trial, weight_model);
+    double fp = 0.0;
+    std::unique_ptr<Classifier> kept =
+        evaluate_and_consider(std::move(theta_m), trial[j], &fp);
+    if (resolved(fp)) {
+      magnitude_hi = magnitude_mid;
+    } else {
+      magnitude_lo = magnitude_mid;
+      if (prediction_dependent && kept != nullptr) {
+        theta_l = std::move(kept);
+        weight_model = theta_l.get();
+      }
+    }
+  }
+
+  const bool satisfied = best.model != nullptr;
+  if (!satisfied) {
+    // The band was crossed without landing inside it (discrete model jumps
+    // can overshoot |FP| <= epsilon entirely). Report the resolved-side
+    // endpoint as best effort.
+    trial[j] = base + direction * magnitude_hi;
+    std::unique_ptr<Classifier> fallback = problem.FitWithLambdas(trial, weight_model);
+    std::vector<int> preds = problem.PredictVal(*fallback);
+    best.model = std::move(fallback);
+    best.lambda = trial[j];
+    best.val_accuracy = problem.ValAccuracy(preds);
+    best.val_fairness_parts = problem.val_evaluator().FairnessParts(preds);
+  }
+  return finish(std::move(best), satisfied);
+}
+
+}  // namespace omnifair

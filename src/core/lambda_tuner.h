@@ -1,0 +1,84 @@
+#ifndef OMNIFAIR_CORE_LAMBDA_TUNER_H_
+#define OMNIFAIR_CORE_LAMBDA_TUNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/problem.h"
+#include "ml/classifier.h"
+
+namespace omnifair {
+
+/// Knobs of Algorithm 1. Defaults follow the paper (tau ~ 1e-4..1e-3,
+/// delta ~ 1e-3..2e-2); slightly coarser defaults keep retraining counts
+/// reasonable across the benchmark suite and are configurable per run.
+struct TuneOptions {
+  /// Binary-search resolution on lambda (paper's tau, line 11).
+  double tau = 1e-3;
+  /// Linear-search step for prediction-parameterized metrics (paper's
+  /// delta, line 10).
+  double delta = 0.02;
+  /// Initial exponential-search bound (paper initializes lambda_u = 1).
+  double initial_step = 1.0;
+  /// Cap on doublings in the exponential search.
+  int max_doublings = 24;
+  /// Cap on linear-search steps.
+  int max_linear_steps = 400;
+  /// Future-work extension (paper §8): fraction of the training split used
+  /// for the fits of the *bounding* stage (exponential/linear search);
+  /// 1.0 disables. The binary-search refinement always trains on the full
+  /// split, so final quality is unaffected — only the cheap bracketing
+  /// fits are subsampled.
+  double bounding_subsample = 1.0;
+  uint64_t subsample_seed = 5;
+};
+
+/// Outcome of one Algorithm 1 run (or one hill-climbing coordinate step).
+struct TuneResult {
+  /// Best model found. Never null: on infeasibility this is the closest
+  /// model reached (best-effort), with satisfied=false.
+  std::unique_ptr<Classifier> model;
+  /// Final value of the tuned lambda coordinate.
+  double lambda = 0.0;
+  /// Whether the target constraint is satisfied on the validation split.
+  bool satisfied = false;
+  double val_accuracy = 0.0;
+  /// FP_j on validation for every constraint, for the returned model.
+  std::vector<double> val_fairness_parts;
+  /// Trainer invocations consumed by this call.
+  int models_trained = 0;
+};
+
+/// Algorithm 1: tunes a single lambda hyperparameter so that one fairness
+/// constraint holds on the validation split while maximizing validation
+/// accuracy. Relies on the monotonicity of FP(theta) in lambda (Lemma 2):
+/// exponential search brackets the crossing, binary search pins it to tau.
+/// For prediction-parameterized metrics (FOR/FDR) the bracketing uses the
+/// incremental linear search of §5.2, carrying the previous model's
+/// predictions to approximate w_i(lambda, h_theta).
+class LambdaTuner {
+ public:
+  explicit LambdaTuner(TuneOptions options = {});
+
+  /// Full Algorithm 1 for a single-constraint problem (starts at lambda=0).
+  TuneResult TuneSingle(FairnessProblem& problem) const;
+
+  /// Coordinate step used by Algorithm 2: tunes (*lambdas)[j], holding the
+  /// other coordinates at their current values, starting the search from
+  /// the current (*lambdas)[j]. `initial_model` (optional) is the model
+  /// trained at the current lambdas, saving one fit; it also seeds the
+  /// weight-model predictions for prediction-parameterized metrics.
+  /// On return (*lambdas)[j] holds the chosen value.
+  TuneResult TuneCoordinate(FairnessProblem& problem, size_t j,
+                            std::vector<double>* lambdas,
+                            const Classifier* initial_model) const;
+
+  const TuneOptions& options() const { return options_; }
+
+ private:
+  TuneOptions options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_LAMBDA_TUNER_H_

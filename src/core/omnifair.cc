@@ -1,0 +1,215 @@
+#include "core/omnifair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <fstream>
+#include <sstream>
+
+#include "data/split.h"
+#include "ml/metrics.h"
+#include "ml/serialization.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace omnifair {
+
+std::vector<int> FairModel::Predict(const Dataset& dataset) const {
+  OF_CHECK(model != nullptr);
+  return model->Predict(encoder.Transform(dataset));
+}
+
+std::vector<double> FairModel::PredictProba(const Dataset& dataset) const {
+  OF_CHECK(model != nullptr);
+  return model->PredictProba(encoder.Transform(dataset));
+}
+
+OmniFair::OmniFair(OmniFairOptions options) : options_(std::move(options)) {}
+
+Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
+                                  Trainer* trainer,
+                                  const std::vector<FairnessSpec>& specs) const {
+  Stopwatch stopwatch;
+  Result<std::unique_ptr<FairnessProblem>> problem =
+      FairnessProblem::Create(train, val, specs, trainer, options_.encoder);
+  if (!problem.ok()) return problem.status();
+
+  const bool warm = options_.warm_start && trainer->SupportsWarmStart();
+  if (warm) {
+    trainer->ResetWarmStart();
+    trainer->SetWarmStart(true);
+  }
+
+  FairModel fair;
+  if ((*problem)->NumConstraints() == 1) {
+    const LambdaTuner tuner(options_.hill_climb.tune);
+    TuneResult tuned = tuner.TuneSingle(**problem);
+    fair.model = std::move(tuned.model);
+    fair.lambdas = {tuned.lambda};
+    fair.satisfied = tuned.satisfied;
+    fair.val_accuracy = tuned.val_accuracy;
+    fair.val_fairness_parts = std::move(tuned.val_fairness_parts);
+    fair.models_trained = tuned.models_trained;
+  } else {
+    const HillClimber climber(options_.hill_climb);
+    MultiTuneResult tuned = climber.Run(**problem);
+    fair.model = std::move(tuned.model);
+    fair.lambdas = std::move(tuned.lambdas);
+    fair.satisfied = tuned.satisfied;
+    fair.val_accuracy = tuned.val_accuracy;
+    fair.val_fairness_parts = std::move(tuned.val_fairness_parts);
+    fair.models_trained = tuned.models_trained;
+  }
+
+  if (warm) trainer->SetWarmStart(false);
+  fair.encoder = (*problem)->encoder();
+  fair.train_seconds = stopwatch.ElapsedSeconds();
+  return fair;
+}
+
+Result<FairModel> OmniFair::TrainWithSplit(const Dataset& dataset, Trainer* trainer,
+                                           const std::vector<FairnessSpec>& specs,
+                                           uint64_t seed,
+                                           AuditReport* test_report) const {
+  const TrainValTestSplit split = SplitDefault(dataset, seed);
+  Result<FairModel> fair = Train(split.train, split.val, trainer, specs);
+  if (!fair.ok()) return fair;
+  if (test_report != nullptr) {
+    Result<AuditReport> audit =
+        Audit(*fair->model, fair->encoder, split.test, specs);
+    if (!audit.ok()) return audit.status();
+    *test_report = std::move(*audit);
+  }
+  return fair;
+}
+
+Status SaveFairModel(const FairModel& fair, const std::string& path) {
+  if (fair.model == nullptr) return Status::InvalidArgument("FairModel has no model");
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+  out.precision(17);
+  out << "omnifair_fairmodel 1\n";
+  out << "lambdas";
+  for (double lambda : fair.lambdas) out << " " << lambda;
+  out << "\n";
+  out << "satisfied " << (fair.satisfied ? 1 : 0) << " val_accuracy "
+      << fair.val_accuracy << "\n";
+  fair.encoder.SerializeTo(out);
+  Status status = SerializeModel(*fair.model, out);
+  if (!status.ok()) return status;
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<FairModel> LoadFairModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "omnifair_fairmodel" || version != 1) {
+    return Status::InvalidArgument("not an omnifair fair-model file");
+  }
+  FairModel fair;
+  if (!(in >> tag) || tag != "lambdas") {
+    return Status::InvalidArgument("bad lambdas line");
+  }
+  std::string rest;
+  std::getline(in, rest);
+  {
+    std::istringstream lambda_stream(rest);
+    double lambda = 0.0;
+    while (lambda_stream >> lambda) fair.lambdas.push_back(lambda);
+  }
+  int satisfied = 0;
+  if (!(in >> tag >> satisfied) || tag != "satisfied") {
+    return Status::InvalidArgument("bad satisfied line");
+  }
+  if (!(in >> tag >> fair.val_accuracy) || tag != "val_accuracy") {
+    return Status::InvalidArgument("bad val_accuracy field");
+  }
+  fair.satisfied = satisfied != 0;
+  Result<FeatureEncoder> encoder = FeatureEncoder::Deserialize(in);
+  if (!encoder.ok()) return encoder.status();
+  fair.encoder = std::move(*encoder);
+  Result<std::unique_ptr<Classifier>> model = DeserializeModel(in);
+  if (!model.ok()) return model.status();
+  fair.model = std::move(*model);
+  return fair;
+}
+
+Result<AuditReport> Audit(const Classifier& model, const FeatureEncoder& encoder,
+                          const Dataset& dataset,
+                          const std::vector<FairnessSpec>& specs) {
+  Result<std::vector<ConstraintSpec>> constraints = InduceConstraints(specs, dataset);
+  if (!constraints.ok()) return constraints.status();
+
+  const Matrix X = encoder.Transform(dataset);
+  const std::vector<double> scores = model.PredictProba(X);
+  std::vector<int> predictions(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) predictions[i] = scores[i] >= 0.5 ? 1 : 0;
+
+  AuditReport report;
+  report.accuracy = Accuracy(dataset.labels(), predictions);
+  report.roc_auc = RocAuc(dataset.labels(), scores);
+
+  const ConstraintEvaluator evaluator(*constraints, dataset);
+  report.fairness_parts = evaluator.FairnessParts(predictions);
+  report.satisfied = true;
+  for (size_t j = 0; j < evaluator.NumConstraints(); ++j) {
+    const ConstraintSpec& constraint = evaluator.constraint(j);
+    report.constraint_labels.push_back(constraint.metric->Name() + "(" +
+                                       constraint.group1 + " vs " +
+                                       constraint.group2 + ")");
+    const double disparity = std::fabs(report.fairness_parts[j]);
+    report.max_disparity = std::max(report.max_disparity, disparity);
+    if (disparity > constraint.epsilon) report.satisfied = false;
+  }
+
+  // Per-(metric, group) dashboard rows: every spec's grouping evaluated
+  // once, each non-empty group reported with its metric value and accuracy.
+  for (const FairnessSpec& spec : specs) {
+    const GroupMap groups = spec.grouping(dataset);
+    for (const auto& [group_name, members] : groups) {
+      if (members.empty()) continue;
+      GroupAudit row;
+      row.metric = spec.metric->Name();
+      row.group = group_name;
+      row.size = members.size();
+      row.value = spec.metric->Evaluate(dataset, members, predictions);
+      row.accuracy = CountConfusion(dataset.labels(), predictions, members).Accuracy();
+      report.groups.push_back(std::move(row));
+    }
+  }
+  return report;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "overall: accuracy %.2f%%  ROC AUC %.3f  max disparity %.4f  %s\n",
+                100.0 * accuracy, roc_auc, max_disparity,
+                satisfied ? "(all constraints hold)" : "(CONSTRAINT VIOLATED)");
+  os << line;
+  os << "per-constraint disparities:\n";
+  for (size_t j = 0; j < constraint_labels.size(); ++j) {
+    std::snprintf(line, sizeof(line), "  %-44s %+0.4f\n",
+                  constraint_labels[j].c_str(), fairness_parts[j]);
+    os << line;
+  }
+  if (!groups.empty()) {
+    os << "per-group breakdown:\n";
+    std::snprintf(line, sizeof(line), "  %-8s %-24s %8s %10s %10s\n", "metric",
+                  "group", "size", "value", "accuracy");
+    os << line;
+    for (const GroupAudit& row : groups) {
+      std::snprintf(line, sizeof(line), "  %-8s %-24s %8zu %10.4f %9.2f%%\n",
+                    row.metric.c_str(), row.group.c_str(), row.size, row.value,
+                    100.0 * row.accuracy);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace omnifair

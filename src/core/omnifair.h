@@ -1,0 +1,130 @@
+#ifndef OMNIFAIR_CORE_OMNIFAIR_H_
+#define OMNIFAIR_CORE_OMNIFAIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/grid_search.h"
+#include "core/hill_climbing.h"
+#include "core/lambda_tuner.h"
+#include "core/problem.h"
+#include "core/spec.h"
+#include "data/dataset.h"
+#include "data/encoder.h"
+#include "ml/classifier.h"
+#include "util/status.h"
+
+namespace omnifair {
+
+/// Top-level configuration of the OmniFair system.
+struct OmniFairOptions {
+  HillClimbOptions hill_climb;  ///< includes the Algorithm 1 TuneOptions
+  EncoderOptions encoder;
+  /// Enable the warm-start optimization (§7.2.1, Table 6) when the trainer
+  /// supports it (LR, NN).
+  bool warm_start = false;
+};
+
+/// A fairness-constrained model plus everything needed to use and audit it.
+struct FairModel {
+  std::unique_ptr<Classifier> model;
+  /// Encoder fitted on the training split; use it to encode test data.
+  FeatureEncoder encoder;
+  /// Final hyperparameter vector Lambda (one entry per induced constraint).
+  std::vector<double> lambdas;
+  /// Whether every induced constraint held on the validation split. When
+  /// false the model is best-effort (the paper's NA(1) condition).
+  bool satisfied = false;
+  double val_accuracy = 0.0;
+  /// FP_j on validation per constraint (signed).
+  std::vector<double> val_fairness_parts;
+  int models_trained = 0;
+  double train_seconds = 0.0;
+
+  /// Hard predictions for a raw (un-encoded) dataset.
+  std::vector<int> Predict(const Dataset& dataset) const;
+  /// P(y=1) scores for a raw dataset.
+  std::vector<double> PredictProba(const Dataset& dataset) const;
+};
+
+/// Per-group entry in an audit: one row of the fairness dashboard.
+struct GroupAudit {
+  std::string metric;
+  std::string group;
+  size_t size = 0;
+  /// f(h, g) for this metric and group.
+  double value = 0.0;
+  /// Plain accuracy within the group.
+  double accuracy = 0.0;
+};
+
+/// Result of auditing a model against fairness specs on some dataset.
+struct AuditReport {
+  double accuracy = 0.0;
+  double roc_auc = 0.5;
+  /// Signed FP_j per induced constraint.
+  std::vector<double> fairness_parts;
+  /// Human-readable "metric(g1 vs g2)" labels aligned with fairness_parts.
+  std::vector<std::string> constraint_labels;
+  /// max_j |FP_j|.
+  double max_disparity = 0.0;
+  /// Whether every |FP_j| <= epsilon_j.
+  bool satisfied = false;
+  /// Per-(metric, group) breakdown: one entry per distinct group of each
+  /// spec, with the group's metric value and accuracy.
+  std::vector<GroupAudit> groups;
+
+  /// Renders the report as a fixed-width text dashboard.
+  std::string ToString() const;
+};
+
+/// The OmniFair system: give it data, a black-box trainer and declarative
+/// fairness specifications; get back an accuracy-maximal model satisfying
+/// the constraints on the validation split.
+///
+/// Single induced constraint -> Algorithm 1 (LambdaTuner); multiple induced
+/// constraints -> Algorithm 2 (HillClimber). No modification of the trainer
+/// is ever required (model-agnostic by construction).
+class OmniFair {
+ public:
+  explicit OmniFair(OmniFairOptions options = {});
+
+  /// Trains a fair model. Returns kInvalidArgument for malformed specs;
+  /// infeasibility is reported via FairModel::satisfied = false (callers
+  /// may still use the best-effort model).
+  Result<FairModel> Train(const Dataset& train, const Dataset& val, Trainer* trainer,
+                          const std::vector<FairnessSpec>& specs) const;
+
+  /// Convenience: splits `dataset` 60/20/20 itself, trains on train+val and
+  /// also audits on the held-out test split (returned via `test_report`).
+  Result<FairModel> TrainWithSplit(const Dataset& dataset, Trainer* trainer,
+                                   const std::vector<FairnessSpec>& specs,
+                                   uint64_t seed, AuditReport* test_report) const;
+
+  const OmniFairOptions& options() const { return options_; }
+
+ private:
+  OmniFairOptions options_;
+};
+
+/// Audits `model` on `dataset` (raw, un-encoded) against the specs:
+/// accuracy, ROC AUC and every induced pairwise disparity.
+Result<AuditReport> Audit(const Classifier& model, const FeatureEncoder& encoder,
+                          const Dataset& dataset,
+                          const std::vector<FairnessSpec>& specs);
+
+/// Persists a trained FairModel (classifier + encoder + tuned lambdas) to a
+/// single text file so it can be deployed without retraining. Returns
+/// kUnsupported for model families without a serializer (e.g. baselines'
+/// ExpGrad ensembles).
+Status SaveFairModel(const FairModel& fair, const std::string& path);
+
+/// Loads a FairModel written by SaveFairModel. Specs are not persisted
+/// (grouping functions are arbitrary callables); re-declare them when
+/// auditing the loaded model.
+Result<FairModel> LoadFairModel(const std::string& path);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_OMNIFAIR_H_

@@ -1,0 +1,115 @@
+#include "core/problem.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace omnifair {
+
+Result<std::unique_ptr<FairnessProblem>> FairnessProblem::Create(
+    const Dataset& train, const Dataset& val, std::vector<FairnessSpec> specs,
+    Trainer* trainer, const EncoderOptions& encoder_options) {
+  if (trainer == nullptr) return Status::InvalidArgument("trainer is null");
+  if (train.NumRows() == 0) return Status::InvalidArgument("empty training split");
+  if (val.NumRows() == 0) return Status::InvalidArgument("empty validation split");
+  Status train_status = train.Validate();
+  if (!train_status.ok()) return train_status;
+  Status val_status = val.Validate();
+  if (!val_status.ok()) return val_status;
+
+  Result<std::vector<ConstraintSpec>> constraints = InduceConstraints(specs, train);
+  if (!constraints.ok()) return constraints.status();
+
+  auto problem = std::unique_ptr<FairnessProblem>(new FairnessProblem());
+  problem->train_ = std::make_unique<Dataset>(train);
+  problem->val_ = std::make_unique<Dataset>(val);
+  problem->trainer_ = trainer;
+  problem->constraints_ = *constraints;
+  problem->encoder_.Fit(*problem->train_, encoder_options);
+  problem->X_train_ = problem->encoder_.Transform(*problem->train_);
+  problem->X_val_ = problem->encoder_.Transform(*problem->val_);
+  problem->weight_computer_ =
+      std::make_unique<WeightComputer>(*constraints, *problem->train_);
+  problem->val_evaluator_ =
+      std::make_unique<ConstraintEvaluator>(std::move(*constraints), *problem->val_);
+  return problem;
+}
+
+double FairnessProblem::Epsilon(size_t j) const {
+  OF_CHECK_LT(j, constraints_.size());
+  return constraints_[j].epsilon;
+}
+
+std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(
+    const std::vector<double>& lambdas, const Classifier* weight_model) {
+  std::vector<int> predictions;
+  const std::vector<int>* predictions_ptr = nullptr;
+  if (weight_model != nullptr && DependsOnPredictions()) {
+    predictions = weight_model->Predict(X_train_);
+    predictions_ptr = &predictions;
+  }
+  const std::vector<double> weights =
+      weight_computer_->Compute(lambdas, predictions_ptr);
+  ++models_trained_;
+  return trainer_->Fit(X_train_, train_->labels(), weights);
+}
+
+std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
+    const std::vector<double>& lambdas, const Classifier* weight_model,
+    double fraction, uint64_t seed) {
+  OF_CHECK_GT(fraction, 0.0);
+  if (fraction >= 1.0) return FitWithLambdas(lambdas, weight_model);
+
+  if (subsample_fraction_ != fraction || subsample_seed_ != seed ||
+      subsample_rows_.empty()) {
+    const size_t n = train_->NumRows();
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(fraction * static_cast<double>(n)));
+    Rng rng(seed);
+    const std::vector<size_t> perm = rng.Permutation(n);
+    subsample_rows_.assign(perm.begin(), perm.begin() + k);
+    subsample_features_ = X_train_.SelectRows(subsample_rows_);
+    subsample_labels_.clear();
+    subsample_labels_.reserve(k);
+    for (size_t i : subsample_rows_) subsample_labels_.push_back(train_->Label(i));
+    subsample_fraction_ = fraction;
+    subsample_seed_ = seed;
+  }
+
+  std::vector<int> predictions;
+  const std::vector<int>* predictions_ptr = nullptr;
+  if (weight_model != nullptr && DependsOnPredictions()) {
+    predictions = weight_model->Predict(X_train_);
+    predictions_ptr = &predictions;
+  }
+  const std::vector<double> full_weights =
+      weight_computer_->Compute(lambdas, predictions_ptr);
+  std::vector<double> weights;
+  weights.reserve(subsample_rows_.size());
+  for (size_t i : subsample_rows_) weights.push_back(full_weights[i]);
+  ++models_trained_;
+  return trainer_->Fit(subsample_features_, subsample_labels_, weights);
+}
+
+std::unique_ptr<Classifier> FairnessProblem::FitWithWeights(
+    const std::vector<double>& weights) {
+  OF_CHECK_EQ(weights.size(), train_->NumRows());
+  ++models_trained_;
+  return trainer_->Fit(X_train_, train_->labels(), weights);
+}
+
+std::vector<int> FairnessProblem::PredictTrain(const Classifier& model) const {
+  return model.Predict(X_train_);
+}
+
+std::vector<int> FairnessProblem::PredictVal(const Classifier& model) const {
+  return model.Predict(X_val_);
+}
+
+double FairnessProblem::ValAccuracy(const std::vector<int>& val_predictions) const {
+  return Accuracy(val_->labels(), val_predictions);
+}
+
+}  // namespace omnifair

@@ -1,0 +1,113 @@
+#ifndef OMNIFAIR_CORE_PROBLEM_H_
+#define OMNIFAIR_CORE_PROBLEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/spec.h"
+#include "core/weights.h"
+#include "data/dataset.h"
+#include "data/encoder.h"
+#include "ml/classifier.h"
+#include "util/status.h"
+
+namespace omnifair {
+
+/// A constrained fairness optimization instance (Equation 9/18): one
+/// training split, one validation split, one black-box trainer, and the
+/// pairwise constraints induced by the user's fairness specifications.
+///
+/// This is the workhorse the tuners drive: FitWithLambdas solves the
+/// weighted unconstrained problem (Equation 12/21) for a hyperparameter
+/// vector Lambda, and the evaluators measure AP/FP on the validation split
+/// (the paper's "Use of Validation Set for Generalizability").
+class FairnessProblem {
+ public:
+  /// Builds the problem: encodes features (encoder fit on `train` only),
+  /// induces constraints from the specs against `train`, and materializes
+  /// group memberships on both splits. Fails with kInvalidArgument when a
+  /// spec is malformed or produces fewer than two groups.
+  static Result<std::unique_ptr<FairnessProblem>> Create(
+      const Dataset& train, const Dataset& val, std::vector<FairnessSpec> specs,
+      Trainer* trainer, const EncoderOptions& encoder_options = {});
+
+  FairnessProblem(const FairnessProblem&) = delete;
+  FairnessProblem& operator=(const FairnessProblem&) = delete;
+
+  size_t NumConstraints() const { return weight_computer_->NumConstraints(); }
+  double Epsilon(size_t j) const;
+  /// True when any constraint metric is FOR/FDR-like (weights parameterized
+  /// by theta) — selects Algorithm 1's linear-search branch.
+  bool DependsOnPredictions() const { return weight_computer_->DependsOnPredictions(); }
+
+  /// Solves Equation (21) for the given Lambda: derives training-example
+  /// weights (using `weight_model`'s train-split predictions when metrics
+  /// are prediction-parameterized) and fits the trainer. Each call counts
+  /// towards models_trained().
+  std::unique_ptr<Classifier> FitWithLambdas(const std::vector<double>& lambdas,
+                                             const Classifier* weight_model);
+
+  /// Fits the trainer with explicit per-example weights on the training
+  /// split (used by preprocessing baselines such as Kamiran reweighing that
+  /// derive their own weights). Counts towards models_trained().
+  std::unique_ptr<Classifier> FitWithWeights(const std::vector<double>& weights);
+
+  /// Like FitWithLambdas but trains on a deterministic row subsample of the
+  /// training split (fraction in (0, 1]; 1.0 falls through to the full
+  /// fit). Weights are derived on the full split and then subset. This is
+  /// the paper's future-work scalability lever: cheap fits to prune lambda
+  /// values during the bounding stage of Algorithm 1.
+  std::unique_ptr<Classifier> FitWithLambdasSubsampled(
+      const std::vector<double>& lambdas, const Classifier* weight_model,
+      double fraction, uint64_t seed);
+
+  /// Hard predictions on the train/validation split's encoded features.
+  std::vector<int> PredictTrain(const Classifier& model) const;
+  std::vector<int> PredictVal(const Classifier& model) const;
+
+  /// AP(theta) on the validation split.
+  double ValAccuracy(const std::vector<int>& val_predictions) const;
+
+  const ConstraintEvaluator& val_evaluator() const { return *val_evaluator_; }
+  const ConstraintEvaluator& train_evaluator() const {
+    return weight_computer_->train_evaluator();
+  }
+  const WeightComputer& weight_computer() const { return *weight_computer_; }
+  const FeatureEncoder& encoder() const { return encoder_; }
+  Trainer* trainer() { return trainer_; }
+
+  const Dataset& train() const { return *train_; }
+  const Dataset& val() const { return *val_; }
+  const Matrix& train_features() const { return X_train_; }
+  const Matrix& val_features() const { return X_val_; }
+
+  /// Number of trainer invocations so far (the efficiency currency of the
+  /// paper's Figures 5/6).
+  int models_trained() const { return models_trained_; }
+
+ private:
+  FairnessProblem() = default;
+
+  std::unique_ptr<Dataset> train_;  // owned copies with stable addresses
+  std::unique_ptr<Dataset> val_;
+  FeatureEncoder encoder_;
+  Matrix X_train_;
+  Matrix X_val_;
+  std::unique_ptr<WeightComputer> weight_computer_;
+  std::unique_ptr<ConstraintEvaluator> val_evaluator_;
+  std::vector<ConstraintSpec> constraints_;
+  Trainer* trainer_ = nullptr;
+  int models_trained_ = 0;
+
+  // Cached subsample (rebuilt when fraction/seed change).
+  double subsample_fraction_ = 0.0;
+  uint64_t subsample_seed_ = 0;
+  std::vector<size_t> subsample_rows_;
+  Matrix subsample_features_;
+  std::vector<int> subsample_labels_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_PROBLEM_H_

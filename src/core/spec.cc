@@ -1,0 +1,82 @@
+#include "core/spec.h"
+
+namespace omnifair {
+
+FairnessSpec MakeSpec(GroupingFunction grouping, MetricKind kind, double epsilon) {
+  FairnessSpec spec;
+  spec.grouping = std::move(grouping);
+  spec.metric = MakeMetric(kind);
+  spec.epsilon = epsilon;
+  return spec;
+}
+
+FairnessSpec MakeSpec(GroupingFunction grouping, const std::string& metric_name,
+                      double epsilon) {
+  FairnessSpec spec;
+  spec.grouping = std::move(grouping);
+  spec.metric = MakeMetricByName(metric_name);
+  spec.epsilon = epsilon;
+  return spec;
+}
+
+std::vector<FairnessSpec> EqualizedOddsSpecs(GroupingFunction grouping,
+                                             double epsilon) {
+  return {MakeSpec(grouping, MetricKind::kFalsePositiveRate, epsilon),
+          MakeSpec(std::move(grouping), MetricKind::kFalseNegativeRate, epsilon)};
+}
+
+std::vector<FairnessSpec> PredictiveParitySpecs(GroupingFunction grouping,
+                                                double epsilon) {
+  return {MakeSpec(grouping, MetricKind::kFalseOmissionRate, epsilon),
+          MakeSpec(std::move(grouping), MetricKind::kFalseDiscoveryRate, epsilon)};
+}
+
+Result<std::vector<ConstraintSpec>> InduceConstraints(const FairnessSpec& spec,
+                                                      const Dataset& reference) {
+  if (!spec.grouping) {
+    return Status::InvalidArgument("fairness spec has no grouping function");
+  }
+  if (spec.metric == nullptr) {
+    return Status::InvalidArgument("fairness spec has no metric");
+  }
+  if (spec.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  const GroupMap groups = spec.grouping(reference);
+  std::vector<std::string> names;
+  for (const auto& [name, members] : groups) {
+    if (!members.empty()) names.push_back(name);
+  }
+  if (names.size() < 2) {
+    return Status::InvalidArgument(
+        "grouping function must produce at least two non-empty groups (got " +
+        std::to_string(names.size()) + ")");
+  }
+  std::vector<ConstraintSpec> constraints;
+  for (size_t a = 0; a < names.size(); ++a) {
+    for (size_t b = a + 1; b < names.size(); ++b) {
+      ConstraintSpec constraint;
+      constraint.grouping = spec.grouping;
+      constraint.metric = spec.metric;
+      constraint.group1 = names[a];
+      constraint.group2 = names[b];
+      constraint.epsilon = spec.epsilon;
+      constraints.push_back(std::move(constraint));
+    }
+  }
+  return constraints;
+}
+
+Result<std::vector<ConstraintSpec>> InduceConstraints(
+    const std::vector<FairnessSpec>& specs, const Dataset& reference) {
+  std::vector<ConstraintSpec> all;
+  for (const FairnessSpec& spec : specs) {
+    Result<std::vector<ConstraintSpec>> induced = InduceConstraints(spec, reference);
+    if (!induced.ok()) return induced.status();
+    for (ConstraintSpec& constraint : *induced) all.push_back(std::move(constraint));
+  }
+  if (all.empty()) return Status::InvalidArgument("no constraints induced");
+  return all;
+}
+
+}  // namespace omnifair

@@ -1,0 +1,61 @@
+#ifndef OMNIFAIR_CORE_SPEC_H_
+#define OMNIFAIR_CORE_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fairness_metric.h"
+#include "core/groups.h"
+#include "util/status.h"
+
+namespace omnifair {
+
+/// The user-facing declarative triplet (g, f, epsilon) of Definition 1.
+struct FairnessSpec {
+  GroupingFunction grouping;
+  std::shared_ptr<FairnessMetric> metric;
+  /// Maximum allowed |f(h,g_i) - f(h,g_j)| between any two groups.
+  double epsilon = 0.05;
+};
+
+/// Convenience constructors for common specs.
+FairnessSpec MakeSpec(GroupingFunction grouping, MetricKind kind, double epsilon);
+FairnessSpec MakeSpec(GroupingFunction grouping, const std::string& metric_name,
+                      double epsilon);
+
+/// Composite notions from the paper's §3.2, expressed as spec pairs:
+/// equalized odds [27] = FPR parity + FNR parity.
+std::vector<FairnessSpec> EqualizedOddsSpecs(GroupingFunction grouping,
+                                             double epsilon);
+/// Predictive parity [16] = FOR parity + FDR parity.
+std::vector<FairnessSpec> PredictiveParitySpecs(GroupingFunction grouping,
+                                                double epsilon);
+
+/// One induced pairwise constraint |f(h,g1) - f(h,g2)| <= epsilon
+/// (Definition 1: a spec over m groups induces C(m,2) constraints). The
+/// constraint stores the grouping function plus the two group names so it
+/// can be re-materialized on any dataset split (train vs validation).
+struct ConstraintSpec {
+  GroupingFunction grouping;
+  std::shared_ptr<FairnessMetric> metric;
+  std::string group1;
+  std::string group2;
+  double epsilon = 0.05;
+};
+
+/// Materializes the pairwise constraints a spec induces. Group names come
+/// from evaluating the grouping function on `reference` (typically the full
+/// dataset before splitting, or the training split). Returns
+/// kInvalidArgument when the grouping yields fewer than two non-empty
+/// groups.
+Result<std::vector<ConstraintSpec>> InduceConstraints(const FairnessSpec& spec,
+                                                      const Dataset& reference);
+
+/// Induces constraints for several specs, concatenated in order.
+Result<std::vector<ConstraintSpec>> InduceConstraints(
+    const std::vector<FairnessSpec>& specs, const Dataset& reference);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_SPEC_H_

@@ -1,0 +1,66 @@
+#include "core/weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+WeightComputer::WeightComputer(std::vector<ConstraintSpec> constraints,
+                               const Dataset& train)
+    : evaluator_(std::move(constraints), train) {}
+
+bool WeightComputer::DependsOnPredictions() const {
+  for (size_t j = 0; j < evaluator_.NumConstraints(); ++j) {
+    if (evaluator_.constraint(j).metric->DependsOnPredictions()) return true;
+  }
+  return false;
+}
+
+std::vector<double> WeightComputer::Compute(const std::vector<double>& lambdas,
+                                            const std::vector<int>* predictions) const {
+  OF_CHECK_EQ(lambdas.size(), evaluator_.NumConstraints());
+  const Dataset& train = evaluator_.dataset();
+  const double n = static_cast<double>(train.NumRows());
+  std::vector<double> weights(train.NumRows(), 1.0);
+
+  bool all_zero = true;
+  for (double lambda : lambdas) all_zero &= (lambda == 0.0);
+  if (all_zero) return weights;  // w_i(0) = 1 regardless of predictions
+
+  for (size_t j = 0; j < lambdas.size(); ++j) {
+    const double lambda = lambdas[j];
+    if (lambda == 0.0 || evaluator_.HasEmptyGroup(j)) continue;
+    const ConstraintSpec& constraint = evaluator_.constraint(j);
+    if (constraint.metric->DependsOnPredictions()) {
+      OF_CHECK(predictions != nullptr)
+          << "metric " << constraint.metric->Name()
+          << " needs predictions to derive weights (linear-search path)";
+    }
+    const std::vector<size_t>& group1 = evaluator_.Group1(j);
+    const std::vector<size_t>& group2 = evaluator_.Group2(j);
+    const MetricCoefficients coef1 =
+        constraint.metric->Coefficients(train, group1, predictions);
+    const MetricCoefficients coef2 =
+        constraint.metric->Coefficients(train, group2, predictions);
+    // w_i += N * lambda * c_i^{g1}  for i in g1,
+    // w_i -= N * lambda * c_i^{g2}  for i in g2 (overlap adds both).
+    for (size_t k = 0; k < group1.size(); ++k) {
+      weights[group1[k]] += n * lambda * coef1.c[k];
+    }
+    for (size_t k = 0; k < group2.size(); ++k) {
+      weights[group2[k]] -= n * lambda * coef2.c[k];
+    }
+  }
+
+  for (double& w : weights) w = std::max(w, 0.0);
+  return weights;
+}
+
+std::vector<double> WeightComputer::Compute(double lambda,
+                                            const std::vector<int>* predictions) const {
+  return Compute(std::vector<double>{lambda}, predictions);
+}
+
+}  // namespace omnifair

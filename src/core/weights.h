@@ -1,0 +1,55 @@
+#ifndef OMNIFAIR_CORE_WEIGHTS_H_
+#define OMNIFAIR_CORE_WEIGHTS_H_
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/spec.h"
+#include "data/dataset.h"
+
+namespace omnifair {
+
+/// Computes the example weights of Equation (12)/(21):
+///
+///   w_i(Lambda, h) = 1 + N * sum_j lambda_j * (c_i^{g1_j} - c_i^{g2_j})
+///
+/// where c_i^{g} is row i's coefficient in constraint j's metric for group g
+/// (0 when i is not a member — overlapping groups contribute both terms).
+/// The computer is bound to the *training* split: Algorithm 1/2 always
+/// reweight training examples, while FP is judged on validation.
+///
+/// Negative weights are clipped to zero before handing them to a Trainer:
+/// the weighted-accuracy objective tolerates negative weights on paper, but
+/// real sample_weight hooks (and our trainers' losses) require
+/// non-negativity — the same clipping the authors' reference implementation
+/// applies for scikit-learn.
+class WeightComputer {
+ public:
+  WeightComputer(std::vector<ConstraintSpec> constraints, const Dataset& train);
+
+  size_t NumConstraints() const { return evaluator_.NumConstraints(); }
+  size_t NumExamples() const { return evaluator_.dataset().NumRows(); }
+
+  /// True if any constraint's metric is prediction-parameterized (FOR/FDR),
+  /// in which case Compute needs `predictions` of a nearby model on the
+  /// training split (the linear-search approximation of §5.2).
+  bool DependsOnPredictions() const;
+
+  /// Weights for the hyperparameter vector Lambda (one entry per
+  /// constraint). `predictions` may be nullptr iff !DependsOnPredictions()
+  /// or Lambda is all zeros.
+  std::vector<double> Compute(const std::vector<double>& lambdas,
+                              const std::vector<int>* predictions) const;
+
+  /// Single-constraint convenience (Lambda = [lambda]).
+  std::vector<double> Compute(double lambda, const std::vector<int>* predictions) const;
+
+  const ConstraintEvaluator& train_evaluator() const { return evaluator_; }
+
+ private:
+  ConstraintEvaluator evaluator_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_WEIGHTS_H_

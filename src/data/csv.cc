@@ -1,0 +1,130 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace omnifair {
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV file " + path);
+  }
+  std::vector<std::string> header = Split(line, options.delimiter);
+  for (std::string& name : header) name = std::string(StripWhitespace(name));
+
+  int label_index = -1;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == options.label_column) label_index = static_cast<int>(i);
+  }
+  if (label_index < 0) {
+    return Status::InvalidArgument("label column '" + options.label_column +
+                                   "' not found in " + path);
+  }
+
+  // First pass: collect raw cells.
+  std::vector<std::vector<std::string>> cells;  // per column
+  cells.resize(header.size());
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> fields = Split(stripped, options.delimiter);
+    if (fields.size() != header.size()) {
+      std::ostringstream msg;
+      msg << path << ":" << line_number << ": expected " << header.size()
+          << " fields, got " << fields.size();
+      return Status::InvalidArgument(msg.str());
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      cells[i].emplace_back(StripWhitespace(fields[i]));
+    }
+  }
+
+  // Infer column types and build the dataset.
+  Dataset dataset(path);
+  dataset.set_label_name(options.label_column);
+  std::vector<int> labels;
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (static_cast<int>(c) == label_index) {
+      labels.reserve(cells[c].size());
+      for (const std::string& cell : cells[c]) {
+        if (!options.positive_label_value.empty()) {
+          labels.push_back(cell == options.positive_label_value ? 1 : 0);
+        } else {
+          double value = 0.0;
+          if (!ParseDouble(cell, &value) || (value != 0.0 && value != 1.0)) {
+            return Status::InvalidArgument("label cell '" + cell +
+                                           "' is not 0/1 in " + path);
+          }
+          labels.push_back(static_cast<int>(value));
+        }
+      }
+      continue;
+    }
+    bool forced = false;
+    for (const std::string& name : options.force_categorical) {
+      if (name == header[c]) forced = true;
+    }
+    bool numeric = !forced;
+    if (numeric) {
+      for (const std::string& cell : cells[c]) {
+        double unused = 0.0;
+        if (!ParseDouble(cell, &unused)) {
+          numeric = false;
+          break;
+        }
+      }
+    }
+    if (numeric) {
+      Column col = Column::Numeric(header[c]);
+      for (const std::string& cell : cells[c]) {
+        double value = 0.0;
+        ParseDouble(cell, &value);
+        col.AppendNumeric(value);
+      }
+      dataset.AddColumn(std::move(col));
+    } else {
+      Column col = Column::Categorical(header[c], {});
+      for (const std::string& cell : cells[c]) col.AppendCategory(cell);
+      dataset.AddColumn(std::move(col));
+    }
+  }
+  dataset.SetLabels(std::move(labels));
+  Status status = dataset.Validate();
+  if (!status.ok()) return status;
+  return dataset;
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+
+  for (size_t c = 0; c < dataset.NumColumns(); ++c) {
+    out << dataset.ColumnAt(c).name() << ",";
+  }
+  out << dataset.label_name() << "\n";
+
+  for (size_t r = 0; r < dataset.NumRows(); ++r) {
+    for (size_t c = 0; c < dataset.NumColumns(); ++c) {
+      const Column& col = dataset.ColumnAt(c);
+      if (col.type() == ColumnType::kNumeric) {
+        out << col.NumericValue(r);
+      } else {
+        out << col.CategoryOf(r);
+      }
+      out << ",";
+    }
+    out << dataset.Label(r) << "\n";
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace omnifair

@@ -1,0 +1,35 @@
+#ifndef OMNIFAIR_DATA_CSV_H_
+#define OMNIFAIR_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace omnifair {
+
+/// Options controlling CSV parsing into a Dataset.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// Name of the label column (required; parsed as 0/1 or a positive-class
+  /// string given below).
+  std::string label_column = "label";
+  /// If non-empty, label cells equal to this string map to 1, all else to 0.
+  std::string positive_label_value;
+  /// Columns to parse as categorical even if all cells look numeric.
+  std::vector<std::string> force_categorical;
+};
+
+/// Reads a CSV file with a header row into a Dataset. Column types are
+/// inferred: a column is numeric iff every cell parses as a double (and it is
+/// not listed in force_categorical). Cells are not quoted/escaped — the
+/// synthetic datasets in this repo never need that.
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options);
+
+/// Writes a Dataset (attributes + label column) as CSV with a header row.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_DATA_CSV_H_

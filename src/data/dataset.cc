@@ -1,0 +1,89 @@
+#include "data/dataset.h"
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+void Dataset::AddColumn(Column column) {
+  if (!columns_.empty()) {
+    OF_CHECK_EQ(column.size(), columns_.front().size())
+        << "column " << column.name() << " length mismatch";
+  }
+  columns_.push_back(std::move(column));
+}
+
+const Column& Dataset::ColumnAt(size_t index) const {
+  OF_CHECK_LT(index, columns_.size());
+  return columns_[index];
+}
+
+Column* Dataset::MutableColumnAt(size_t index) {
+  OF_CHECK_LT(index, columns_.size());
+  return &columns_[index];
+}
+
+bool Dataset::HasColumn(const std::string& name) const {
+  return FindColumn(name) != nullptr;
+}
+
+const Column* Dataset::FindColumn(const std::string& name) const {
+  for (const Column& col : columns_) {
+    if (col.name() == name) return &col;
+  }
+  return nullptr;
+}
+
+const Column& Dataset::ColumnByName(const std::string& name) const {
+  const Column* col = FindColumn(name);
+  OF_CHECK(col != nullptr) << "no column named " << name;
+  return *col;
+}
+
+void Dataset::SetLabels(std::vector<int> labels) {
+  if (!columns_.empty()) {
+    OF_CHECK_EQ(labels.size(), columns_.front().size());
+  }
+  labels_ = std::move(labels);
+}
+
+void Dataset::SetLabel(size_t row, int label) {
+  OF_CHECK_LT(row, labels_.size());
+  OF_CHECK(label == 0 || label == 1);
+  labels_[row] = label;
+}
+
+double Dataset::PositiveRate() const {
+  if (labels_.empty()) return 0.0;
+  size_t positives = 0;
+  for (int y : labels_) positives += (y == 1);
+  return static_cast<double>(positives) / static_cast<double>(labels_.size());
+}
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& indices) const {
+  Dataset out(name_);
+  out.label_name_ = label_name_;
+  for (const Column& col : columns_) out.columns_.push_back(col.SelectRows(indices));
+  out.labels_.reserve(indices.size());
+  for (size_t i : indices) {
+    OF_CHECK_LT(i, labels_.size());
+    out.labels_.push_back(labels_[i]);
+  }
+  return out;
+}
+
+Status Dataset::Validate() const {
+  for (const Column& col : columns_) {
+    if (col.size() != labels_.size()) {
+      return Status::InvalidArgument("column " + col.name() +
+                                     " length does not match labels");
+    }
+  }
+  for (int y : labels_) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("labels must be binary {0,1}");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace omnifair

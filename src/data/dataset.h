@@ -1,0 +1,70 @@
+#ifndef OMNIFAIR_DATA_DATASET_H_
+#define OMNIFAIR_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+#include "util/status.h"
+
+namespace omnifair {
+
+/// A labeled tabular dataset D = {(x_i, y_i)} for binary classification.
+///
+/// Columns are the raw (pre-encoding) attributes, including sensitive
+/// attributes such as race or sex; grouping functions read them directly.
+/// Labels are binary {0, 1}. Feature encoding to a numeric Matrix is a
+/// separate step (see FeatureEncoder) so that a grouping function can use
+/// attributes that the model never sees.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t NumRows() const { return labels_.size(); }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Adds a fully built column; its length must match existing columns.
+  void AddColumn(Column column);
+
+  /// Column access by index or name. HasColumn/FindColumn do not abort.
+  const Column& ColumnAt(size_t index) const;
+  Column* MutableColumnAt(size_t index);
+  bool HasColumn(const std::string& name) const;
+  /// Returns nullptr when absent.
+  const Column* FindColumn(const std::string& name) const;
+  /// Aborts when absent (programmer error).
+  const Column& ColumnByName(const std::string& name) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // --- Labels ----------------------------------------------------------------
+  const std::vector<int>& labels() const { return labels_; }
+  int Label(size_t row) const { return labels_[row]; }
+  void SetLabels(std::vector<int> labels);
+  void SetLabel(size_t row, int label);
+  const std::string& label_name() const { return label_name_; }
+  void set_label_name(std::string name) { label_name_ = std::move(name); }
+
+  /// Fraction of rows with label 1.
+  double PositiveRate() const;
+
+  /// New dataset holding the given subset of rows, in order. Category
+  /// dictionaries are preserved so codes remain comparable across subsets.
+  Dataset SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Validates internal consistency (equal column lengths, binary labels).
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<int> labels_;
+  std::string label_name_ = "label";
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_DATA_DATASET_H_

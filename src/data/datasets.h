@@ -1,0 +1,35 @@
+#ifndef OMNIFAIR_DATA_DATASETS_H_
+#define OMNIFAIR_DATA_DATASETS_H_
+
+#include "data/dataset.h"
+#include "data/synthetic_common.h"
+
+namespace omnifair {
+
+// Synthetic stand-ins for the four benchmark datasets of the paper (Table 4).
+// Each generator matches the real dataset's schema, size, label base rates,
+// group proportions and group-conditional disparity; see DESIGN.md §4 for the
+// substitution rationale. All are deterministic given SyntheticOptions::seed.
+
+/// Adult / Census Income (48842 x 18, sensitive: sex, task: income > 50k).
+/// Baseline disparity: P(y=1|Male) ~ 0.30 vs P(y=1|Female) ~ 0.11.
+Dataset MakeAdultDataset(const SyntheticOptions& options = {});
+
+/// ProPublica COMPAS (11001 x 10, sensitive: race, task: 2-year recidivism).
+/// Groups: African-American / Caucasian / Hispanic / Other.
+Dataset MakeCompasDataset(const SyntheticOptions& options = {});
+
+/// LSAC bar passage (27477 x 12, sensitive: race, task: pass the bar exam).
+/// Highly imbalanced towards passing; small accuracy headroom as in paper.
+Dataset MakeLsacDataset(const SyntheticOptions& options = {});
+
+/// Bank marketing (30488 x 20, sensitive: age group, task: subscription).
+Dataset MakeBankDataset(const SyntheticOptions& options = {});
+
+/// Convenience: dataset by lowercase name {"adult","compas","lsac","bank"}.
+/// Aborts on unknown names.
+Dataset MakeDatasetByName(const std::string& name, const SyntheticOptions& options = {});
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_DATA_DATASETS_H_

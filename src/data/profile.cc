@@ -1,0 +1,140 @@
+#include "data/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace omnifair {
+namespace {
+
+ColumnProfile ProfileNumeric(const Column& column, const std::vector<int>& labels) {
+  ColumnProfile profile;
+  profile.name = column.name();
+  profile.type = ColumnType::kNumeric;
+  const std::vector<double>& values = column.numeric_values();
+  if (values.empty()) return profile;
+  profile.min = *std::min_element(values.begin(), values.end());
+  profile.max = *std::max_element(values.begin(), values.end());
+  profile.mean = Mean(values);
+  profile.stddev = StdDev(values);
+
+  // Pearson correlation with the binary label.
+  const double label_mean =
+      static_cast<double>(std::count(labels.begin(), labels.end(), 1)) /
+      static_cast<double>(labels.size());
+  double covariance = 0.0;
+  double label_variance = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double label_diff = static_cast<double>(labels[i]) - label_mean;
+    covariance += (values[i] - profile.mean) * label_diff;
+    label_variance += label_diff * label_diff;
+  }
+  const double denom = profile.stddev * std::sqrt(label_variance) *
+                       std::sqrt(static_cast<double>(values.size()));
+  profile.label_correlation = denom > 1e-12 ? covariance / denom : 0.0;
+  return profile;
+}
+
+ColumnProfile ProfileCategorical(const Column& column) {
+  ColumnProfile profile;
+  profile.name = column.name();
+  profile.type = ColumnType::kCategorical;
+  profile.num_categories = column.categories().size();
+  std::vector<size_t> counts(column.categories().size(), 0);
+  for (size_t i = 0; i < column.size(); ++i) ++counts[column.Code(i)];
+  size_t best = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  if (!counts.empty() && column.size() > 0) {
+    profile.most_common = column.categories()[best];
+    profile.most_common_fraction =
+        static_cast<double>(counts[best]) / static_cast<double>(column.size());
+  }
+  return profile;
+}
+
+}  // namespace
+
+DatasetProfile ProfileDataset(const Dataset& dataset,
+                              const std::string& sensitive_attribute) {
+  DatasetProfile profile;
+  profile.name = dataset.name();
+  profile.rows = dataset.NumRows();
+  profile.positive_rate = dataset.PositiveRate();
+
+  for (const Column& column : dataset.columns()) {
+    profile.columns.push_back(column.type() == ColumnType::kNumeric
+                                  ? ProfileNumeric(column, dataset.labels())
+                                  : ProfileCategorical(column));
+  }
+
+  if (!sensitive_attribute.empty() && dataset.HasColumn(sensitive_attribute) &&
+      dataset.ColumnByName(sensitive_attribute).type() == ColumnType::kCategorical) {
+    const Column& sensitive = dataset.ColumnByName(sensitive_attribute);
+    std::map<std::string, GroupProfile> groups;
+    for (size_t i = 0; i < dataset.NumRows(); ++i) {
+      GroupProfile& group = groups[sensitive.CategoryOf(i)];
+      group.group = sensitive.CategoryOf(i);
+      ++group.size;
+      group.positive_rate += dataset.Label(i);
+    }
+    double min_rate = std::numeric_limits<double>::infinity();
+    double max_rate = -std::numeric_limits<double>::infinity();
+    for (auto& [name, group] : groups) {
+      group.fraction = static_cast<double>(group.size) /
+                       static_cast<double>(dataset.NumRows());
+      group.positive_rate /= static_cast<double>(group.size);
+      min_rate = std::min(min_rate, group.positive_rate);
+      max_rate = std::max(max_rate, group.positive_rate);
+      profile.groups.push_back(group);
+    }
+    profile.base_rate_gap = profile.groups.empty() ? 0.0 : max_rate - min_rate;
+  }
+  return profile;
+}
+
+std::string DatasetProfile::ToString() const {
+  std::ostringstream os;
+  char line[200];
+  std::snprintf(line, sizeof(line), "dataset %s: %zu rows, P(y=1) = %.3f\n",
+                name.c_str(), rows, positive_rate);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-24s %-12s %10s %10s %10s %10s\n", "column",
+                "type", "mean/top", "std/frac", "min/#cat", "corr(y)");
+  os << line;
+  for (const ColumnProfile& column : columns) {
+    if (column.type == ColumnType::kNumeric) {
+      std::snprintf(line, sizeof(line), "%-24s %-12s %10.2f %10.2f %10.2f %10.3f\n",
+                    column.name.c_str(), "numeric", column.mean, column.stddev,
+                    column.min, column.label_correlation);
+    } else {
+      std::snprintf(line, sizeof(line), "%-24s %-12s %10s %10.2f %10zu %10s\n",
+                    column.name.c_str(), "categorical",
+                    column.most_common.substr(0, 10).c_str(),
+                    column.most_common_fraction, column.num_categories, "-");
+    }
+    os << line;
+  }
+  if (!groups.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "group base rates (gap = %.3f — the data-level bias):\n",
+                  base_rate_gap);
+    os << line;
+    for (const GroupProfile& group : groups) {
+      std::snprintf(line, sizeof(line), "  %-24s %8zu (%5.1f%%)  P(y=1|g) = %.3f\n",
+                    group.group.c_str(), group.size, 100.0 * group.fraction,
+                    group.positive_rate);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace omnifair

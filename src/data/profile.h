@@ -1,0 +1,61 @@
+#ifndef OMNIFAIR_DATA_PROFILE_H_
+#define OMNIFAIR_DATA_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace omnifair {
+
+/// Summary statistics of one column.
+struct ColumnProfile {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  // Numeric columns:
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Pearson correlation of the column with the label.
+  double label_correlation = 0.0;
+  // Categorical columns:
+  size_t num_categories = 0;
+  std::string most_common;
+  double most_common_fraction = 0.0;
+};
+
+/// Per-group slice of a sensitive attribute: size and label base rate. The
+/// spread of base rates across groups is the data-level bias every fairness
+/// experiment starts from.
+struct GroupProfile {
+  std::string group;
+  size_t size = 0;
+  double fraction = 0.0;
+  double positive_rate = 0.0;
+};
+
+/// Full dataset profile.
+struct DatasetProfile {
+  std::string name;
+  size_t rows = 0;
+  double positive_rate = 0.0;
+  std::vector<ColumnProfile> columns;
+  /// Present when a sensitive attribute was requested.
+  std::vector<GroupProfile> groups;
+  /// max - min positive rate across the profiled groups.
+  double base_rate_gap = 0.0;
+
+  /// Fixed-width text rendering.
+  std::string ToString() const;
+};
+
+/// Profiles a dataset; `sensitive_attribute` may be empty (no group slice)
+/// or name a categorical column. A missing or non-categorical name simply
+/// omits the group slice (no error), so CLI input is safe to pass through.
+DatasetProfile ProfileDataset(const Dataset& dataset,
+                              const std::string& sensitive_attribute = "");
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_DATA_PROFILE_H_

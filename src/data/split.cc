@@ -1,0 +1,35 @@
+#include "data/split.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace omnifair {
+
+TrainValTestSplit SplitDataset(const Dataset& dataset, double train_fraction,
+                               double val_fraction, uint64_t seed) {
+  OF_CHECK_GT(train_fraction, 0.0);
+  OF_CHECK_GE(val_fraction, 0.0);
+  OF_CHECK_LE(train_fraction + val_fraction, 1.0);
+
+  const size_t n = dataset.NumRows();
+  Rng rng(seed);
+  const std::vector<size_t> perm = rng.Permutation(n);
+
+  const size_t n_train = static_cast<size_t>(train_fraction * static_cast<double>(n));
+  const size_t n_val = static_cast<size_t>(val_fraction * static_cast<double>(n));
+
+  TrainValTestSplit split;
+  split.train_indices.assign(perm.begin(), perm.begin() + n_train);
+  split.val_indices.assign(perm.begin() + n_train, perm.begin() + n_train + n_val);
+  split.test_indices.assign(perm.begin() + n_train + n_val, perm.end());
+  split.train = dataset.SelectRows(split.train_indices);
+  split.val = dataset.SelectRows(split.val_indices);
+  split.test = dataset.SelectRows(split.test_indices);
+  return split;
+}
+
+TrainValTestSplit SplitDefault(const Dataset& dataset, uint64_t seed) {
+  return SplitDataset(dataset, 0.6, 0.2, seed);
+}
+
+}  // namespace omnifair

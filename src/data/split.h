@@ -1,0 +1,33 @@
+#ifndef OMNIFAIR_DATA_SPLIT_H_
+#define OMNIFAIR_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace omnifair {
+
+/// A train/validation/test partition of a dataset. The paper's protocol is a
+/// random 60/20/20 split, repeated over 10 seeds with averaged results.
+struct TrainValTestSplit {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+  /// Original row indices of each partition (for debugging / reproducing).
+  std::vector<size_t> train_indices;
+  std::vector<size_t> val_indices;
+  std::vector<size_t> test_indices;
+};
+
+/// Randomly partitions `dataset` into train/val/test with the given
+/// fractions (test gets the remainder). Deterministic given the seed.
+TrainValTestSplit SplitDataset(const Dataset& dataset, double train_fraction,
+                               double val_fraction, uint64_t seed);
+
+/// The paper's default protocol: 60% train / 20% validation / 20% test.
+TrainValTestSplit SplitDefault(const Dataset& dataset, uint64_t seed);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_DATA_SPLIT_H_

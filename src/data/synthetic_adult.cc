@@ -1,0 +1,106 @@
+#include "data/datasets.h"
+
+namespace omnifair {
+
+// Matches the UCI Adult census-income task: ~24% positive overall (the paper
+// notes 76% negative), sex is the sensitive attribute with
+// P(>50k | Male) ~ 0.30 vs P(>50k | Female) ~ 0.11. Education, hours and
+// capital gains carry most of the signal; several of them are sex-correlated
+// so the disparity persists without the sensitive column.
+Dataset MakeAdultDataset(const SyntheticOptions& options) {
+  synthetic::Schema schema;
+  schema.dataset_name = "adult";
+  schema.sensitive_attribute = "sex";
+  schema.label_name = "income_gt_50k";
+  schema.default_num_rows = 48842;
+  schema.groups = {
+      {"Male", 0.67, 0.30},
+      {"Female", 0.33, 0.11},
+  };
+
+  schema.numeric_features.push_back({.name = "age",
+                                     .base_mean = 36.0,
+                                     .label_shift = 7.5,
+                                     .noise_sd = 12.0,
+                                     .group_shift = {1.0, -1.0},
+                                     .min_value = 17.0,
+                                     .max_value = 90.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "education_num",
+                                     .base_mean = 9.3,
+                                     .label_shift = 2.4,
+                                     .noise_sd = 2.4,
+                                     .group_shift = {0.1, -0.1},
+                                     .min_value = 1.0,
+                                     .max_value = 16.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "hours_per_week",
+                                     .base_mean = 38.0,
+                                     .label_shift = 6.5,
+                                     .noise_sd = 10.0,
+                                     .group_shift = {2.0, -3.0},
+                                     .min_value = 1.0,
+                                     .max_value = 99.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "capital_gain",
+                                     .base_mean = 150.0,
+                                     .label_shift = 3500.0,
+                                     .noise_sd = 3200.0,
+                                     .min_value = 0.0,
+                                     .max_value = 99999.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "capital_loss",
+                                     .base_mean = 30.0,
+                                     .label_shift = 140.0,
+                                     .noise_sd = 280.0,
+                                     .min_value = 0.0,
+                                     .max_value = 4500.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "fnlwgt",
+                                     .base_mean = 190000.0,
+                                     .label_shift = 0.0,
+                                     .noise_sd = 95000.0,
+                                     .min_value = 12000.0,
+                                     .max_value = 1500000.0,
+                                     .round_to_int = true});
+
+  schema.categorical_features.push_back(
+      {.name = "workclass",
+       .categories = {"Private", "Self-emp", "Government", "Other"},
+       .weights_y0 = {0.73, 0.10, 0.13, 0.04},
+       .weights_y1 = {0.64, 0.18, 0.16, 0.02}});
+  schema.categorical_features.push_back(
+      {.name = "education",
+       .categories = {"HS-grad", "Some-college", "Bachelors", "Advanced", "Dropout"},
+       .weights_y0 = {0.36, 0.25, 0.13, 0.05, 0.21},
+       .weights_y1 = {0.22, 0.18, 0.30, 0.23, 0.07}});
+  schema.categorical_features.push_back(
+      {.name = "marital_status",
+       .categories = {"Married", "Never-married", "Divorced", "Other"},
+       .weights_y0 = {0.36, 0.39, 0.17, 0.08},
+       .weights_y1 = {0.85, 0.06, 0.07, 0.02}});
+  schema.categorical_features.push_back(
+      {.name = "occupation",
+       .categories = {"Professional", "Craft", "Sales", "Service", "Clerical", "Other"},
+       .weights_y0 = {0.18, 0.15, 0.12, 0.18, 0.14, 0.23},
+       .weights_y1 = {0.44, 0.12, 0.13, 0.04, 0.08, 0.19}});
+  schema.categorical_features.push_back(
+      {.name = "relationship",
+       .categories = {"Husband", "Wife", "Not-in-family", "Own-child", "Other"},
+       .weights_y0 = {0.33, 0.04, 0.29, 0.20, 0.14},
+       .weights_y1 = {0.72, 0.11, 0.11, 0.01, 0.05}});
+  schema.categorical_features.push_back(
+      {.name = "race",
+       .categories = {"White", "Black", "Asian-Pac", "Other"},
+       .weights_y0 = {0.84, 0.11, 0.03, 0.02},
+       .weights_y1 = {0.90, 0.05, 0.04, 0.01}});
+  schema.categorical_features.push_back(
+      {.name = "native_country",
+       .categories = {"United-States", "Mexico", "Other"},
+       .weights_y0 = {0.89, 0.03, 0.08},
+       .weights_y1 = {0.93, 0.01, 0.06}});
+
+  return synthetic::Generate(schema, options);
+}
+
+}  // namespace omnifair

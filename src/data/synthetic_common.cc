@@ -1,0 +1,74 @@
+#include "data/synthetic_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace omnifair {
+namespace synthetic {
+
+Dataset Generate(const Schema& schema, const SyntheticOptions& options) {
+  OF_CHECK_GE(schema.groups.size(), 2u) << schema.dataset_name;
+  const size_t n = options.num_rows > 0 ? options.num_rows : schema.default_num_rows;
+  Rng rng(options.seed);
+
+  std::vector<double> proportions;
+  std::vector<std::string> group_names;
+  proportions.reserve(schema.groups.size());
+  for (const GroupSpec& g : schema.groups) {
+    proportions.push_back(g.proportion);
+    group_names.push_back(g.name);
+  }
+
+  // Draw group and label assignments first.
+  std::vector<int> group_of(n);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t g = rng.NextCategorical(proportions);
+    group_of[i] = static_cast<int>(g);
+    labels[i] = rng.NextBernoulli(schema.groups[g].positive_rate) ? 1 : 0;
+  }
+
+  Dataset dataset(schema.dataset_name);
+  dataset.set_label_name(schema.label_name);
+
+  // Sensitive attribute column.
+  Column sensitive = Column::Categorical(schema.sensitive_attribute, group_names);
+  for (size_t i = 0; i < n; ++i) sensitive.AppendCode(group_of[i]);
+  dataset.AddColumn(std::move(sensitive));
+
+  for (const NumericFeatureSpec& spec : schema.numeric_features) {
+    if (!spec.group_shift.empty()) {
+      OF_CHECK_EQ(spec.group_shift.size(), schema.groups.size())
+          << "group_shift size for " << spec.name;
+    }
+    Column col = Column::Numeric(spec.name);
+    for (size_t i = 0; i < n; ++i) {
+      double value = spec.base_mean + spec.label_shift * labels[i];
+      if (!spec.group_shift.empty()) value += spec.group_shift[group_of[i]];
+      value += rng.NextGaussian(0.0, spec.noise_sd);
+      value = std::clamp(value, spec.min_value, spec.max_value);
+      if (spec.round_to_int) value = std::round(value);
+      col.AppendNumeric(value);
+    }
+    dataset.AddColumn(std::move(col));
+  }
+
+  for (const CategoricalFeatureSpec& spec : schema.categorical_features) {
+    OF_CHECK_EQ(spec.weights_y0.size(), spec.categories.size()) << spec.name;
+    OF_CHECK_EQ(spec.weights_y1.size(), spec.categories.size()) << spec.name;
+    Column col = Column::Categorical(spec.name, spec.categories);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& weights = labels[i] == 1 ? spec.weights_y1 : spec.weights_y0;
+      col.AppendCode(static_cast<int>(rng.NextCategorical(weights)));
+    }
+    dataset.AddColumn(std::move(col));
+  }
+
+  dataset.SetLabels(std::move(labels));
+  return dataset;
+}
+
+}  // namespace synthetic
+}  // namespace omnifair

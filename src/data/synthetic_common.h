@@ -1,0 +1,80 @@
+#ifndef OMNIFAIR_DATA_SYNTHETIC_COMMON_H_
+#define OMNIFAIR_DATA_SYNTHETIC_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace omnifair {
+
+/// Options shared by all synthetic dataset generators.
+struct SyntheticOptions {
+  /// Number of rows; 0 means the paper's dataset size (Table 4).
+  size_t num_rows = 0;
+  /// Seed for the generator; splits use their own seeds on top.
+  uint64_t seed = 42;
+};
+
+namespace synthetic {
+
+/// One demographic group of the sensitive attribute.
+struct GroupSpec {
+  std::string name;
+  /// Relative population share (normalized internally).
+  double proportion = 1.0;
+  /// P(y = 1 | group): the group-dependent base rate that injects the bias
+  /// every experiment in the paper measures.
+  double positive_rate = 0.5;
+};
+
+/// A numeric feature sampled as
+///   value = base_mean + label_shift * y + group_shift[g] + N(0, noise_sd),
+/// clamped to [min_value, max_value] and optionally rounded to an integer.
+/// label_shift makes the feature predictive of y; group_shift correlates it
+/// with the sensitive attribute (redlining effect), so bias survives even if
+/// the sensitive column is dropped from the feature matrix.
+struct NumericFeatureSpec {
+  std::string name;
+  double base_mean = 0.0;
+  double label_shift = 0.0;
+  double noise_sd = 1.0;
+  /// Per-group additive shift; empty means no group dependence.
+  std::vector<double> group_shift;
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
+  bool round_to_int = false;
+};
+
+/// A categorical feature with label-conditional category distributions.
+struct CategoricalFeatureSpec {
+  std::string name;
+  std::vector<std::string> categories;
+  /// P(category | y = 0) and P(category | y = 1), unnormalized weights.
+  std::vector<double> weights_y0;
+  std::vector<double> weights_y1;
+};
+
+/// Full generative schema of a synthetic dataset.
+struct Schema {
+  std::string dataset_name;
+  std::string sensitive_attribute;
+  std::string label_name;
+  std::vector<GroupSpec> groups;
+  std::vector<NumericFeatureSpec> numeric_features;
+  std::vector<CategoricalFeatureSpec> categorical_features;
+  size_t default_num_rows = 10000;
+};
+
+/// Samples a dataset from the schema: group ~ proportions,
+/// y ~ Bernoulli(positive_rate[group]), features per the specs above.
+/// The sensitive attribute becomes a categorical column.
+Dataset Generate(const Schema& schema, const SyntheticOptions& options);
+
+}  // namespace synthetic
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_DATA_SYNTHETIC_COMMON_H_

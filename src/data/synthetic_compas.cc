@@ -1,0 +1,94 @@
+#include "data/datasets.h"
+
+namespace omnifair {
+
+// Matches ProPublica's two-year recidivism cohort: African-American
+// defendants are the majority group and carry a higher observed recidivism
+// base rate; priors and juvenile counts are the strongest predictors and are
+// themselves group-correlated (so an unconstrained model shows an SP
+// disparity around 0.2 between African-American and Caucasian, as in the
+// paper's Table 7 baseline row).
+Dataset MakeCompasDataset(const SyntheticOptions& options) {
+  synthetic::Schema schema;
+  schema.dataset_name = "compas";
+  schema.sensitive_attribute = "race";
+  schema.label_name = "two_year_recid";
+  schema.default_num_rows = 11001;
+  schema.groups = {
+      {"African-American", 0.51, 0.53},
+      {"Caucasian", 0.34, 0.36},
+      {"Hispanic", 0.08, 0.34},
+      {"Other", 0.07, 0.33},
+  };
+
+  // Age: younger defendants re-offend more; African-American cohort skews
+  // slightly younger in the ProPublica data.
+  schema.numeric_features.push_back({.name = "age",
+                                     .base_mean = 36.0,
+                                     .label_shift = -5.0,
+                                     .noise_sd = 10.0,
+                                     .group_shift = {-2.0, 1.5, 0.0, 0.5},
+                                     .min_value = 18.0,
+                                     .max_value = 90.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "priors_count",
+                                     .base_mean = 1.2,
+                                     .label_shift = 3.2,
+                                     .noise_sd = 2.6,
+                                     .group_shift = {0.9, -0.4, -0.3, -0.3},
+                                     .min_value = 0.0,
+                                     .max_value = 38.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "juv_fel_count",
+                                     .base_mean = 0.02,
+                                     .label_shift = 0.25,
+                                     .noise_sd = 0.45,
+                                     .group_shift = {0.08, -0.04, -0.02, -0.02},
+                                     .min_value = 0.0,
+                                     .max_value = 10.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "juv_misd_count",
+                                     .base_mean = 0.03,
+                                     .label_shift = 0.3,
+                                     .noise_sd = 0.5,
+                                     .group_shift = {0.06, -0.03, -0.02, -0.01},
+                                     .min_value = 0.0,
+                                     .max_value = 12.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "juv_other_count",
+                                     .base_mean = 0.06,
+                                     .label_shift = 0.35,
+                                     .noise_sd = 0.6,
+                                     .group_shift = {0.05, -0.03, -0.01, -0.01},
+                                     .min_value = 0.0,
+                                     .max_value = 15.0,
+                                     .round_to_int = true});
+  // Days screened before arrest: weak noise feature.
+  schema.numeric_features.push_back({.name = "days_b_screening_arrest",
+                                     .base_mean = 2.0,
+                                     .label_shift = 0.4,
+                                     .noise_sd = 8.0,
+                                     .min_value = -30.0,
+                                     .max_value = 30.0,
+                                     .round_to_int = true});
+
+  schema.categorical_features.push_back(
+      {.name = "sex",
+       .categories = {"Male", "Female"},
+       .weights_y0 = {0.76, 0.24},
+       .weights_y1 = {0.85, 0.15}});
+  schema.categorical_features.push_back(
+      {.name = "c_charge_degree",
+       .categories = {"F", "M"},
+       .weights_y0 = {0.60, 0.40},
+       .weights_y1 = {0.70, 0.30}});
+  schema.categorical_features.push_back(
+      {.name = "age_cat",
+       .categories = {"Less than 25", "25 - 45", "Greater than 45"},
+       .weights_y0 = {0.17, 0.55, 0.28},
+       .weights_y1 = {0.30, 0.55, 0.15}});
+
+  return synthetic::Generate(schema, options);
+}
+
+}  // namespace omnifair

@@ -1,0 +1,96 @@
+#include "data/datasets.h"
+
+namespace omnifair {
+
+// Matches the LSAC National Longitudinal Bar Passage Study: pass rates are
+// high for everyone (so unconstrained accuracy is high and fairness-induced
+// accuracy drops are small, as in the paper's Table 5 LSAC column) but the
+// gap between White and Black examinees is large (~0.95 vs ~0.78). LSAT and
+// GPA carry the predictive signal and are race-correlated.
+Dataset MakeLsacDataset(const SyntheticOptions& options) {
+  synthetic::Schema schema;
+  schema.dataset_name = "lsac";
+  schema.sensitive_attribute = "race";
+  schema.label_name = "pass_bar";
+  schema.default_num_rows = 27477;
+  schema.groups = {
+      {"White", 0.84, 0.95},
+      {"Black", 0.06, 0.78},
+      {"Hispanic", 0.05, 0.85},
+      {"Other", 0.05, 0.88},
+  };
+
+  schema.numeric_features.push_back({.name = "lsat",
+                                     .base_mean = 33.0,
+                                     .label_shift = 5.5,
+                                     .noise_sd = 4.5,
+                                     .group_shift = {1.0, -3.2, -1.5, -0.5},
+                                     .min_value = 11.0,
+                                     .max_value = 48.0,
+                                     .round_to_int = false});
+  schema.numeric_features.push_back({.name = "ugpa",
+                                     .base_mean = 3.0,
+                                     .label_shift = 0.35,
+                                     .noise_sd = 0.35,
+                                     .group_shift = {0.05, -0.22, -0.10, -0.02},
+                                     .min_value = 1.5,
+                                     .max_value = 4.0});
+  schema.numeric_features.push_back({.name = "zfygpa",
+                                     .base_mean = -0.3,
+                                     .label_shift = 0.8,
+                                     .noise_sd = 0.8,
+                                     .group_shift = {0.05, -0.3, -0.15, -0.05},
+                                     .min_value = -3.5,
+                                     .max_value = 3.5});
+  schema.numeric_features.push_back({.name = "decile1",
+                                     .base_mean = 4.2,
+                                     .label_shift = 2.0,
+                                     .noise_sd = 2.6,
+                                     .group_shift = {0.1, -0.8, -0.4, -0.1},
+                                     .min_value = 1.0,
+                                     .max_value = 10.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "decile3",
+                                     .base_mean = 4.3,
+                                     .label_shift = 2.0,
+                                     .noise_sd = 2.7,
+                                     .group_shift = {0.1, -0.8, -0.4, -0.1},
+                                     .min_value = 1.0,
+                                     .max_value = 10.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "fam_inc",
+                                     .base_mean = 3.0,
+                                     .label_shift = 0.35,
+                                     .noise_sd = 1.0,
+                                     .group_shift = {0.15, -0.55, -0.3, -0.05},
+                                     .min_value = 1.0,
+                                     .max_value = 5.0,
+                                     .round_to_int = true});
+  schema.numeric_features.push_back({.name = "age",
+                                     .base_mean = 28.5,
+                                     .label_shift = -0.6,
+                                     .noise_sd = 5.5,
+                                     .min_value = 20.0,
+                                     .max_value = 65.0,
+                                     .round_to_int = true});
+
+  schema.categorical_features.push_back(
+      {.name = "gender",
+       .categories = {"Male", "Female"},
+       .weights_y0 = {0.52, 0.48},
+       .weights_y1 = {0.56, 0.44}});
+  schema.categorical_features.push_back(
+      {.name = "fulltime",
+       .categories = {"Fulltime", "Parttime"},
+       .weights_y0 = {0.82, 0.18},
+       .weights_y1 = {0.90, 0.10}});
+  schema.categorical_features.push_back(
+      {.name = "cluster",
+       .categories = {"Tier1", "Tier2", "Tier3", "Tier4"},
+       .weights_y0 = {0.12, 0.30, 0.38, 0.20},
+       .weights_y1 = {0.24, 0.36, 0.30, 0.10}});
+
+  return synthetic::Generate(schema, options);
+}
+
+}  // namespace omnifair

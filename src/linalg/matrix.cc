@@ -1,0 +1,69 @@
+#include "linalg/matrix.h"
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& row : rows) {
+    if (cols_ == 0) cols_ = row.size();
+    OF_CHECK_EQ(row.size(), cols_) << "ragged initializer rows";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+std::vector<double> Matrix::RowVector(size_t r) const {
+  OF_CHECK_LT(r, rows_);
+  return std::vector<double>(Row(r), Row(r) + cols_);
+}
+
+std::vector<double> Matrix::ColVector(size_t c) const {
+  OF_CHECK_LT(c, cols_);
+  std::vector<double> col(rows_);
+  for (size_t r = 0; r < rows_; ++r) col[r] = (*this)(r, c);
+  return col;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    OF_CHECK_LT(indices[i], rows_);
+    const double* src = Row(indices[i]);
+    double* dst = out.Row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void Matrix::AppendRow(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  OF_CHECK_EQ(row.size(), cols_) << "row width mismatch";
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
+  OF_CHECK_EQ(x.size(), cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::TransposeMatVec(const std::vector<double>& x) const {
+  OF_CHECK_EQ(x.size(), rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    const double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+}  // namespace omnifair

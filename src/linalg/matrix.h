@@ -1,0 +1,63 @@
+#ifndef OMNIFAIR_LINALG_MATRIX_H_
+#define OMNIFAIR_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace omnifair {
+
+/// Dense row-major matrix of doubles. This is the feature-matrix currency of
+/// the library: datasets encode to a Matrix, ML trainers consume a Matrix.
+/// Deliberately minimal — the ML algorithms in this repo only need row
+/// access, matrix-vector products and element arithmetic.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must agree in length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r (contiguous, cols() doubles).
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a vector.
+  std::vector<double> RowVector(size_t r) const;
+
+  /// Copies column c into a vector.
+  std::vector<double> ColVector(size_t c) const;
+
+  /// New matrix holding the given subset of rows, in order.
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Appends a row; the first appended row fixes cols() for empty matrices.
+  void AppendRow(const std::vector<double>& row);
+
+  /// y = this * x ; x.size() must equal cols().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// y = this^T * x ; x.size() must equal rows().
+  std::vector<double> TransposeMatVec(const std::vector<double>& x) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_LINALG_MATRIX_H_

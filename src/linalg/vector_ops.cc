@@ -1,0 +1,61 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  OF_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+void Axpy(double scale, const std::vector<double>& b, std::vector<double>* a) {
+  OF_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += scale * b[i];
+}
+
+void Scale(double scale, std::vector<double>* v) {
+  for (double& x : *v) x *= scale;
+}
+
+double Sum(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return Sum(v) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mean = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double Log1pExp(double z) {
+  if (z > 35.0) return z;
+  if (z < -35.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+
+}  // namespace omnifair

@@ -1,0 +1,38 @@
+#ifndef OMNIFAIR_LINALG_VECTOR_OPS_H_
+#define OMNIFAIR_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace omnifair {
+
+/// Dot product; vectors must have equal length.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm2(const std::vector<double>& v);
+
+/// In-place a += scale * b.
+void Axpy(double scale, const std::vector<double>& b, std::vector<double>* a);
+
+/// In-place v *= scale.
+void Scale(double scale, std::vector<double>* v);
+
+/// Sum of all elements.
+double Sum(const std::vector<double>& v);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& v);
+
+/// Numerically stable logistic sigmoid 1 / (1 + exp(-z)).
+double Sigmoid(double z);
+
+/// log(1 + exp(z)) without overflow.
+double Log1pExp(double z);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,17 @@
+#include "ml/classifier.h"
+
+namespace omnifair {
+
+std::vector<int> Classifier::Predict(const Matrix& X) const {
+  const std::vector<double> proba = PredictProba(X);
+  std::vector<int> labels(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) labels[i] = proba[i] >= 0.5 ? 1 : 0;
+  return labels;
+}
+
+std::unique_ptr<Classifier> Trainer::Fit(const Matrix& X, const std::vector<int>& y) {
+  const std::vector<double> unit(y.size(), 1.0);
+  return Fit(X, y, unit);
+}
+
+}  // namespace omnifair

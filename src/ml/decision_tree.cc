@@ -1,0 +1,197 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace omnifair {
+namespace {
+
+struct SplitCandidate {
+  bool found = false;
+  size_t feature = 0;
+  double threshold = 0.0;
+  double impurity_decrease = 0.0;
+};
+
+double GiniImpurity(double w_pos, double w_total) {
+  if (w_total <= 0.0) return 0.0;
+  const double p = w_pos / w_total;
+  return 2.0 * p * (1.0 - p);
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const Matrix& X, const std::vector<int>& y,
+              const std::vector<double>& weights, const DecisionTreeOptions& options)
+      : X_(X), y_(y), weights_(weights), options_(options), rng_(options.seed) {}
+
+  std::vector<DecisionTreeModel::Node> Build() {
+    std::vector<size_t> all(X_.rows());
+    std::iota(all.begin(), all.end(), 0);
+    BuildNode(std::move(all), /*depth=*/0);
+    return std::move(nodes_);
+  }
+
+ private:
+  int BuildNode(std::vector<size_t> samples, int depth) {
+    double w_total = 0.0;
+    double w_pos = 0.0;
+    for (size_t i : samples) {
+      w_total += weights_[i];
+      if (y_[i] == 1) w_pos += weights_[i];
+    }
+
+    const int node_index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[node_index].probability = w_total > 0.0 ? w_pos / w_total : 0.5;
+
+    const bool pure = w_pos <= 1e-12 || w_total - w_pos <= 1e-12;
+    if (depth >= options_.max_depth || pure || w_total < options_.min_weight_split ||
+        samples.size() < 2) {
+      return node_index;
+    }
+
+    const SplitCandidate split = FindBestSplit(samples, w_pos, w_total);
+    if (!split.found) return node_index;
+
+    std::vector<size_t> left_samples;
+    std::vector<size_t> right_samples;
+    left_samples.reserve(samples.size());
+    right_samples.reserve(samples.size());
+    for (size_t i : samples) {
+      if (X_(i, split.feature) <= split.threshold) {
+        left_samples.push_back(i);
+      } else {
+        right_samples.push_back(i);
+      }
+    }
+    if (left_samples.empty() || right_samples.empty()) return node_index;
+    samples.clear();
+    samples.shrink_to_fit();
+
+    const int left = BuildNode(std::move(left_samples), depth + 1);
+    const int right = BuildNode(std::move(right_samples), depth + 1);
+    nodes_[node_index].is_leaf = false;
+    nodes_[node_index].feature = static_cast<int>(split.feature);
+    nodes_[node_index].threshold = split.threshold;
+    nodes_[node_index].left = left;
+    nodes_[node_index].right = right;
+    return node_index;
+  }
+
+  SplitCandidate FindBestSplit(const std::vector<size_t>& samples, double w_pos,
+                               double w_total) {
+    const double parent_impurity = GiniImpurity(w_pos, w_total);
+    SplitCandidate best;
+
+    std::vector<size_t> features(X_.cols());
+    std::iota(features.begin(), features.end(), 0);
+    size_t num_features = features.size();
+    if (options_.max_features > 0 && options_.max_features < num_features) {
+      // Fisher-Yates prefix for a random feature subset.
+      for (size_t i = 0; i < options_.max_features; ++i) {
+        const size_t j = i + rng_.NextBounded(num_features - i);
+        std::swap(features[i], features[j]);
+      }
+      num_features = options_.max_features;
+    }
+
+    std::vector<size_t> order(samples);
+    for (size_t f_idx = 0; f_idx < num_features; ++f_idx) {
+      const size_t feature = features[f_idx];
+      std::sort(order.begin(), order.end(), [this, feature](size_t a, size_t b) {
+        return X_(a, feature) < X_(b, feature);
+      });
+
+      double left_total = 0.0;
+      double left_pos = 0.0;
+      for (size_t k = 0; k + 1 < order.size(); ++k) {
+        const size_t i = order[k];
+        left_total += weights_[i];
+        if (y_[i] == 1) left_pos += weights_[i];
+        const double value = X_(i, feature);
+        const double next_value = X_(order[k + 1], feature);
+        if (next_value <= value) continue;  // no boundary between equal values
+
+        const double right_total = w_total - left_total;
+        const double right_pos = w_pos - left_pos;
+        if (left_total < options_.min_weight_leaf ||
+            right_total < options_.min_weight_leaf) {
+          continue;
+        }
+        const double weighted_child_impurity =
+            (left_total * GiniImpurity(left_pos, left_total) +
+             right_total * GiniImpurity(right_pos, right_total)) /
+            w_total;
+        const double decrease = parent_impurity - weighted_child_impurity;
+        if (decrease > best.impurity_decrease + 1e-12) {
+          best.found = true;
+          best.feature = feature;
+          best.threshold = 0.5 * (value + next_value);
+          best.impurity_decrease = decrease;
+        }
+      }
+    }
+    return best;
+  }
+
+  const Matrix& X_;
+  const std::vector<int>& y_;
+  const std::vector<double>& weights_;
+  const DecisionTreeOptions& options_;
+  Rng rng_;
+  std::vector<DecisionTreeModel::Node> nodes_;
+};
+
+}  // namespace
+
+DecisionTreeModel::DecisionTreeModel(std::vector<Node> nodes)
+    : nodes_(std::move(nodes)) {
+  OF_CHECK(!nodes_.empty());
+}
+
+double DecisionTreeModel::PredictRow(const double* row) const {
+  int index = 0;
+  while (!nodes_[index].is_leaf) {
+    const Node& node = nodes_[index];
+    index = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[index].probability;
+}
+
+std::vector<double> DecisionTreeModel::PredictProba(const Matrix& X) const {
+  std::vector<double> proba(X.rows());
+  for (size_t i = 0; i < X.rows(); ++i) proba[i] = PredictRow(X.Row(i));
+  return proba;
+}
+
+int DecisionTreeModel::Depth() const {
+  // Iterative depth computation over the flat array.
+  std::vector<int> depth(nodes_.size(), 0);
+  int max_depth = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].is_leaf) {
+      depth[nodes_[i].left] = depth[i] + 1;
+      depth[nodes_[i].right] = depth[i] + 1;
+    }
+    max_depth = std::max(max_depth, depth[i]);
+  }
+  return max_depth;
+}
+
+DecisionTreeTrainer::DecisionTreeTrainer(DecisionTreeOptions options)
+    : options_(options) {}
+
+std::unique_ptr<Classifier> DecisionTreeTrainer::Fit(
+    const Matrix& X, const std::vector<int>& y, const std::vector<double>& weights) {
+  OF_CHECK_EQ(X.rows(), y.size());
+  OF_CHECK_EQ(X.rows(), weights.size());
+  OF_CHECK_GT(X.rows(), 0u);
+  TreeBuilder builder(X, y, weights, options_);
+  return std::make_unique<DecisionTreeModel>(builder.Build());
+}
+
+}  // namespace omnifair

@@ -1,0 +1,76 @@
+#ifndef OMNIFAIR_ML_DECISION_TREE_H_
+#define OMNIFAIR_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/random.h"
+
+namespace omnifair {
+
+/// Hyperparameters for the weighted CART classifier.
+struct DecisionTreeOptions {
+  int max_depth = 8;
+  /// Do not split nodes whose total example weight is below this.
+  double min_weight_split = 4.0;
+  /// Minimum total example weight on each side of a split.
+  double min_weight_leaf = 2.0;
+  /// Number of features considered per node; 0 means all (plain CART),
+  /// otherwise a random subset (used by RandomForestTrainer).
+  size_t max_features = 0;
+  uint64_t seed = 7;
+};
+
+/// A fitted CART tree stored as a flat node array.
+class DecisionTreeModel : public Classifier {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    /// Weighted P(y=1) among training examples reaching this leaf.
+    double probability = 0.5;
+  };
+
+  explicit DecisionTreeModel(std::vector<Node> nodes);
+
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::string Name() const override { return "decision_tree"; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  /// Depth of the deepest leaf (root = 0).
+  int Depth() const;
+
+ private:
+  double PredictRow(const double* row) const;
+
+  std::vector<Node> nodes_;
+};
+
+/// Weighted CART with exact split search (per-node sort) on the weighted
+/// Gini impurity. Trees optimize accuracy without an explicit loss function,
+/// which is exactly why the paper needs a model-agnostic mechanism — the
+/// only fairness hook available here is the example weights.
+class DecisionTreeTrainer : public Trainer {
+ public:
+  explicit DecisionTreeTrainer(DecisionTreeOptions options = {});
+
+  std::unique_ptr<Classifier> Fit(const Matrix& X, const std::vector<int>& y,
+                                  const std::vector<double>& weights) override;
+  using Trainer::Fit;
+
+  std::string Name() const override { return "decision_tree"; }
+
+ private:
+  DecisionTreeOptions options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_ML_DECISION_TREE_H_

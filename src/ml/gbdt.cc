@@ -1,0 +1,192 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace omnifair {
+namespace {
+
+/// Builds one regression tree on (grad, hess) and returns the node array.
+class GbdtTreeBuilder {
+ public:
+  GbdtTreeBuilder(const Matrix& X, const std::vector<double>& grad,
+                  const std::vector<double>& hess, const GbdtOptions& options)
+      : X_(X), grad_(grad), hess_(hess), options_(options) {}
+
+  std::vector<GbdtTreeNode> Build() {
+    std::vector<size_t> all(X_.rows());
+    std::iota(all.begin(), all.end(), 0);
+    BuildNode(std::move(all), 0);
+    return std::move(nodes_);
+  }
+
+ private:
+  double LeafValue(double g, double h) const {
+    return -g / (h + options_.reg_lambda);
+  }
+
+  double ScoreHalf(double g, double h) const {
+    return g * g / (h + options_.reg_lambda);
+  }
+
+  int BuildNode(std::vector<size_t> samples, int depth) {
+    double g_total = 0.0;
+    double h_total = 0.0;
+    for (size_t i : samples) {
+      g_total += grad_[i];
+      h_total += hess_[i];
+    }
+
+    const int node_index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[node_index].value = LeafValue(g_total, h_total);
+
+    if (depth >= options_.max_depth || samples.size() < 2 ||
+        h_total < 2.0 * options_.min_child_weight) {
+      return node_index;
+    }
+
+    // Exact greedy split: per feature, sort and scan.
+    bool found = false;
+    size_t best_feature = 0;
+    double best_threshold = 0.0;
+    double best_gain = options_.min_split_gain;
+    std::vector<size_t> order(samples);
+    const double parent_score = ScoreHalf(g_total, h_total);
+    for (size_t feature = 0; feature < X_.cols(); ++feature) {
+      std::sort(order.begin(), order.end(), [this, feature](size_t a, size_t b) {
+        return X_(a, feature) < X_(b, feature);
+      });
+      double g_left = 0.0;
+      double h_left = 0.0;
+      for (size_t k = 0; k + 1 < order.size(); ++k) {
+        const size_t i = order[k];
+        g_left += grad_[i];
+        h_left += hess_[i];
+        const double value = X_(i, feature);
+        const double next_value = X_(order[k + 1], feature);
+        if (next_value <= value) continue;
+        const double h_right = h_total - h_left;
+        if (h_left < options_.min_child_weight || h_right < options_.min_child_weight) {
+          continue;
+        }
+        const double g_right = g_total - g_left;
+        const double gain =
+            0.5 * (ScoreHalf(g_left, h_left) + ScoreHalf(g_right, h_right) -
+                   parent_score);
+        if (gain > best_gain + 1e-12) {
+          found = true;
+          best_feature = feature;
+          best_threshold = 0.5 * (value + next_value);
+          best_gain = gain;
+        }
+      }
+    }
+    if (!found) return node_index;
+
+    std::vector<size_t> left_samples;
+    std::vector<size_t> right_samples;
+    for (size_t i : samples) {
+      (X_(i, best_feature) <= best_threshold ? left_samples : right_samples)
+          .push_back(i);
+    }
+    if (left_samples.empty() || right_samples.empty()) return node_index;
+    samples.clear();
+    samples.shrink_to_fit();
+
+    const int left = BuildNode(std::move(left_samples), depth + 1);
+    const int right = BuildNode(std::move(right_samples), depth + 1);
+    nodes_[node_index].is_leaf = false;
+    nodes_[node_index].feature = static_cast<int>(best_feature);
+    nodes_[node_index].threshold = best_threshold;
+    nodes_[node_index].left = left;
+    nodes_[node_index].right = right;
+    return node_index;
+  }
+
+  const Matrix& X_;
+  const std::vector<double>& grad_;
+  const std::vector<double>& hess_;
+  const GbdtOptions& options_;
+  std::vector<GbdtTreeNode> nodes_;
+};
+
+double PredictTree(const std::vector<GbdtTreeNode>& nodes, const double* row) {
+  int index = 0;
+  while (!nodes[index].is_leaf) {
+    index = row[nodes[index].feature] <= nodes[index].threshold ? nodes[index].left
+                                                                : nodes[index].right;
+  }
+  return nodes[index].value;
+}
+
+}  // namespace
+
+GbdtModel::GbdtModel(std::vector<std::vector<GbdtTreeNode>> trees, double base_score,
+                     double learning_rate)
+    : trees_(std::move(trees)), base_score_(base_score), learning_rate_(learning_rate) {}
+
+std::vector<double> GbdtModel::PredictRaw(const Matrix& X) const {
+  std::vector<double> raw(X.rows(), base_score_);
+  for (const auto& tree : trees_) {
+    for (size_t i = 0; i < X.rows(); ++i) {
+      raw[i] += learning_rate_ * PredictTree(tree, X.Row(i));
+    }
+  }
+  return raw;
+}
+
+std::vector<double> GbdtModel::PredictProba(const Matrix& X) const {
+  std::vector<double> proba = PredictRaw(X);
+  for (double& p : proba) p = Sigmoid(p);
+  return proba;
+}
+
+GbdtTrainer::GbdtTrainer(GbdtOptions options) : options_(options) {}
+
+std::unique_ptr<Classifier> GbdtTrainer::Fit(const Matrix& X,
+                                             const std::vector<int>& y,
+                                             const std::vector<double>& weights) {
+  OF_CHECK_EQ(X.rows(), y.size());
+  OF_CHECK_EQ(X.rows(), weights.size());
+  const size_t n = X.rows();
+
+  // Base score: weighted log-odds of the positive class.
+  double w_pos = 0.0;
+  double w_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    w_total += weights[i];
+    if (y[i] == 1) w_pos += weights[i];
+  }
+  double prior = w_total > 0.0 ? w_pos / w_total : 0.5;
+  prior = std::clamp(prior, 1e-6, 1.0 - 1e-6);
+  const double base_score = std::log(prior / (1.0 - prior));
+
+  std::vector<double> raw(n, base_score);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  std::vector<std::vector<GbdtTreeNode>> trees;
+  trees.reserve(options_.num_rounds);
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(raw[i]);
+      grad[i] = weights[i] * (p - (y[i] == 1 ? 1.0 : 0.0));
+      hess[i] = weights[i] * std::max(p * (1.0 - p), 1e-12);
+    }
+    GbdtTreeBuilder builder(X, grad, hess, options_);
+    std::vector<GbdtTreeNode> tree = builder.Build();
+    for (size_t i = 0; i < n; ++i) {
+      raw[i] += options_.learning_rate * PredictTree(tree, X.Row(i));
+    }
+    trees.push_back(std::move(tree));
+  }
+  return std::make_unique<GbdtModel>(std::move(trees), base_score,
+                                     options_.learning_rate);
+}
+
+}  // namespace omnifair

@@ -1,0 +1,79 @@
+#ifndef OMNIFAIR_ML_GBDT_H_
+#define OMNIFAIR_ML_GBDT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace omnifair {
+
+/// Hyperparameters for the gradient-boosted tree ensemble.
+struct GbdtOptions {
+  int num_rounds = 40;
+  int max_depth = 4;
+  double learning_rate = 0.25;
+  /// L2 regularization on leaf values (XGBoost's lambda).
+  double reg_lambda = 1.0;
+  /// Minimum hessian sum per leaf (XGBoost's min_child_weight).
+  double min_child_weight = 1.0;
+  /// Minimum gain to accept a split (XGBoost's gamma).
+  double min_split_gain = 0.0;
+};
+
+/// A regression tree over (gradient, hessian) statistics: internal nodes
+/// split on feature thresholds; leaves hold additive log-odds contributions.
+struct GbdtTreeNode {
+  bool is_leaf = true;
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  // leaf weight (log-odds delta)
+};
+
+/// An XGBoost-style boosted ensemble for binary classification.
+class GbdtModel : public Classifier {
+ public:
+  GbdtModel(std::vector<std::vector<GbdtTreeNode>> trees, double base_score,
+            double learning_rate);
+
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::string Name() const override { return "gbdt"; }
+
+  size_t NumTrees() const { return trees_.size(); }
+  const std::vector<std::vector<GbdtTreeNode>>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
+  double learning_rate() const { return learning_rate_; }
+  /// Raw additive score (log-odds) per row.
+  std::vector<double> PredictRaw(const Matrix& X) const;
+
+ private:
+  std::vector<std::vector<GbdtTreeNode>> trees_;
+  double base_score_;
+  double learning_rate_;
+};
+
+/// Gradient-boosted decision trees with the second-order (Newton) logistic
+/// objective of XGBoost [13]. Example weights scale each example's gradient
+/// and hessian, matching xgboost's sample_weight semantics — this is the
+/// "XGB" column of the paper's Table 5.
+class GbdtTrainer : public Trainer {
+ public:
+  explicit GbdtTrainer(GbdtOptions options = {});
+
+  std::unique_ptr<Classifier> Fit(const Matrix& X, const std::vector<int>& y,
+                                  const std::vector<double>& weights) override;
+  using Trainer::Fit;
+
+  std::string Name() const override { return "gbdt"; }
+
+ private:
+  GbdtOptions options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_ML_GBDT_H_

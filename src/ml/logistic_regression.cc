@@ -1,0 +1,119 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace omnifair {
+namespace {
+
+/// Weighted negative log-likelihood + L2, with theta = [w..., b].
+double Loss(const Matrix& X, const std::vector<int>& y,
+            const std::vector<double>& weights, const std::vector<double>& theta,
+            double l2) {
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = X.Row(i);
+    double z = theta[d];
+    for (size_t c = 0; c < d; ++c) z += row[c] * theta[c];
+    // -log p(y_i | x_i) = log(1+exp(z)) - y*z.
+    loss += weights[i] * (Log1pExp(z) - (y[i] == 1 ? z : 0.0));
+  }
+  loss /= static_cast<double>(n);
+  for (size_t c = 0; c < d; ++c) loss += 0.5 * l2 * theta[c] * theta[c];
+  return loss;
+}
+
+/// Gradient of Loss w.r.t. theta; returns infinity norm.
+double Gradient(const Matrix& X, const std::vector<int>& y,
+                const std::vector<double>& weights, const std::vector<double>& theta,
+                double l2, std::vector<double>* grad) {
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  std::fill(grad->begin(), grad->end(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = X.Row(i);
+    double z = theta[d];
+    for (size_t c = 0; c < d; ++c) z += row[c] * theta[c];
+    const double residual = weights[i] * (Sigmoid(z) - (y[i] == 1 ? 1.0 : 0.0));
+    for (size_t c = 0; c < d; ++c) (*grad)[c] += residual * row[c];
+    (*grad)[d] += residual;
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double max_abs = 0.0;
+  for (size_t c = 0; c <= d; ++c) {
+    (*grad)[c] *= inv_n;
+    if (c < d) (*grad)[c] += l2 * theta[c];
+    max_abs = std::max(max_abs, std::fabs((*grad)[c]));
+  }
+  return max_abs;
+}
+
+}  // namespace
+
+LogisticRegressionModel::LogisticRegressionModel(std::vector<double> coefficients,
+                                                 double intercept)
+    : coefficients_(std::move(coefficients)), intercept_(intercept) {}
+
+std::vector<double> LogisticRegressionModel::PredictProba(const Matrix& X) const {
+  OF_CHECK_EQ(X.cols(), coefficients_.size());
+  std::vector<double> proba(X.rows());
+  for (size_t i = 0; i < X.rows(); ++i) {
+    const double* row = X.Row(i);
+    double z = intercept_;
+    for (size_t c = 0; c < coefficients_.size(); ++c) z += row[c] * coefficients_[c];
+    proba[i] = Sigmoid(z);
+  }
+  return proba;
+}
+
+LogisticRegressionTrainer::LogisticRegressionTrainer(LogisticRegressionOptions options)
+    : options_(options) {}
+
+std::unique_ptr<Classifier> LogisticRegressionTrainer::Fit(
+    const Matrix& X, const std::vector<int>& y, const std::vector<double>& weights) {
+  OF_CHECK_EQ(X.rows(), y.size());
+  OF_CHECK_EQ(X.rows(), weights.size());
+  const size_t d = X.cols();
+
+  std::vector<double> theta(d + 1, 0.0);
+  if (warm_start_ && warm_theta_.size() == d + 1) theta = warm_theta_;
+
+  std::vector<double> grad(d + 1, 0.0);
+  std::vector<double> candidate(d + 1, 0.0);
+  double step = options_.learning_rate;
+  double loss = Loss(X, y, weights, theta, options_.l2);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ++total_iterations_;
+    const double grad_norm = Gradient(X, y, weights, theta, options_.l2, &grad);
+    if (grad_norm < options_.tolerance) break;
+
+    // Backtracking line search on the full-batch loss.
+    bool accepted = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      for (size_t c = 0; c <= d; ++c) candidate[c] = theta[c] - step * grad[c];
+      const double candidate_loss = Loss(X, y, weights, candidate, options_.l2);
+      if (candidate_loss <= loss) {
+        theta.swap(candidate);
+        loss = candidate_loss;
+        accepted = true;
+        // Gently expand the step after success to speed convergence.
+        step = std::min(step * 1.25, 64.0);
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;  // step underflow: converged to numeric precision
+  }
+
+  if (warm_start_) warm_theta_ = theta;
+  const double intercept = theta[d];
+  theta.resize(d);
+  return std::make_unique<LogisticRegressionModel>(std::move(theta), intercept);
+}
+
+}  // namespace omnifair

@@ -1,0 +1,128 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+double ConfusionCounts::Accuracy() const {
+  const size_t total = Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+double ConfusionCounts::FalsePositiveRate() const {
+  const size_t denom = fp + tn;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(fp) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::FalseNegativeRate() const {
+  const size_t denom = fn + tp;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(fn) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::FalseOmissionRate() const {
+  const size_t denom = fn + tn;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(fn) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::FalseDiscoveryRate() const {
+  const size_t denom = fp + tp;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(fp) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::PositivePredictionRate() const {
+  const size_t total = Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(tp + fp) / static_cast<double>(total);
+}
+
+ConfusionCounts CountConfusion(const std::vector<int>& labels,
+                               const std::vector<int>& predictions) {
+  OF_CHECK_EQ(labels.size(), predictions.size());
+  ConfusionCounts counts;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == 1) {
+      labels[i] == 1 ? ++counts.tp : ++counts.fp;
+    } else {
+      labels[i] == 1 ? ++counts.fn : ++counts.tn;
+    }
+  }
+  return counts;
+}
+
+ConfusionCounts CountConfusion(const std::vector<int>& labels,
+                               const std::vector<int>& predictions,
+                               const std::vector<size_t>& subset) {
+  OF_CHECK_EQ(labels.size(), predictions.size());
+  ConfusionCounts counts;
+  for (size_t i : subset) {
+    OF_CHECK_LT(i, labels.size());
+    if (predictions[i] == 1) {
+      labels[i] == 1 ? ++counts.tp : ++counts.fp;
+    } else {
+      labels[i] == 1 ? ++counts.fn : ++counts.tn;
+    }
+  }
+  return counts;
+}
+
+double Accuracy(const std::vector<int>& labels, const std::vector<int>& predictions) {
+  OF_CHECK_EQ(labels.size(), predictions.size());
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) correct += (labels[i] == predictions[i]);
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double WeightedAccuracy(const std::vector<int>& labels,
+                        const std::vector<int>& predictions,
+                        const std::vector<double>& weights) {
+  OF_CHECK_EQ(labels.size(), predictions.size());
+  OF_CHECK_EQ(labels.size(), weights.size());
+  if (labels.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == predictions[i]) acc += weights[i];
+  }
+  return acc / static_cast<double>(labels.size());
+}
+
+double RocAuc(const std::vector<int>& labels, const std::vector<double>& scores) {
+  OF_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  size_t positives = 0;
+  for (int y : labels) positives += (y == 1);
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-based (Mann-Whitney U) with average ranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_positive = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // Average rank of the tie block [i, j], 1-based ranks.
+    const double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_positive += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double pos = static_cast<double>(positives);
+  const double neg = static_cast<double>(negatives);
+  return (rank_sum_positive - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+}  // namespace omnifair

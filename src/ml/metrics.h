@@ -1,0 +1,54 @@
+#ifndef OMNIFAIR_ML_METRICS_H_
+#define OMNIFAIR_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace omnifair {
+
+/// Binary confusion counts.
+struct ConfusionCounts {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  size_t Total() const { return tp + fp + tn + fn; }
+  double Accuracy() const;
+  /// FP / (FP + TN); 0 when undefined.
+  double FalsePositiveRate() const;
+  /// FN / (FN + TP); 0 when undefined.
+  double FalseNegativeRate() const;
+  /// FN / (FN + TN): P(y=1 | h=0); 0 when undefined.
+  double FalseOmissionRate() const;
+  /// FP / (FP + TP): P(y=0 | h=1); 0 when undefined.
+  double FalseDiscoveryRate() const;
+  /// (TP + FP) / total: P(h=1).
+  double PositivePredictionRate() const;
+};
+
+/// Counts over (labels, predictions), optionally restricted to `subset`
+/// (row indices). Predictions and labels must be 0/1.
+ConfusionCounts CountConfusion(const std::vector<int>& labels,
+                               const std::vector<int>& predictions);
+ConfusionCounts CountConfusion(const std::vector<int>& labels,
+                               const std::vector<int>& predictions,
+                               const std::vector<size_t>& subset);
+
+/// Unweighted accuracy = mean(1(h(x_i) = y_i)) — AP(theta) in the paper.
+double Accuracy(const std::vector<int>& labels, const std::vector<int>& predictions);
+
+/// Weighted accuracy = (1/N) * sum w_i * 1(h(x_i) = y_i) — the objective of
+/// Equation (2)/(12) in the paper.
+double WeightedAccuracy(const std::vector<int>& labels,
+                        const std::vector<int>& predictions,
+                        const std::vector<double>& weights);
+
+/// ROC AUC from scores (higher = more positive). Handles ties by the
+/// standard rank/trapezoid formulation; returns 0.5 for degenerate label
+/// sets. Used by the paper's Figure 4(c).
+double RocAuc(const std::vector<int>& labels, const std::vector<double>& scores);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_ML_METRICS_H_

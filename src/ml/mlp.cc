@@ -1,0 +1,158 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace omnifair {
+namespace {
+
+// Flat parameter layout: [W1 (h*d), b1 (h), w2 (h), b2 (1)].
+size_t ParamCount(size_t d, size_t h) { return h * d + h + h + 1; }
+
+struct Views {
+  double* W1;
+  double* b1;
+  double* w2;
+  double* b2;
+};
+
+Views MakeViews(std::vector<double>& params, size_t d, size_t h) {
+  Views v;
+  v.W1 = params.data();
+  v.b1 = params.data() + h * d;
+  v.w2 = params.data() + h * d + h;
+  v.b2 = params.data() + h * d + h + h;
+  return v;
+}
+
+}  // namespace
+
+MlpModel::MlpModel(Matrix W1, std::vector<double> b1, std::vector<double> w2, double b2)
+    : W1_(std::move(W1)), b1_(std::move(b1)), w2_(std::move(w2)), b2_(b2) {}
+
+std::vector<double> MlpModel::PredictProba(const Matrix& X) const {
+  OF_CHECK_EQ(X.cols(), W1_.cols());
+  const size_t h = W1_.rows();
+  std::vector<double> proba(X.rows());
+  std::vector<double> hidden(h);
+  for (size_t i = 0; i < X.rows(); ++i) {
+    const double* row = X.Row(i);
+    double z2 = b2_;
+    for (size_t j = 0; j < h; ++j) {
+      const double* wj = W1_.Row(j);
+      double z = b1_[j];
+      for (size_t c = 0; c < X.cols(); ++c) z += wj[c] * row[c];
+      hidden[j] = z > 0.0 ? z : 0.0;  // ReLU
+      z2 += w2_[j] * hidden[j];
+    }
+    proba[i] = Sigmoid(z2);
+  }
+  return proba;
+}
+
+MlpTrainer::MlpTrainer(MlpOptions options) : options_(options) {}
+
+std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<int>& y,
+                                            const std::vector<double>& weights) {
+  OF_CHECK_EQ(X.rows(), y.size());
+  OF_CHECK_EQ(X.rows(), weights.size());
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  const size_t h = static_cast<size_t>(options_.hidden_units);
+  const size_t p = ParamCount(d, h);
+
+  std::vector<double> params(p);
+  if (warm_start_ && warm_params_.size() == p) {
+    params = warm_params_;
+  } else {
+    Rng rng(options_.seed);
+    const double scale = std::sqrt(2.0 / static_cast<double>(d));
+    for (size_t k = 0; k < h * d; ++k) params[k] = rng.NextGaussian(0.0, scale);
+    for (size_t k = h * d; k < p; ++k) params[k] = 0.0;
+    const double out_scale = std::sqrt(2.0 / static_cast<double>(h));
+    Views v = MakeViews(params, d, h);
+    for (size_t j = 0; j < h; ++j) v.w2[j] = rng.NextGaussian(0.0, out_scale);
+  }
+
+  std::vector<double> grad(p, 0.0);
+  std::vector<double> m(p, 0.0);
+  std::vector<double> vv(p, 0.0);
+  std::vector<double> hidden(h);
+  std::vector<double> relu_active(h);
+  const double beta1 = 0.9;
+  const double beta2 = 0.999;
+  const double adam_eps = 1e-8;
+  double previous_loss = std::numeric_limits<double>::infinity();
+
+  for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
+    Views v = MakeViews(params, d, h);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    Views g = MakeViews(grad, d, h);
+    double loss = 0.0;
+
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = X.Row(i);
+      double z2 = *v.b2;
+      for (size_t j = 0; j < h; ++j) {
+        const double* wj = v.W1 + j * d;
+        double z = v.b1[j];
+        for (size_t c = 0; c < d; ++c) z += wj[c] * row[c];
+        relu_active[j] = z > 0.0 ? 1.0 : 0.0;
+        hidden[j] = z > 0.0 ? z : 0.0;
+        z2 += v.w2[j] * hidden[j];
+      }
+      const double target = y[i] == 1 ? 1.0 : 0.0;
+      loss += weights[i] * (Log1pExp(z2) - target * z2);
+      const double delta2 = weights[i] * (Sigmoid(z2) - target);
+      *g.b2 += delta2;
+      for (size_t j = 0; j < h; ++j) {
+        g.w2[j] += delta2 * hidden[j];
+        const double delta1 = delta2 * v.w2[j] * relu_active[j];
+        if (delta1 == 0.0) continue;
+        g.b1[j] += delta1;
+        double* gw = g.W1 + j * d;
+        for (size_t c = 0; c < d; ++c) gw[c] += delta1 * row[c];
+      }
+    }
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    loss *= inv_n;
+    for (size_t k = 0; k < p; ++k) {
+      grad[k] = grad[k] * inv_n + options_.l2 * params[k];
+    }
+
+    // Adam update.
+    const double bc1 = 1.0 - std::pow(beta1, epoch);
+    const double bc2 = 1.0 - std::pow(beta2, epoch);
+    for (size_t k = 0; k < p; ++k) {
+      m[k] = beta1 * m[k] + (1.0 - beta1) * grad[k];
+      vv[k] = beta2 * vv[k] + (1.0 - beta2) * grad[k] * grad[k];
+      params[k] -= options_.learning_rate * (m[k] / bc1) /
+                   (std::sqrt(vv[k] / bc2) + adam_eps);
+    }
+
+    if (std::fabs(previous_loss - loss) <
+        options_.tolerance * std::max(1.0, std::fabs(previous_loss))) {
+      break;
+    }
+    previous_loss = loss;
+  }
+
+  if (warm_start_) warm_params_ = params;
+
+  Views v = MakeViews(params, d, h);
+  Matrix W1(h, d);
+  for (size_t j = 0; j < h; ++j) {
+    for (size_t c = 0; c < d; ++c) W1(j, c) = v.W1[j * d + c];
+  }
+  std::vector<double> b1(v.b1, v.b1 + h);
+  std::vector<double> w2(v.w2, v.w2 + h);
+  return std::make_unique<MlpModel>(std::move(W1), std::move(b1), std::move(w2), *v.b2);
+}
+
+}  // namespace omnifair

@@ -1,0 +1,95 @@
+#include "ml/random_forest.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace omnifair {
+
+RandomForestModel::RandomForestModel(std::vector<std::unique_ptr<Classifier>> trees)
+    : trees_(std::move(trees)) {
+  OF_CHECK(!trees_.empty());
+}
+
+std::vector<double> RandomForestModel::PredictProba(const Matrix& X) const {
+  std::vector<double> proba(X.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    const std::vector<double> tree_proba = tree->PredictProba(X);
+    for (size_t i = 0; i < proba.size(); ++i) proba[i] += tree_proba[i];
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (double& p : proba) p *= inv;
+  return proba;
+}
+
+RandomForestTrainer::RandomForestTrainer(RandomForestOptions options)
+    : options_(options) {}
+
+std::unique_ptr<Classifier> RandomForestTrainer::Fit(
+    const Matrix& X, const std::vector<int>& y, const std::vector<double>& weights) {
+  OF_CHECK_EQ(X.rows(), y.size());
+  OF_CHECK_EQ(X.rows(), weights.size());
+  const size_t n = X.rows();
+
+  size_t max_features = options_.max_features;
+  if (max_features == 0) {
+    max_features = static_cast<size_t>(
+        std::max(1.0, std::round(std::sqrt(static_cast<double>(X.cols())))));
+  }
+
+  // Seed every tree up-front so the fitted forest does not depend on the
+  // thread count or scheduling.
+  Rng rng(options_.seed);
+  std::vector<uint64_t> bootstrap_seeds(options_.num_trees);
+  std::vector<uint64_t> feature_seeds(options_.num_trees);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    bootstrap_seeds[t] = rng.NextUint64();
+    feature_seeds[t] = rng.NextUint64();
+  }
+
+  std::vector<std::unique_ptr<Classifier>> trees(options_.num_trees);
+  auto build_tree = [&](int t) {
+    Rng tree_rng(bootstrap_seeds[t]);
+    // Bootstrap counts via n draws with replacement.
+    std::vector<uint32_t> counts(n, 0);
+    for (size_t draw = 0; draw < n; ++draw) ++counts[tree_rng.NextBounded(n)];
+    std::vector<double> boot_weights(n);
+    for (size_t i = 0; i < n; ++i) {
+      boot_weights[i] = weights[i] * static_cast<double>(counts[i]);
+    }
+    DecisionTreeOptions tree_options;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.max_features = max_features;
+    tree_options.min_weight_leaf = options_.min_weight_leaf;
+    tree_options.min_weight_split = 2.0 * options_.min_weight_leaf;
+    tree_options.seed = feature_seeds[t];
+    DecisionTreeTrainer tree_trainer(tree_options);
+    trees[t] = tree_trainer.Fit(X, y, boot_weights);
+  };
+
+  const int num_threads = std::max(1, std::min(options_.num_threads,
+                                               options_.num_trees));
+  if (num_threads == 1) {
+    for (int t = 0; t < options_.num_trees; ++t) build_tree(t);
+  } else {
+    std::atomic<int> next_tree{0};
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (int w = 0; w < num_threads; ++w) {
+      workers.emplace_back([&] {
+        while (true) {
+          const int t = next_tree.fetch_add(1);
+          if (t >= options_.num_trees) break;
+          build_tree(t);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  return std::make_unique<RandomForestModel>(std::move(trees));
+}
+
+}  // namespace omnifair

@@ -1,0 +1,64 @@
+#ifndef OMNIFAIR_ML_RANDOM_FOREST_H_
+#define OMNIFAIR_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace omnifair {
+
+/// Hyperparameters for the random forest.
+struct RandomForestOptions {
+  int num_trees = 24;
+  int max_depth = 9;
+  /// Features per split; 0 means sqrt(num_features).
+  size_t max_features = 0;
+  double min_weight_leaf = 2.0;
+  uint64_t seed = 17;
+  /// Worker threads for tree building; 1 = sequential. Trees are seeded
+  /// up-front, so the fitted forest is identical for any thread count
+  /// (the paper's future-work note on parallel model training).
+  int num_threads = 4;
+};
+
+/// Bagged ensemble of weighted CART trees; probability = mean leaf
+/// probability across trees.
+class RandomForestModel : public Classifier {
+ public:
+  explicit RandomForestModel(std::vector<std::unique_ptr<Classifier>> trees);
+
+  std::vector<double> PredictProba(const Matrix& X) const override;
+  std::string Name() const override { return "random_forest"; }
+
+  size_t NumTrees() const { return trees_.size(); }
+  const std::vector<std::unique_ptr<Classifier>>& trees() const { return trees_; }
+
+ private:
+  std::vector<std::unique_ptr<Classifier>> trees_;
+};
+
+/// Weighted random forest. Example weights are folded into the bootstrap:
+/// each tree draws a Poisson-like bootstrap count per example and multiplies
+/// it by the example's weight, matching scikit-learn's handling of
+/// sample_weight under bagging.
+class RandomForestTrainer : public Trainer {
+ public:
+  explicit RandomForestTrainer(RandomForestOptions options = {});
+
+  std::unique_ptr<Classifier> Fit(const Matrix& X, const std::vector<int>& y,
+                                  const std::vector<double>& weights) override;
+  using Trainer::Fit;
+
+  std::string Name() const override { return "random_forest"; }
+
+ private:
+  RandomForestOptions options_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_ML_RANDOM_FOREST_H_

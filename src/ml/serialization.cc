@@ -1,0 +1,286 @@
+#include "ml/serialization.h"
+
+#include <fstream>
+
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace omnifair {
+namespace {
+
+constexpr char kMagic[] = "omnifair_model";
+constexpr int kVersion = 1;
+
+void WriteVector(std::ostream& os, const std::vector<double>& values) {
+  os << values.size();
+  for (double v : values) os << " " << v;
+  os << "\n";
+}
+
+bool ReadVector(std::istream& is, std::vector<double>* values) {
+  size_t count = 0;
+  if (!(is >> count)) return false;
+  values->resize(count);
+  for (double& v : *values) {
+    if (!(is >> v)) return false;
+  }
+  return true;
+}
+
+// --- Decision-tree node arrays (shared by dt / rf) ---------------------------
+
+void WriteTreeNodes(std::ostream& os, const std::vector<DecisionTreeModel::Node>& nodes) {
+  os << nodes.size() << "\n";
+  for (const auto& node : nodes) {
+    if (node.is_leaf) {
+      os << "leaf " << node.probability << "\n";
+    } else {
+      os << "split " << node.feature << " " << node.threshold << " " << node.left
+         << " " << node.right << "\n";
+    }
+  }
+}
+
+bool ReadTreeNodes(std::istream& is, std::vector<DecisionTreeModel::Node>* nodes) {
+  size_t count = 0;
+  if (!(is >> count)) return false;
+  nodes->resize(count);
+  for (auto& node : *nodes) {
+    std::string kind;
+    if (!(is >> kind)) return false;
+    if (kind == "leaf") {
+      node.is_leaf = true;
+      if (!(is >> node.probability)) return false;
+    } else if (kind == "split") {
+      node.is_leaf = false;
+      if (!(is >> node.feature >> node.threshold >> node.left >> node.right)) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteGbdtNodes(std::ostream& os, const std::vector<GbdtTreeNode>& nodes) {
+  os << nodes.size() << "\n";
+  for (const auto& node : nodes) {
+    if (node.is_leaf) {
+      os << "leaf " << node.value << "\n";
+    } else {
+      os << "split " << node.feature << " " << node.threshold << " " << node.left
+         << " " << node.right << "\n";
+    }
+  }
+}
+
+bool ReadGbdtNodes(std::istream& is, std::vector<GbdtTreeNode>* nodes) {
+  size_t count = 0;
+  if (!(is >> count)) return false;
+  nodes->resize(count);
+  for (auto& node : *nodes) {
+    std::string kind;
+    if (!(is >> kind)) return false;
+    if (kind == "leaf") {
+      node.is_leaf = true;
+      if (!(is >> node.value)) return false;
+    } else if (kind == "split") {
+      node.is_leaf = false;
+      if (!(is >> node.feature >> node.threshold >> node.left >> node.right)) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Per-family loaders -------------------------------------------------------
+
+Result<std::unique_ptr<Classifier>> LoadLogisticRegression(std::istream& is) {
+  std::vector<double> coefficients;
+  double intercept = 0.0;
+  if (!ReadVector(is, &coefficients) || !(is >> intercept)) {
+    return Status::InvalidArgument("truncated logistic_regression payload");
+  }
+  return std::unique_ptr<Classifier>(
+      std::make_unique<LogisticRegressionModel>(std::move(coefficients), intercept));
+}
+
+Result<std::unique_ptr<Classifier>> LoadNaiveBayes(std::istream& is) {
+  double log_prior_ratio = 0.0;
+  std::vector<double> mean0;
+  std::vector<double> mean1;
+  std::vector<double> var0;
+  std::vector<double> var1;
+  if (!(is >> log_prior_ratio) || !ReadVector(is, &mean0) || !ReadVector(is, &mean1) ||
+      !ReadVector(is, &var0) || !ReadVector(is, &var1)) {
+    return Status::InvalidArgument("truncated naive_bayes payload");
+  }
+  return std::unique_ptr<Classifier>(std::make_unique<NaiveBayesModel>(
+      log_prior_ratio, std::move(mean0), std::move(mean1), std::move(var0),
+      std::move(var1)));
+}
+
+Result<std::unique_ptr<Classifier>> LoadDecisionTree(std::istream& is) {
+  std::vector<DecisionTreeModel::Node> nodes;
+  if (!ReadTreeNodes(is, &nodes)) {
+    return Status::InvalidArgument("truncated decision_tree payload");
+  }
+  return std::unique_ptr<Classifier>(
+      std::make_unique<DecisionTreeModel>(std::move(nodes)));
+}
+
+Result<std::unique_ptr<Classifier>> LoadRandomForest(std::istream& is) {
+  size_t num_trees = 0;
+  if (!(is >> num_trees)) {
+    return Status::InvalidArgument("truncated random_forest payload");
+  }
+  std::vector<std::unique_ptr<Classifier>> trees;
+  trees.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    std::vector<DecisionTreeModel::Node> nodes;
+    if (!ReadTreeNodes(is, &nodes)) {
+      return Status::InvalidArgument("truncated forest tree payload");
+    }
+    trees.push_back(std::make_unique<DecisionTreeModel>(std::move(nodes)));
+  }
+  return std::unique_ptr<Classifier>(
+      std::make_unique<RandomForestModel>(std::move(trees)));
+}
+
+Result<std::unique_ptr<Classifier>> LoadGbdt(std::istream& is) {
+  double base_score = 0.0;
+  double learning_rate = 0.0;
+  size_t num_trees = 0;
+  if (!(is >> base_score >> learning_rate >> num_trees)) {
+    return Status::InvalidArgument("truncated gbdt payload");
+  }
+  std::vector<std::vector<GbdtTreeNode>> trees(num_trees);
+  for (auto& tree : trees) {
+    if (!ReadGbdtNodes(is, &tree)) {
+      return Status::InvalidArgument("truncated gbdt tree payload");
+    }
+  }
+  return std::unique_ptr<Classifier>(
+      std::make_unique<GbdtModel>(std::move(trees), base_score, learning_rate));
+}
+
+Result<std::unique_ptr<Classifier>> LoadMlp(std::istream& is) {
+  size_t hidden = 0;
+  size_t inputs = 0;
+  if (!(is >> hidden >> inputs)) {
+    return Status::InvalidArgument("truncated mlp payload");
+  }
+  Matrix W1(hidden, inputs);
+  for (size_t r = 0; r < hidden; ++r) {
+    for (size_t c = 0; c < inputs; ++c) {
+      if (!(is >> W1(r, c))) return Status::InvalidArgument("truncated mlp W1");
+    }
+  }
+  std::vector<double> b1;
+  std::vector<double> w2;
+  double b2 = 0.0;
+  if (!ReadVector(is, &b1) || !ReadVector(is, &w2) || !(is >> b2)) {
+    return Status::InvalidArgument("truncated mlp payload");
+  }
+  return std::unique_ptr<Classifier>(std::make_unique<MlpModel>(
+      std::move(W1), std::move(b1), std::move(w2), b2));
+}
+
+}  // namespace
+
+Status SerializeModel(const Classifier& model, std::ostream& os) {
+  os.precision(17);
+  os << kMagic << " " << model.Name() << " " << kVersion << "\n";
+  if (const auto* lr = dynamic_cast<const LogisticRegressionModel*>(&model)) {
+    WriteVector(os, lr->coefficients());
+    os << lr->intercept() << "\n";
+    return Status::Ok();
+  }
+  if (const auto* nb = dynamic_cast<const NaiveBayesModel*>(&model)) {
+    os << nb->log_prior_ratio() << "\n";
+    WriteVector(os, nb->mean0());
+    WriteVector(os, nb->mean1());
+    WriteVector(os, nb->var0());
+    WriteVector(os, nb->var1());
+    return Status::Ok();
+  }
+  if (const auto* dt = dynamic_cast<const DecisionTreeModel*>(&model)) {
+    WriteTreeNodes(os, dt->nodes());
+    return Status::Ok();
+  }
+  if (const auto* rf = dynamic_cast<const RandomForestModel*>(&model)) {
+    os << rf->trees().size() << "\n";
+    for (const auto& tree : rf->trees()) {
+      const auto* tree_model = dynamic_cast<const DecisionTreeModel*>(tree.get());
+      if (tree_model == nullptr) {
+        return Status::Unsupported("forest contains a non-CART member");
+      }
+      WriteTreeNodes(os, tree_model->nodes());
+    }
+    return Status::Ok();
+  }
+  if (const auto* gbdt = dynamic_cast<const GbdtModel*>(&model)) {
+    os << gbdt->base_score() << " " << gbdt->learning_rate() << " "
+       << gbdt->trees().size() << "\n";
+    for (const auto& tree : gbdt->trees()) WriteGbdtNodes(os, tree);
+    return Status::Ok();
+  }
+  if (const auto* mlp = dynamic_cast<const MlpModel*>(&model)) {
+    os << mlp->W1().rows() << " " << mlp->W1().cols() << "\n";
+    for (size_t r = 0; r < mlp->W1().rows(); ++r) {
+      for (size_t c = 0; c < mlp->W1().cols(); ++c) {
+        os << mlp->W1()(r, c) << (c + 1 == mlp->W1().cols() ? "\n" : " ");
+      }
+    }
+    WriteVector(os, mlp->b1());
+    WriteVector(os, mlp->w2());
+    os << mlp->b2() << "\n";
+    return Status::Ok();
+  }
+  return Status::Unsupported("no serializer for model family " + model.Name());
+}
+
+Status SaveModel(const Classifier& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+  Status status = SerializeModel(model, out);
+  if (!status.ok()) return status;
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Classifier>> DeserializeModel(std::istream& is) {
+  std::string magic;
+  std::string family;
+  int version = 0;
+  if (!(is >> magic >> family >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not an omnifair model file");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported model version " +
+                                   std::to_string(version));
+  }
+  if (family == "logistic_regression") return LoadLogisticRegression(is);
+  if (family == "naive_bayes") return LoadNaiveBayes(is);
+  if (family == "decision_tree") return LoadDecisionTree(is);
+  if (family == "random_forest") return LoadRandomForest(is);
+  if (family == "gbdt") return LoadGbdt(is);
+  if (family == "mlp") return LoadMlp(is);
+  return Status::Unsupported("unknown model family " + family);
+}
+
+Result<std::unique_ptr<Classifier>> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  return DeserializeModel(in);
+}
+
+}  // namespace omnifair

@@ -1,0 +1,27 @@
+#ifndef OMNIFAIR_ML_SERIALIZATION_H_
+#define OMNIFAIR_ML_SERIALIZATION_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "ml/classifier.h"
+#include "util/status.h"
+
+namespace omnifair {
+
+/// Saves a trained model in the library's line-oriented text format.
+/// Supported families: logistic_regression, naive_bayes, decision_tree,
+/// random_forest, gbdt, mlp. Returns kUnsupported for other classifiers
+/// (e.g. the ExpGrad ensemble).
+Status SerializeModel(const Classifier& model, std::ostream& os);
+Status SaveModel(const Classifier& model, const std::string& path);
+
+/// Loads a model written by SerializeModel/SaveModel.
+Result<std::unique_ptr<Classifier>> DeserializeModel(std::istream& is);
+Result<std::unique_ptr<Classifier>> LoadModel(const std::string& path);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_ML_SERIALIZATION_H_

@@ -1,0 +1,27 @@
+#ifndef OMNIFAIR_ML_TRAINER_REGISTRY_H_
+#define OMNIFAIR_ML_TRAINER_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace omnifair {
+
+/// Creates a trainer by short name, with per-experiment seed:
+///   "lr"  -> LogisticRegressionTrainer
+///   "dt"  -> DecisionTreeTrainer
+///   "rf"  -> RandomForestTrainer
+///   "xgb" -> GbdtTrainer
+///   "nn"  -> MlpTrainer
+///   "nb"  -> NaiveBayesTrainer
+/// Aborts on unknown names (programmer error).
+std::unique_ptr<Trainer> MakeTrainer(const std::string& name, uint64_t seed = 42);
+
+/// The four model families of the paper's Table 5 header: lr, rf, xgb, nn.
+std::vector<std::string> PaperModelNames();
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_ML_TRAINER_REGISTRY_H_

@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace omnifair {
+namespace {
+
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogSeverity min_severity) { g_min_severity = min_severity; }
+LogSeverity GetLogLevel() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace omnifair

@@ -1,0 +1,61 @@
+#ifndef OMNIFAIR_UTIL_LOGGING_H_
+#define OMNIFAIR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace omnifair {
+
+/// Severity levels for the library logger. kFatal aborts after logging.
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum severity that is actually emitted (default kInfo).
+void SetLogLevel(LogSeverity min_severity);
+LogSeverity GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits on destruction. Not for direct use — use
+/// the OF_LOG / OF_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace omnifair
+
+#define OF_LOG(severity)                                                      \
+  ::omnifair::internal_logging::LogMessage(                                   \
+      ::omnifair::LogSeverity::k##severity, __FILE__, __LINE__)               \
+      .stream()
+
+/// Invariant check: logs and aborts when the condition fails. Used for
+/// programmer errors (API misuse inside the library); recoverable conditions
+/// return Status instead.
+#define OF_CHECK(condition)                                                   \
+  if (!(condition))                                                           \
+  ::omnifair::internal_logging::LogMessage(::omnifair::LogSeverity::kFatal,   \
+                                           __FILE__, __LINE__)                \
+      .stream()                                                               \
+      << "Check failed: " #condition " "
+
+#define OF_CHECK_EQ(a, b) OF_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OF_CHECK_GT(a, b) OF_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OF_CHECK_GE(a, b) OF_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OF_CHECK_LT(a, b) OF_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OF_CHECK_LE(a, b) OF_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // OMNIFAIR_UTIL_LOGGING_H_

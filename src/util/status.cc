@@ -1,0 +1,30 @@
+#include "util/status.h"
+
+namespace omnifair {
+
+std::string StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInfeasible:
+      return "INFEASIBLE";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return StatusCodeToString(code_) + ": " + message_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace omnifair

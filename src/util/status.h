@@ -1,0 +1,94 @@
+#ifndef OMNIFAIR_UTIL_STATUS_H_
+#define OMNIFAIR_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace omnifair {
+
+/// Error categories used across the library. Mirrors the failure modes the
+/// paper's experiments distinguish: infeasible fairness problems (NA(1)),
+/// unsupported model/constraint combinations (NA(2)), and plain bad input.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  /// No hyperparameter setting satisfies the declared constraint(s) on the
+  /// validation set ("NA(1)" in Table 5 of the paper).
+  kInfeasible = 2,
+  /// The method does not support the requested model or constraint
+  /// ("NA(2)" in Table 5 of the paper).
+  kUnsupported = 3,
+  kInternal = 4,
+};
+
+/// Human-readable name of a status code, e.g. "INFEASIBLE".
+std::string StatusCodeToString(StatusCode code);
+
+/// A lightweight status object: the library does not throw exceptions across
+/// public API boundaries (see DESIGN.md §7); fallible operations return
+/// Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status Infeasible(std::string message) {
+    return Status(StatusCode::kInfeasible, std::move(message));
+  }
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Minimal StatusOr-like holder: either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value/status mirrors absl::StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_UTIL_STATUS_H_

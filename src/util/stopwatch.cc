@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Stopwatch is header-only; this translation unit exists so the build
+// exercises the header's self-containedness.

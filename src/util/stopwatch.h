@@ -1,0 +1,30 @@
+#ifndef OMNIFAIR_UTIL_STOPWATCH_H_
+#define OMNIFAIR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace omnifair {
+
+/// Wall-clock stopwatch used by the efficiency experiments (Figures 5/6,
+/// Tables 6/8).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_UTIL_STOPWATCH_H_

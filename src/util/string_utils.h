@@ -1,0 +1,30 @@
+#ifndef OMNIFAIR_UTIL_STRING_UTILS_H_
+#define OMNIFAIR_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omnifair {
+
+/// Splits on a single character; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins parts with the separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Parses a double; returns false on malformed input (no exceptions).
+bool ParseDouble(std::string_view text, double* out);
+
+/// Formats a double with the given number of decimal places.
+std::string FormatDouble(double value, int decimals);
+
+/// Formats a fraction as a signed percentage string, e.g. -0.012 -> "-1.2%".
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_UTIL_STRING_UTILS_H_

@@ -1,0 +1,171 @@
+#include "baselines/baseline.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/reweighing.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/trainer_registry.h"
+
+namespace omnifair {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  TrainValTestSplit split;
+  FairnessSpec sp_spec;
+
+  Fixture() {
+    SyntheticOptions options;
+    options.num_rows = 3000;
+    options.seed = 4;
+    data = MakeCompasDataset(options);
+    split = SplitDefault(data, 19);
+    sp_spec = MakeSpec(
+        GroupByAttributeValues("race", {"African-American", "Caucasian"}), "sp",
+        0.05);
+  }
+};
+
+TEST(BaselineFactoryTest, AllNamesConstruct) {
+  for (const std::string& name : AllBaselineNames()) {
+    auto baseline = MakeBaseline(name);
+    ASSERT_NE(baseline, nullptr) << name;
+    EXPECT_EQ(baseline->Name(), name);
+  }
+}
+
+/// All baselines train and report coherent results on the COMPAS SP task.
+class BaselineSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineSmokeTest, TrainsOnCompasSp) {
+  Fixture fx;
+  auto baseline = MakeBaseline(GetParam());
+  auto trainer = MakeTrainer("lr");
+  auto result =
+      baseline->Train(fx.split.train, fx.split.val, trainer.get(), fx.sp_spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->model, nullptr);
+  EXPECT_GT(result->val_accuracy, 0.5);
+  EXPECT_GE(result->models_trained, 1);
+  ASSERT_EQ(result->val_fairness_parts.size(), 1u);
+  if (result->satisfied) {
+    EXPECT_LE(std::fabs(result->val_fairness_parts[0]),
+              fx.sp_spec.epsilon + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineSmokeTest,
+                         ::testing::Values("kamiran", "calmon", "zafar", "celis",
+                                           "agarwal", "thomas"));
+
+TEST(KamiranTest, WeightsRemoveGroupLabelDependence) {
+  // Property: under Kamiran weights, the weighted joint P(g, y) factorizes
+  // into P(g) * P(y).
+  Fixture fx;
+  const GroupMap groups = fx.sp_spec.grouping(fx.split.train);
+  const std::vector<double> weights =
+      KamiranReweighing::ComputeWeights(fx.split.train, groups);
+
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  for (const auto& [name, members] : groups) {
+    double group_weight = 0.0;
+    double group_pos_weight = 0.0;
+    for (size_t i : members) {
+      group_weight += weights[i];
+      if (fx.split.train.Label(i) == 1) group_pos_weight += weights[i];
+    }
+    double all_pos_weight = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (fx.split.train.Label(i) == 1) all_pos_weight += weights[i];
+    }
+    // P_w(y=1 | g) == P_w(y=1) after reweighing.
+    EXPECT_NEAR(group_pos_weight / group_weight, all_pos_weight / total_weight,
+                0.02)
+        << name;
+  }
+}
+
+TEST(KamiranTest, RejectsNonSpMetrics) {
+  Fixture fx;
+  auto baseline = MakeBaseline("kamiran");
+  auto trainer = MakeTrainer("lr");
+  FairnessSpec fdr = fx.sp_spec;
+  fdr.metric = MakeMetricByName("fdr");
+  auto result = baseline->Train(fx.split.train, fx.split.val, trainer.get(), fdr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ZafarTest, RejectsNonLrTrainers) {
+  Fixture fx;
+  auto baseline = MakeBaseline("zafar");
+  auto rf = MakeTrainer("rf");
+  EXPECT_FALSE(baseline->SupportsTrainer(*rf));
+  auto result = baseline->Train(fx.split.train, fx.split.val, rf.get(), fx.sp_spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CelisTest, RejectsNonLrTrainers) {
+  Fixture fx;
+  auto baseline = MakeBaseline("celis");
+  auto xgb = MakeTrainer("xgb");
+  EXPECT_FALSE(baseline->SupportsTrainer(*xgb));
+}
+
+TEST(CelisTest, SupportsFdr) {
+  auto baseline = MakeBaseline("celis");
+  EXPECT_TRUE(baseline->SupportsMetric(*MakeMetricByName("fdr")));
+  EXPECT_TRUE(baseline->SupportsMetric(*MakeMetricByName("for")));
+}
+
+TEST(AgarwalTest, DoesNotSupportFdr) {
+  auto baseline = MakeBaseline("agarwal");
+  EXPECT_FALSE(baseline->SupportsMetric(*MakeMetricByName("fdr")));
+  EXPECT_TRUE(baseline->SupportsMetric(*MakeMetricByName("fpr")));
+}
+
+TEST(AgarwalTest, ModelAgnosticAcrossTrainers) {
+  Fixture fx;
+  auto baseline = MakeBaseline("agarwal");
+  auto dt = MakeTrainer("dt");
+  EXPECT_TRUE(baseline->SupportsTrainer(*dt));
+  auto result = baseline->Train(fx.split.train, fx.split.val, dt.get(), fx.sp_spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->model, nullptr);
+}
+
+TEST(ThomasTest, BringsItsOwnModel) {
+  Fixture fx;
+  auto baseline = MakeBaseline("thomas");
+  auto lr = MakeTrainer("lr");
+  EXPECT_FALSE(baseline->SupportsTrainer(*lr));  // NA(2)* in Table 5
+  // Works with a null trainer — it never uses one.
+  auto result = baseline->Train(fx.split.train, fx.split.val, nullptr, fx.sp_spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->val_accuracy, 0.6);
+}
+
+TEST(CalmonTest, UnsupportedDatasetReportsUnsatisfied) {
+  // LSAC lacks the dataset-specific distortion parameters (paper NA(1)).
+  SyntheticOptions options;
+  options.num_rows = 2000;
+  options.seed = 6;
+  const Dataset lsac = MakeLsacDataset(options);
+  const TrainValTestSplit split = SplitDefault(lsac, 23);
+  const FairnessSpec spec =
+      MakeSpec(GroupByAttributeValues("race", {"White", "Black"}), "sp", 0.03);
+  auto baseline = MakeBaseline("calmon");
+  auto trainer = MakeTrainer("lr");
+  auto result = baseline->Train(split.train, split.val, trainer.get(), spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfied);
+  EXPECT_NE(result->model, nullptr);  // best-effort unconstrained model
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,95 @@
+#include "baselines/cmaes.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+double Sphere(const std::vector<double>& x) {
+  double value = 0.0;
+  for (double xi : x) value += xi * xi;
+  return value;
+}
+
+double Rosenbrock(const std::vector<double>& x) {
+  double value = 0.0;
+  for (size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    value += 100.0 * a * a + b * b;
+  }
+  return value;
+}
+
+TEST(CmaesTest, MinimizesSphere) {
+  CmaesOptions options;
+  options.max_iterations = 200;
+  Cmaes cmaes(options);
+  const CmaesResult result = cmaes.Minimize(Sphere, std::vector<double>(5, 2.0));
+  EXPECT_LT(result.best_value, 1e-8);
+  for (double x : result.best_x) EXPECT_NEAR(x, 0.0, 1e-3);
+}
+
+TEST(CmaesTest, MinimizesShiftedSphere) {
+  CmaesOptions options;
+  options.max_iterations = 250;
+  Cmaes cmaes(options);
+  auto objective = [](const std::vector<double>& x) {
+    double value = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double diff = x[i] - (1.0 + static_cast<double>(i));
+      value += diff * diff;
+    }
+    return value;
+  };
+  const CmaesResult result = cmaes.Minimize(objective, std::vector<double>(3, 0.0));
+  EXPECT_LT(result.best_value, 1e-6);
+  EXPECT_NEAR(result.best_x[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.best_x[2], 3.0, 1e-2);
+}
+
+TEST(CmaesTest, HandlesRosenbrockValley) {
+  CmaesOptions options;
+  options.max_iterations = 600;
+  options.sigma = 0.3;
+  Cmaes cmaes(options);
+  const CmaesResult result = cmaes.Minimize(Rosenbrock, std::vector<double>(2, 0.0));
+  // The optimum is at (1, 1) with value 0; CMA-ES gets close.
+  EXPECT_LT(result.best_value, 1e-4);
+}
+
+TEST(CmaesTest, DeterministicGivenSeed) {
+  CmaesOptions options;
+  options.max_iterations = 50;
+  options.seed = 7;
+  Cmaes a(options);
+  Cmaes b(options);
+  const CmaesResult ra = a.Minimize(Sphere, std::vector<double>(4, 1.0));
+  const CmaesResult rb = b.Minimize(Sphere, std::vector<double>(4, 1.0));
+  EXPECT_EQ(ra.best_value, rb.best_value);
+  EXPECT_EQ(ra.best_x, rb.best_x);
+}
+
+TEST(CmaesTest, ReportsEvaluationCounts) {
+  CmaesOptions options;
+  options.max_iterations = 10;
+  options.population = 8;
+  Cmaes cmaes(options);
+  const CmaesResult result = cmaes.Minimize(Sphere, std::vector<double>(3, 1.0));
+  EXPECT_EQ(result.iterations, 10);
+  EXPECT_EQ(result.evaluations, 1 + 10 * 8);
+}
+
+TEST(CmaesTest, BestNeverWorseThanStart) {
+  CmaesOptions options;
+  options.max_iterations = 5;
+  Cmaes cmaes(options);
+  const std::vector<double> x0(6, 3.0);
+  const CmaesResult result = cmaes.Minimize(Sphere, x0);
+  EXPECT_LE(result.best_value, Sphere(x0));
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,127 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CsvTest, ReadBasic) {
+  const std::string path = TempPath("basic.csv");
+  WriteFile(path,
+            "age,race,label\n"
+            "25,black,1\n"
+            "40,white,0\n");
+  CsvReadOptions options;
+  Result<Dataset> result = ReadCsv(path, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->NumRows(), 2u);
+  EXPECT_EQ(result->NumColumns(), 2u);
+  EXPECT_EQ(result->ColumnByName("age").type(), ColumnType::kNumeric);
+  EXPECT_EQ(result->ColumnByName("race").type(), ColumnType::kCategorical);
+  EXPECT_EQ(result->Label(0), 1);
+  EXPECT_EQ(result->Label(1), 0);
+}
+
+TEST(CsvTest, PositiveLabelValue) {
+  const std::string path = TempPath("poslabel.csv");
+  WriteFile(path,
+            "x,income\n"
+            "1,>50K\n"
+            "2,<=50K\n");
+  CsvReadOptions options;
+  options.label_column = "income";
+  options.positive_label_value = ">50K";
+  Result<Dataset> result = ReadCsv(path, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Label(0), 1);
+  EXPECT_EQ(result->Label(1), 0);
+}
+
+TEST(CsvTest, ForceCategorical) {
+  const std::string path = TempPath("force.csv");
+  WriteFile(path,
+            "zip,label\n"
+            "10001,0\n"
+            "90210,1\n");
+  CsvReadOptions options;
+  options.force_categorical = {"zip"};
+  Result<Dataset> result = ReadCsv(path, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ColumnByName("zip").type(), ColumnType::kCategorical);
+}
+
+TEST(CsvTest, MissingLabelColumn) {
+  const std::string path = TempPath("nolabel.csv");
+  WriteFile(path, "a,b\n1,2\n");
+  Result<Dataset> result = ReadCsv(path, CsvReadOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,label\n1,0\n1,2,3\n");
+  Result<Dataset> result = ReadCsv(path, CsvReadOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, NonBinaryLabelFails) {
+  const std::string path = TempPath("badlabel.csv");
+  WriteFile(path, "a,label\n1,5\n");
+  Result<Dataset> result = ReadCsv(path, CsvReadOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  Result<Dataset> result = ReadCsv("/nonexistent/file.csv", CsvReadOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  WriteFile(path, "a,label\n1,0\n\n2,1\n");
+  Result<Dataset> result = ReadCsv(path, CsvReadOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->NumRows(), 2u);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Dataset d("rt");
+  Column age = Column::Numeric("age");
+  Column g = Column::Categorical("g", {"a", "b"});
+  age.AppendNumeric(20.5);
+  age.AppendNumeric(31.0);
+  g.AppendCode(0);
+  g.AppendCode(1);
+  d.AddColumn(std::move(age));
+  d.AddColumn(std::move(g));
+  d.SetLabels({1, 0});
+  d.set_label_name("y");
+
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+
+  CsvReadOptions options;
+  options.label_column = "y";
+  Result<Dataset> back = ReadCsv(path, options);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(back->ColumnByName("age").NumericValue(0), 20.5);
+  EXPECT_EQ(back->ColumnByName("g").CategoryOf(1), "b");
+  EXPECT_EQ(back->Label(0), 1);
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,116 @@
+#include "core/evaluator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "tests/testing_fairness.h"
+
+namespace omnifair {
+namespace {
+
+using testing_fairness::AlternatingPredictions;
+using testing_fairness::MakeBiasedDataset;
+
+std::vector<ConstraintSpec> SpConstraint(const Dataset& d, double epsilon = 0.03) {
+  const FairnessSpec spec = MakeSpec(GroupByAttribute("grp"), "sp", epsilon);
+  auto result = InduceConstraints(spec, d);
+  EXPECT_TRUE(result.ok());
+  return *result;
+}
+
+TEST(EvaluatorTest, FairnessPartIsSignedDifference) {
+  const Dataset d = MakeBiasedDataset(400, 0.6, 0.3, 1);
+  const ConstraintEvaluator evaluator(SpConstraint(d), d);
+  ASSERT_EQ(evaluator.NumConstraints(), 1u);
+
+  // Predict 1 exactly for group "a": SP(a)=1, SP(b)=0 -> FP = +1.
+  std::vector<int> predictions(d.NumRows(), 0);
+  for (size_t i : evaluator.Group1(0)) predictions[i] = 1;
+  EXPECT_NEAR(evaluator.FairnessPart(0, predictions), 1.0, 1e-12);
+
+  // All-zero predictions -> FP = 0.
+  std::fill(predictions.begin(), predictions.end(), 0);
+  EXPECT_NEAR(evaluator.FairnessPart(0, predictions), 0.0, 1e-12);
+}
+
+TEST(EvaluatorTest, SatisfiedAndMaxViolation) {
+  const Dataset d = MakeBiasedDataset(400, 0.6, 0.3, 2);
+  const ConstraintEvaluator evaluator(SpConstraint(d, 0.5), d);
+  std::vector<int> predictions(d.NumRows(), 0);
+  for (size_t i : evaluator.Group1(0)) predictions[i] = 1;  // FP = 1 > 0.5
+  EXPECT_FALSE(evaluator.Satisfied(predictions));
+  EXPECT_NEAR(evaluator.MaxViolation(predictions), 0.5, 1e-12);
+
+  std::fill(predictions.begin(), predictions.end(), 1);  // FP = 0
+  EXPECT_TRUE(evaluator.Satisfied(predictions));
+  EXPECT_LE(evaluator.MaxViolation(predictions), 0.0);
+}
+
+TEST(EvaluatorTest, MostViolatedPicksArgmax) {
+  const Dataset d = MakeBiasedDataset(600, 0.7, 0.2, 3);
+  // Two specs: SP (heavily violated by group-dependent predictions) and MR
+  // with a huge epsilon (never violated).
+  std::vector<ConstraintSpec> constraints = SpConstraint(d, 0.01);
+  const FairnessSpec mr_spec = MakeSpec(GroupByAttribute("grp"), "mr", 5.0);
+  auto mr = InduceConstraints(mr_spec, d);
+  ASSERT_TRUE(mr.ok());
+  constraints.push_back((*mr)[0]);
+
+  const ConstraintEvaluator evaluator(constraints, d);
+  std::vector<int> predictions(d.NumRows(), 0);
+  for (size_t i : evaluator.Group1(0)) predictions[i] = 1;
+  EXPECT_EQ(evaluator.MostViolated(predictions), 0u);
+}
+
+TEST(EvaluatorTest, FairnessPartsVector) {
+  const Dataset d = MakeBiasedDataset(300, 0.6, 0.3, 4);
+  std::vector<ConstraintSpec> constraints = SpConstraint(d);
+  const FairnessSpec fnr_spec = MakeSpec(GroupByAttribute("grp"), "fnr", 0.05);
+  auto fnr = InduceConstraints(fnr_spec, d);
+  ASSERT_TRUE(fnr.ok());
+  constraints.push_back((*fnr)[0]);
+
+  const ConstraintEvaluator evaluator(constraints, d);
+  const std::vector<int> predictions = AlternatingPredictions(d.NumRows());
+  const std::vector<double> parts = evaluator.FairnessParts(predictions);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_NEAR(parts[0], evaluator.FairnessPart(0, predictions), 1e-15);
+  EXPECT_NEAR(parts[1], evaluator.FairnessPart(1, predictions), 1e-15);
+}
+
+TEST(EvaluatorTest, EmptyGroupOnSplitEvaluatesToZero) {
+  // Constraint names come from a reference dataset; this split has no "b".
+  const Dataset reference = MakeBiasedDataset(200, 0.6, 0.3, 5);
+  const std::vector<ConstraintSpec> constraints = SpConstraint(reference);
+
+  Dataset no_b;
+  Column g = Column::Categorical("grp", {"a", "b"});
+  Column x = Column::Numeric("score");
+  Column x2 = Column::Numeric("noise");
+  for (int i = 0; i < 10; ++i) {
+    g.AppendCode(0);
+    x.AppendNumeric(i);
+    x2.AppendNumeric(0.0);
+  }
+  no_b.AddColumn(std::move(g));
+  no_b.AddColumn(std::move(x));
+  no_b.AddColumn(std::move(x2));
+  no_b.SetLabels(std::vector<int>(10, 1));
+
+  const ConstraintEvaluator evaluator(constraints, no_b);
+  EXPECT_TRUE(evaluator.HasEmptyGroup(0));
+  EXPECT_DOUBLE_EQ(evaluator.FairnessPart(0, std::vector<int>(10, 1)), 0.0);
+}
+
+TEST(EvaluatorTest, GroupMembersMatchGrouping) {
+  const Dataset d = MakeBiasedDataset(100, 0.6, 0.3, 6);
+  const ConstraintEvaluator evaluator(SpConstraint(d), d);
+  const GroupMap groups = GroupByAttribute("grp")(d);
+  EXPECT_EQ(evaluator.Group1(0), groups.at("a"));
+  EXPECT_EQ(evaluator.Group2(0), groups.at("b"));
+}
+
+}  // namespace
+}  // namespace omnifair

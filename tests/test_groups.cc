@@ -1,0 +1,86 @@
+#include "core/groups.h"
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+Dataset TwoAttributeDataset() {
+  Dataset d;
+  Column race = Column::Categorical("race", {"black", "white", "hispanic"});
+  Column sex = Column::Categorical("sex", {"m", "f"});
+  Column age = Column::Numeric("age");
+  const int race_codes[] = {0, 0, 1, 1, 2, 2};
+  const int sex_codes[] = {0, 1, 0, 1, 0, 1};
+  for (int i = 0; i < 6; ++i) {
+    race.AppendCode(race_codes[i]);
+    sex.AppendCode(sex_codes[i]);
+    age.AppendNumeric(20.0 + i);
+  }
+  d.AddColumn(std::move(race));
+  d.AddColumn(std::move(sex));
+  d.AddColumn(std::move(age));
+  d.SetLabels({0, 1, 0, 1, 0, 1});
+  return d;
+}
+
+TEST(GroupsTest, GroupByAttribute) {
+  const Dataset d = TwoAttributeDataset();
+  const GroupMap groups = GroupByAttribute("race")(d);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at("black"), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(groups.at("white"), (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(groups.at("hispanic"), (std::vector<size_t>{4, 5}));
+}
+
+TEST(GroupsTest, GroupByAttributeValuesFilters) {
+  const Dataset d = TwoAttributeDataset();
+  const GroupMap groups = GroupByAttributeValues("race", {"black", "white"})(d);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.count("hispanic"), 0u);
+  EXPECT_EQ(groups.at("black").size(), 2u);
+}
+
+TEST(GroupsTest, GroupByIntersection) {
+  const Dataset d = TwoAttributeDataset();
+  const GroupMap groups = GroupByIntersection({"race", "sex"})(d);
+  EXPECT_EQ(groups.size(), 6u);  // all combos non-empty here
+  EXPECT_EQ(groups.at("black|m"), (std::vector<size_t>{0}));
+  EXPECT_EQ(groups.at("hispanic|f"), (std::vector<size_t>{5}));
+}
+
+TEST(GroupsTest, GroupByPredicatesMayOverlap) {
+  const Dataset d = TwoAttributeDataset();
+  const GroupMap groups = GroupByPredicates(
+      {{"young", [](const Dataset& ds, size_t i) {
+          return ds.ColumnByName("age").NumericValue(i) < 23.0;
+        }},
+       {"male", [](const Dataset& ds, size_t i) {
+          return ds.ColumnByName("sex").CategoryOf(i) == "m";
+        }}})(d);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at("young"), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(groups.at("male"), (std::vector<size_t>{0, 2, 4}));
+  // Row 0 and 2 belong to both groups (overlap allowed).
+}
+
+TEST(GroupsTest, IsValidGrouping) {
+  GroupMap ok = {{"a", {0, 1}}, {"b", {2}}};
+  EXPECT_TRUE(IsValidGrouping(ok));
+  GroupMap one = {{"a", {0, 1}}};
+  EXPECT_FALSE(IsValidGrouping(one));
+  GroupMap with_empty = {{"a", {0}}, {"b", {}}};
+  EXPECT_FALSE(IsValidGrouping(with_empty));
+  GroupMap two_plus_empty = {{"a", {0}}, {"b", {}}, {"c", {1}}};
+  EXPECT_TRUE(IsValidGrouping(two_plus_empty));
+}
+
+TEST(GroupsTest, DeclaredValuesKeptEvenWhenEmpty) {
+  const Dataset d = TwoAttributeDataset();
+  const GroupMap groups = GroupByAttributeValues("sex", {"m", "f"})(d);
+  EXPECT_EQ(groups.at("m").size(), 3u);
+  EXPECT_EQ(groups.at("f").size(), 3u);
+}
+
+}  // namespace
+}  // namespace omnifair

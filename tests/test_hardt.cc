@@ -1,0 +1,111 @@
+#include "baselines/hardt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/omnifair.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/trainer_registry.h"
+
+namespace omnifair {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  TrainValTestSplit split;
+  FairnessSpec spec;
+
+  explicit Fixture(const std::string& metric = "sp", double epsilon = 0.05) {
+    SyntheticOptions options;
+    options.num_rows = 3000;
+    options.seed = 8;
+    data = MakeCompasDataset(options);
+    split = SplitDefault(data, 31);
+    spec = MakeSpec(
+        GroupByAttributeValues("race", {"African-American", "Caucasian"}),
+        metric, epsilon);
+  }
+};
+
+TEST(HardtTest, SatisfiesSpViaThresholds) {
+  Fixture fx;
+  HardtPostProcessing hardt;
+  auto trainer = MakeTrainer("lr");
+  auto result = hardt.Train(fx.split.train, fx.split.val, trainer.get(), fx.spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_LE(std::fabs(result->val_fairness_parts[0]), fx.spec.epsilon + 1e-9);
+  // Only one base fit: post-processing is cheap.
+  EXPECT_EQ(result->models_trained, 1);
+  EXPECT_GT(result->val_accuracy, 0.65);
+}
+
+TEST(HardtTest, SupportsPredictionParameterizedMetrics) {
+  Fixture fx("fdr", 0.05);
+  HardtPostProcessing hardt;
+  EXPECT_TRUE(hardt.SupportsMetric(*fx.spec.metric));
+  auto trainer = MakeTrainer("lr");
+  auto result = hardt.Train(fx.split.train, fx.split.val, trainer.get(), fx.spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  if (result->satisfied) {
+    EXPECT_LE(std::fabs(result->val_fairness_parts[0]), 0.05 + 1e-9);
+  }
+}
+
+TEST(HardtTest, ModelAgnosticAcrossTrainers) {
+  Fixture fx;
+  HardtPostProcessing hardt;
+  for (const char* name : {"dt", "nb"}) {
+    auto trainer = MakeTrainer(name);
+    auto result = hardt.Train(fx.split.train, fx.split.val, trainer.get(), fx.spec);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status();
+    EXPECT_NE(result->model, nullptr);
+  }
+}
+
+TEST(HardtTest, AuditsOnTestSet) {
+  Fixture fx;
+  HardtPostProcessing hardt;
+  auto trainer = MakeTrainer("lr");
+  auto result = hardt.Train(fx.split.train, fx.split.val, trainer.get(), fx.spec);
+  ASSERT_TRUE(result.ok());
+  auto audit = Audit(*result->model, result->encoder, fx.split.test, {fx.spec});
+  ASSERT_TRUE(audit.ok());
+  EXPECT_GT(audit->accuracy, 0.65);
+  // Generalization is not guaranteed, but the disparity should be in the
+  // vicinity of epsilon rather than the unconstrained ~0.2.
+  EXPECT_LT(audit->max_disparity, 0.15);
+}
+
+TEST(HardtTest, AvailableFromFactory) {
+  auto baseline = MakeBaseline("hardt");
+  ASSERT_NE(baseline, nullptr);
+  EXPECT_EQ(baseline->Name(), "hardt");
+}
+
+TEST(GroupThresholdClassifierTest, RoutesByOneHotColumn) {
+  // A fake base classifier with constant score 0.6 everywhere.
+  class ConstantModel : public Classifier {
+   public:
+    std::vector<double> PredictProba(const Matrix& X) const override {
+      return std::vector<double>(X.rows(), 0.6);
+    }
+    std::string Name() const override { return "constant"; }
+  };
+  // Feature 0 = group1 indicator, feature 1 = group2 indicator.
+  Matrix X = {{1.0, 0.0}, {0.0, 1.0}, {0.0, 0.0}};
+  GroupThresholdClassifier wrapped(std::make_shared<ConstantModel>(),
+                                   /*group1_feature=*/0, /*group2_feature=*/1,
+                                   /*threshold1=*/0.9, /*threshold2=*/0.3);
+  const std::vector<int> preds = wrapped.Predict(X);
+  EXPECT_EQ(preds[0], 0);  // 0.6 < 0.9 for group 1
+  EXPECT_EQ(preds[1], 1);  // 0.6 >= 0.3 for group 2
+  EXPECT_EQ(preds[2], 1);  // default threshold 0.5
+  EXPECT_DOUBLE_EQ(wrapped.threshold1(), 0.9);
+  EXPECT_DOUBLE_EQ(wrapped.threshold2(), 0.3);
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,164 @@
+#include "core/hill_climbing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/logistic_regression.h"
+#include "tests/testing_fairness.h"
+
+namespace omnifair {
+namespace {
+
+using testing_fairness::MakeBiasedDataset;
+
+std::unique_ptr<FairnessProblem> ThreeGroupProblem(Trainer* trainer,
+                                                   double epsilon) {
+  SyntheticOptions options;
+  options.num_rows = 4000;
+  options.seed = 3;
+  const Dataset d = MakeCompasDataset(options);
+  const TrainValTestSplit split = SplitDefault(d, 11);
+  FairnessSpec spec = MakeSpec(
+      GroupByAttributeValues("race", {"African-American", "Caucasian", "Hispanic"}),
+      "sp", epsilon);
+  auto problem = FairnessProblem::Create(split.train, split.val, {spec}, trainer);
+  EXPECT_TRUE(problem.ok()) << problem.status();
+  return std::move(*problem);
+}
+
+TEST(HillClimbingTest, ThreeGroupSpConverges) {
+  LogisticRegressionTrainer trainer;
+  auto problem = ThreeGroupProblem(&trainer, 0.05);
+  EXPECT_EQ(problem->NumConstraints(), 3u);  // C(3,2)
+  const HillClimber climber;
+  MultiTuneResult result = climber.Run(*problem);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_TRUE(result.satisfied);
+  for (double fp : result.val_fairness_parts) {
+    EXPECT_LE(std::fabs(fp), 0.05 + 1e-9);
+  }
+}
+
+TEST(HillClimbingTest, TwoMetricsOnSameGroups) {
+  // Moderate base-rate gap: SP + FNR parity are simultaneously feasible
+  // here (a large gap such as 0.7 vs 0.25 makes them mutually exclusive —
+  // the Kleinberg et al. impossibility the paper's §6 discusses).
+  const Dataset data = MakeBiasedDataset(3000, 0.55, 0.40, 5, /*feature_shift=*/1.5);
+  std::vector<size_t> train_idx;
+  std::vector<size_t> val_idx;
+  for (size_t i = 0; i < 2000; ++i) train_idx.push_back(i);
+  for (size_t i = 2000; i < 3000; ++i) val_idx.push_back(i);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(
+      data.SelectRows(train_idx), data.SelectRows(val_idx),
+      {MakeSpec(GroupByAttribute("grp"), "sp", 0.05),
+       MakeSpec(GroupByAttribute("grp"), "fnr", 0.10)},
+      &trainer);
+  ASSERT_TRUE(problem.ok());
+  const HillClimber climber;
+  MultiTuneResult result = climber.Run(**problem);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_LE(std::fabs(result.val_fairness_parts[0]), 0.05 + 1e-9);
+  EXPECT_LE(std::fabs(result.val_fairness_parts[1]), 0.10 + 1e-9);
+}
+
+TEST(HillClimbingTest, UnconstrainedCaseTerminatesImmediately) {
+  const Dataset train = MakeBiasedDataset(500, 0.5, 0.5, 6);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(
+      train, train,
+      {MakeSpec(GroupByAttribute("grp"), "sp", 0.5),
+       MakeSpec(GroupByAttribute("grp"), "mr", 0.5)},
+      &trainer);
+  ASSERT_TRUE(problem.ok());
+  const HillClimber climber;
+  MultiTuneResult result = climber.Run(**problem);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(result.models_trained, 1);
+  for (double lambda : result.lambdas) EXPECT_DOUBLE_EQ(lambda, 0.0);
+}
+
+TEST(HillClimbingTest, IterationCapRespected) {
+  // Impossible pair of constraints at epsilon ~ 0 forces the cap.
+  const Dataset train = MakeBiasedDataset(600, 0.9, 0.1, 7);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(
+      train, train,
+      {MakeSpec(GroupByAttribute("grp"), "sp", 0.0),
+       MakeSpec(GroupByAttribute("grp"), "fnr", 0.0)},
+      &trainer);
+  ASSERT_TRUE(problem.ok());
+  HillClimbOptions options;
+  options.max_iterations_factor = 2;
+  options.tune.max_doublings = 3;
+  options.tune.tau = 0.05;
+  const HillClimber climber(options);
+  MultiTuneResult result = climber.Run(**problem);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_LE(result.iterations, 4);  // 2 * k = 4
+}
+
+TEST(GridSearchTest, FindsSatisfyingPointWhenExists) {
+  // Mild separability keeps the lambda -> FP response smooth enough for a
+  // 33-point grid to land inside the band (a coarse grid on steep data
+  // misses it — exactly the NA(1) failure mode Table 5 shows for Celis).
+  const Dataset data = MakeBiasedDataset(2000, 0.6, 0.4, 8, /*feature_shift=*/1.2);
+  std::vector<size_t> train_idx;
+  std::vector<size_t> val_idx;
+  for (size_t i = 0; i < 1400; ++i) train_idx.push_back(i);
+  for (size_t i = 1400; i < 2000; ++i) val_idx.push_back(i);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(
+      data.SelectRows(train_idx), data.SelectRows(val_idx),
+      {MakeSpec(GroupByAttribute("grp"), "sp", 0.05)}, &trainer);
+  ASSERT_TRUE(problem.ok());
+  GridSearchOptions options;
+  options.points_per_dim = 33;
+  const GridSearchTuner grid(options);
+  MultiTuneResult result = grid.Run(**problem);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_LE(std::fabs(result.val_fairness_parts[0]), 0.05 + 1e-9);
+  EXPECT_EQ(result.models_trained, 33 + 1);  // grid + base model
+}
+
+TEST(GridSearchTest, CollectsAllPoints) {
+  const Dataset train = MakeBiasedDataset(500, 0.6, 0.35, 9);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(
+      train, train, {MakeSpec(GroupByAttribute("grp"), "sp", 0.05)}, &trainer);
+  ASSERT_TRUE(problem.ok());
+  GridSearchOptions options;
+  options.points_per_dim = 5;
+  const GridSearchTuner grid(options);
+  std::vector<GridPoint> points;
+  (void)grid.RunCollecting(**problem, &points);
+  ASSERT_EQ(points.size(), 5u);
+  // Lambdas span [-max, max].
+  EXPECT_DOUBLE_EQ(points.front().lambdas[0], -1.0);
+  EXPECT_DOUBLE_EQ(points.back().lambdas[0], 1.0);
+}
+
+TEST(GridSearchTest, HillClimbingUsesFewerModelsThanGrid) {
+  LogisticRegressionTrainer trainer_hc;
+  auto problem_hc = ThreeGroupProblem(&trainer_hc, 0.05);
+  const HillClimber climber;
+  MultiTuneResult hc = climber.Run(*problem_hc);
+
+  LogisticRegressionTrainer trainer_grid;
+  auto problem_grid = ThreeGroupProblem(&trainer_grid, 0.05);
+  GridSearchOptions options;
+  options.points_per_dim = 7;  // 7^3 = 343 fits
+  const GridSearchTuner grid(options);
+  MultiTuneResult gs = grid.Run(*problem_grid);
+
+  EXPECT_LT(hc.models_trained, gs.models_trained);
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+TEST(LoggingTest, LogLevelRoundTrip) {
+  const LogSeverity original = GetLogLevel();
+  SetLogLevel(LogSeverity::kError);
+  EXPECT_EQ(GetLogLevel(), LogSeverity::kError);
+  SetLogLevel(LogSeverity::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogSeverity::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogSeverity original = GetLogLevel();
+  SetLogLevel(LogSeverity::kError);
+  OF_LOG(Info) << "this is filtered out";
+  OF_LOG(Warning) << "so is this";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, PassingChecksAreSilent) {
+  OF_CHECK(true) << "never evaluated";
+  OF_CHECK_EQ(1, 1);
+  OF_CHECK_LT(1, 2);
+  OF_CHECK_GE(2.0, 2.0);
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ OF_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FailedCheckEqReportsValues) {
+  EXPECT_DEATH({ OF_CHECK_EQ(3, 4) << "mismatch"; }, "3 vs 4");
+}
+
+TEST(LoggingDeathTest, MatrixDimensionMisuseAborts) {
+  EXPECT_DEATH(
+      {
+        Matrix m(2, 2);
+        (void)m.MatVec({1.0, 2.0, 3.0});  // wrong length
+      },
+      "Check failed");
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,146 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "tests/testing_data.h"
+#include "util/random.h"
+
+namespace omnifair {
+namespace {
+
+using testing_data::Blobs;
+using testing_data::MakeBlobs;
+using testing_data::TrainAccuracy;
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  const Blobs blobs = MakeBlobs(500, 2.0, 1);
+  LogisticRegressionTrainer trainer;
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.97);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesInRange) {
+  const Blobs blobs = MakeBlobs(200, 1.0, 2);
+  LogisticRegressionTrainer trainer;
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  for (double p : model->PredictProba(blobs.X)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, Deterministic) {
+  const Blobs blobs = MakeBlobs(300, 1.5, 3);
+  LogisticRegressionTrainer a;
+  LogisticRegressionTrainer b;
+  const auto ma = a.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto mb = b.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  EXPECT_EQ(ma->Predict(blobs.X), mb->Predict(blobs.X));
+}
+
+TEST(LogisticRegressionTest, ZeroWeightExamplesIgnored) {
+  // Mislabel half the data but give those examples zero weight; the model
+  // must behave as if they were absent.
+  Blobs blobs = MakeBlobs(400, 2.5, 4);
+  std::vector<double> weights(blobs.y.size(), 1.0);
+  Blobs corrupted = blobs;
+  for (size_t i = 0; i < blobs.y.size(); i += 2) {
+    corrupted.y[i] = 1 - corrupted.y[i];
+    weights[i] = 0.0;
+  }
+  LogisticRegressionTrainer trainer;
+  const auto model = trainer.Fit(corrupted.X, corrupted.y, weights);
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.95);
+}
+
+TEST(LogisticRegressionTest, UpweightingShiftsDecisions) {
+  // Upweighting positive examples should increase the positive rate.
+  const Blobs blobs = MakeBlobs(500, 0.7, 5);
+  LogisticRegressionTrainer trainer;
+  const auto base = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  std::vector<double> boosted(blobs.y.size());
+  for (size_t i = 0; i < blobs.y.size(); ++i) {
+    boosted[i] = blobs.y[i] == 1 ? 5.0 : 1.0;
+  }
+  const auto heavy = trainer.Fit(blobs.X, blobs.y, boosted);
+  const auto rate = [&](const Classifier& m) {
+    const std::vector<int> preds = m.Predict(blobs.X);
+    double positives = 0.0;
+    for (int p : preds) positives += p;
+    return positives / static_cast<double>(preds.size());
+  };
+  EXPECT_GT(rate(*heavy), rate(*base));
+}
+
+TEST(LogisticRegressionTest, WarmStartReducesIterations) {
+  const Blobs blobs = MakeBlobs(800, 1.0, 6);
+  LogisticRegressionTrainer cold;
+  (void)cold.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  (void)cold.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const long long cold_iterations = cold.total_iterations();
+
+  LogisticRegressionTrainer warm;
+  warm.SetWarmStart(true);
+  (void)warm.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  (void)warm.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  EXPECT_LT(warm.total_iterations(), cold_iterations);
+}
+
+TEST(LogisticRegressionTest, ResetWarmStartForgets) {
+  const Blobs blobs = MakeBlobs(200, 1.0, 7);
+  LogisticRegressionTrainer trainer;
+  trainer.SetWarmStart(true);
+  const auto first = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  trainer.ResetWarmStart();
+  const auto second = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  // After reset the fit starts from zero again -> same result as first.
+  EXPECT_EQ(first->Predict(blobs.X), second->Predict(blobs.X));
+}
+
+TEST(LogisticRegressionTest, SupportsWarmStartFlag) {
+  LogisticRegressionTrainer trainer;
+  EXPECT_TRUE(trainer.SupportsWarmStart());
+  EXPECT_EQ(trainer.Name(), "logistic_regression");
+}
+
+TEST(LogisticRegressionTest, WeightingEquivalentToReplication) {
+  // The paper's §1 argument for model-agnosticism: integer example weights
+  // can be simulated by replicating examples. With L2 = 0 the weighted and
+  // replicated objectives have identical optima.
+  const Blobs blobs = MakeBlobs(150, 1.0, 8);
+  std::vector<double> weights(blobs.y.size());
+  Matrix replicated_X;
+  std::vector<int> replicated_y;
+  Rng rng(17);
+  for (size_t i = 0; i < blobs.y.size(); ++i) {
+    const int copies = 1 + static_cast<int>(rng.NextBounded(3));  // 1..3
+    weights[i] = copies;
+    for (int c = 0; c < copies; ++c) {
+      replicated_X.AppendRow(blobs.X.RowVector(i));
+      replicated_y.push_back(blobs.y[i]);
+    }
+  }
+  LogisticRegressionOptions options;
+  options.l2 = 0.0;
+  options.max_iterations = 600;
+  LogisticRegressionTrainer weighted_trainer(options);
+  LogisticRegressionTrainer replicated_trainer(options);
+  const auto weighted = weighted_trainer.Fit(blobs.X, blobs.y, weights);
+  const auto replicated = replicated_trainer.Fit(
+      replicated_X, replicated_y, std::vector<double>(replicated_y.size(), 1.0));
+  // Same decisions on the original data.
+  EXPECT_EQ(weighted->Predict(blobs.X), replicated->Predict(blobs.X));
+}
+
+TEST(LogisticRegressionModelTest, CoefficientsExposed) {
+  LogisticRegressionModel model({1.0, -1.0}, 0.5);
+  EXPECT_EQ(model.coefficients().size(), 2u);
+  EXPECT_DOUBLE_EQ(model.intercept(), 0.5);
+  Matrix X = {{0.0, 0.0}};
+  // sigmoid(0.5) > 0.5 -> predicts 1.
+  EXPECT_EQ(model.Predict(X)[0], 1);
+}
+
+}  // namespace
+}  // namespace omnifair

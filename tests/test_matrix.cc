@@ -1,0 +1,107 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+TEST(MatrixTest, DefaultEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, ElementWrite) {
+  Matrix m(2, 2);
+  m(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const double* row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+}
+
+TEST(MatrixTest, RowAndColVector) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.RowVector(1), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(m.ColVector(0), (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix s = m.SelectRows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+}
+
+TEST(MatrixTest, SelectRowsWithRepeats) {
+  Matrix m = {{1.0}, {2.0}};
+  Matrix s = m.SelectRows({1, 1, 1});
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s(2, 0), 2.0);
+}
+
+TEST(MatrixTest, AppendRowToEmpty) {
+  Matrix m;
+  m.AppendRow({1.0, 2.0, 3.0});
+  m.AppendRow({4.0, 5.0, 6.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> y = m.MatVec({1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, TransposeMatVec) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> y = m.TransposeMatVec({1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(MatrixTest, MatVecTransposeConsistency) {
+  // x^T (A y) == (A^T x)^T y for random-ish fixed values.
+  Matrix a = {{1.0, -2.0, 0.5}, {3.0, 4.0, -1.0}};
+  const std::vector<double> x = {0.7, -1.3};
+  const std::vector<double> y = {2.0, 0.1, -0.4};
+  const std::vector<double> ay = a.MatVec(y);
+  const std::vector<double> atx = a.TransposeMatVec(x);
+  double lhs = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) lhs += x[i] * ay[i];
+  double rhs = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) rhs += atx[i] * y[i];
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,117 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace omnifair {
+namespace {
+
+TEST(ConfusionTest, ClosedFormCounts) {
+  //               y:  1  1  0  0  1  0
+  //            h(x):  1  0  1  0  1  0
+  const std::vector<int> y = {1, 1, 0, 0, 1, 0};
+  const std::vector<int> h = {1, 0, 1, 0, 1, 0};
+  const ConfusionCounts counts = CountConfusion(y, h);
+  EXPECT_EQ(counts.tp, 2u);
+  EXPECT_EQ(counts.fn, 1u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.tn, 2u);
+  EXPECT_EQ(counts.Total(), 6u);
+  EXPECT_NEAR(counts.Accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(counts.FalsePositiveRate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(counts.FalseNegativeRate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(counts.FalseOmissionRate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(counts.FalseDiscoveryRate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(counts.PositivePredictionRate(), 0.5, 1e-12);
+}
+
+TEST(ConfusionTest, SubsetRestriction) {
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<int> h = {1, 0, 1, 0};
+  const ConfusionCounts counts = CountConfusion(y, h, {0, 3});
+  EXPECT_EQ(counts.tp, 1u);
+  EXPECT_EQ(counts.tn, 1u);
+  EXPECT_EQ(counts.Total(), 2u);
+}
+
+TEST(ConfusionTest, UndefinedRatesAreZero) {
+  ConfusionCounts counts;  // everything zero
+  EXPECT_DOUBLE_EQ(counts.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.FalsePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.FalseDiscoveryRate(), 0.0);
+}
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(WeightedAccuracyTest, MatchesEquation2) {
+  // (1/N) sum w_i 1(h=y): N=3, correct at i=0 (w=2) and i=2 (w=0.5).
+  const double wacc =
+      WeightedAccuracy({1, 0, 1}, {1, 1, 1}, {2.0, 10.0, 0.5});
+  EXPECT_NEAR(wacc, 2.5 / 3.0, 1e-12);
+}
+
+TEST(WeightedAccuracyTest, UnitWeightsEqualAccuracy) {
+  const std::vector<int> y = {1, 0, 0, 1, 1};
+  const std::vector<int> h = {1, 1, 0, 0, 1};
+  EXPECT_NEAR(WeightedAccuracy(y, h, {1, 1, 1, 1, 1}), Accuracy(y, h), 1e-12);
+}
+
+TEST(RocAucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(RocAucTest, ReversedRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(RocAucTest, AllTiesGiveHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(RocAucTest, DegenerateLabels) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1}, {0.3, 0.7}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0}, {0.3, 0.7}), 0.5);
+}
+
+/// Property sweep: rank-based AUC equals brute-force pair counting on
+/// random score/label vectors.
+class RocAucPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RocAucPropertyTest, MatchesBruteForcePairCount) {
+  Rng rng(GetParam());
+  const size_t n = 200;
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = rng.NextBernoulli(0.4) ? 1 : 0;
+    // Quantize scores to force ties.
+    scores[i] = std::round(rng.NextDouble() * 20.0) / 20.0;
+  }
+  double wins = 0.0;
+  double pairs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (labels[i] == 1 && labels[j] == 0) {
+        pairs += 1.0;
+        if (scores[i] > scores[j]) {
+          wins += 1.0;
+        } else if (scores[i] == scores[j]) {
+          wins += 0.5;
+        }
+      }
+    }
+  }
+  if (pairs == 0.0) GTEST_SKIP();
+  EXPECT_NEAR(RocAuc(labels, scores), wins / pairs, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RocAucPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace omnifair

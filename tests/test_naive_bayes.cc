@@ -1,0 +1,85 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/trainer_registry.h"
+#include "tests/testing_data.h"
+
+namespace omnifair {
+namespace {
+
+using testing_data::Blobs;
+using testing_data::MakeBlobs;
+using testing_data::TrainAccuracy;
+
+TEST(NaiveBayesTest, LearnsSeparableData) {
+  const Blobs blobs = MakeBlobs(500, 2.0, 1);
+  NaiveBayesTrainer trainer;
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.97);
+}
+
+TEST(NaiveBayesTest, Deterministic) {
+  const Blobs blobs = MakeBlobs(300, 1.0, 2);
+  NaiveBayesTrainer a;
+  NaiveBayesTrainer b;
+  EXPECT_EQ(a.Fit(blobs.X, blobs.y, blobs.unit_weights)->PredictProba(blobs.X),
+            b.Fit(blobs.X, blobs.y, blobs.unit_weights)->PredictProba(blobs.X));
+}
+
+TEST(NaiveBayesTest, ProbabilitiesInRange) {
+  const Blobs blobs = MakeBlobs(200, 0.5, 3);
+  NaiveBayesTrainer trainer;
+  for (double p : trainer.Fit(blobs.X, blobs.y, blobs.unit_weights)
+                      ->PredictProba(blobs.X)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(NaiveBayesTest, WeightsShiftPrior) {
+  const Blobs blobs = MakeBlobs(400, 0.5, 4);
+  NaiveBayesTrainer trainer;
+  const auto base = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  std::vector<double> boosted(blobs.y.size());
+  for (size_t i = 0; i < blobs.y.size(); ++i) {
+    boosted[i] = blobs.y[i] == 1 ? 10.0 : 1.0;
+  }
+  const auto heavy = trainer.Fit(blobs.X, blobs.y, boosted);
+  double base_rate = 0.0;
+  double heavy_rate = 0.0;
+  for (int p : base->Predict(blobs.X)) base_rate += p;
+  for (int p : heavy->Predict(blobs.X)) heavy_rate += p;
+  EXPECT_GT(heavy_rate, base_rate);
+}
+
+TEST(NaiveBayesTest, ZeroWeightExamplesIgnored) {
+  Blobs blobs = MakeBlobs(400, 2.5, 5);
+  Blobs corrupted = blobs;
+  std::vector<double> weights(blobs.y.size(), 1.0);
+  for (size_t i = 0; i < blobs.y.size(); i += 2) {
+    corrupted.y[i] = 1 - corrupted.y[i];
+    weights[i] = 0.0;
+  }
+  NaiveBayesTrainer trainer;
+  const auto model = trainer.Fit(corrupted.X, corrupted.y, weights);
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.95);
+}
+
+TEST(NaiveBayesTest, SingleClassDataDoesNotCrash) {
+  Blobs blobs = MakeBlobs(50, 1.0, 6);
+  for (int& y : blobs.y) y = 1;
+  NaiveBayesTrainer trainer;
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  for (int p : model->Predict(blobs.X)) EXPECT_EQ(p, 1);
+}
+
+TEST(NaiveBayesTest, AvailableFromRegistry) {
+  auto trainer = MakeTrainer("nb");
+  ASSERT_NE(trainer, nullptr);
+  EXPECT_EQ(trainer->Name(), "naive_bayes");
+  EXPECT_FALSE(trainer->SupportsWarmStart());
+}
+
+}  // namespace
+}  // namespace omnifair

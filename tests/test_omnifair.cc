@@ -1,0 +1,191 @@
+#include "core/omnifair.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/trainer_registry.h"
+
+namespace omnifair {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  TrainValTestSplit split;
+  FairnessSpec spec;
+
+  explicit Fixture(double epsilon = 0.03, size_t rows = 4000) {
+    SyntheticOptions options;
+    options.num_rows = rows;
+    options.seed = 2;
+    data = MakeCompasDataset(options);
+    split = SplitDefault(data, 13);
+    spec = MakeSpec(GroupByAttributeValues("race", {"African-American", "Caucasian"}),
+                    "sp", epsilon);
+  }
+};
+
+TEST(OmniFairTest, EndToEndLogisticRegression) {
+  Fixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+  EXPECT_TRUE(fair->satisfied);
+  EXPECT_LE(std::fabs(fair->val_fairness_parts[0]), 0.03 + 1e-9);
+  EXPECT_GT(fair->val_accuracy, 0.65);
+  EXPECT_GT(fair->models_trained, 1);
+  EXPECT_GT(fair->train_seconds, 0.0);
+}
+
+/// Model-agnostic contract: the same declarative pipeline works for every
+/// trainer family without modification (the paper's Table 5 columns).
+class ModelAgnosticTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelAgnosticTest, SatisfiesSpForEveryModelFamily) {
+  Fixture fx(/*epsilon=*/0.05, /*rows=*/2500);
+  auto trainer = MakeTrainer(GetParam());
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+  EXPECT_TRUE(fair->satisfied) << GetParam();
+  EXPECT_LE(std::fabs(fair->val_fairness_parts[0]), fx.spec.epsilon + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelAgnosticTest,
+                         ::testing::Values("lr", "dt", "rf", "xgb", "nn"));
+
+TEST(OmniFairTest, PredictOnRawDataset) {
+  Fixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok());
+  const std::vector<int> preds = fair->Predict(fx.split.test);
+  EXPECT_EQ(preds.size(), fx.split.test.NumRows());
+  const std::vector<double> proba = fair->PredictProba(fx.split.test);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_EQ(preds[i], proba[i] >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST(OmniFairTest, AuditReportsConstraintLabels) {
+  Fixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok());
+  auto audit = Audit(*fair->model, fair->encoder, fx.split.test, {fx.spec});
+  ASSERT_TRUE(audit.ok());
+  ASSERT_EQ(audit->constraint_labels.size(), 1u);
+  EXPECT_EQ(audit->constraint_labels[0], "sp(African-American vs Caucasian)");
+  EXPECT_GT(audit->accuracy, 0.6);
+  EXPECT_GT(audit->roc_auc, 0.6);
+  EXPECT_NEAR(audit->max_disparity, std::fabs(audit->fairness_parts[0]), 1e-12);
+}
+
+TEST(OmniFairTest, AuditPerGroupBreakdown) {
+  Fixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok());
+  auto audit = Audit(*fair->model, fair->encoder, fx.split.test, {fx.spec});
+  ASSERT_TRUE(audit.ok());
+  ASSERT_EQ(audit->groups.size(), 2u);  // the two declared race groups
+  size_t total = 0;
+  for (const GroupAudit& row : audit->groups) {
+    EXPECT_EQ(row.metric, "sp");
+    EXPECT_GT(row.size, 0u);
+    EXPECT_GE(row.value, 0.0);
+    EXPECT_LE(row.value, 1.0);
+    EXPECT_GT(row.accuracy, 0.5);
+    total += row.size;
+  }
+  EXPECT_LE(total, fx.split.test.NumRows());
+  // The signed FP equals the difference of the two group values.
+  const double diff = audit->groups[0].value - audit->groups[1].value;
+  EXPECT_NEAR(diff, audit->fairness_parts[0], 1e-12);
+  // And the dashboard renders without crashing.
+  const std::string text = audit->ToString();
+  EXPECT_NE(text.find("per-group breakdown"), std::string::npos);
+  EXPECT_NE(text.find("African-American"), std::string::npos);
+}
+
+TEST(OmniFairTest, TrainWithSplitProducesTestReport) {
+  Fixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  AuditReport report;
+  auto fair = omnifair.TrainWithSplit(fx.data, trainer.get(), {fx.spec}, 17, &report);
+  ASSERT_TRUE(fair.ok()) << fair.status();
+  EXPECT_GT(report.accuracy, 0.6);
+  // Test disparity should be near the validation target (generalization).
+  EXPECT_LE(report.max_disparity, 0.12);
+}
+
+TEST(OmniFairTest, WarmStartOptionProducesSameQuality) {
+  Fixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFairOptions options;
+  options.warm_start = true;
+  OmniFair omnifair(options);
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok());
+  EXPECT_TRUE(fair->satisfied);
+}
+
+TEST(OmniFairTest, InvalidSpecRejected) {
+  Fixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  FairnessSpec broken;  // no grouping, no metric
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {broken});
+  EXPECT_FALSE(fair.ok());
+  EXPECT_EQ(fair.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OmniFairTest, MultipleSpecsUseHillClimbing) {
+  Fixture fx(/*epsilon=*/0.05);
+  auto trainer = MakeTrainer("lr");
+  const FairnessSpec fnr_spec = MakeSpec(
+      GroupByAttributeValues("race", {"African-American", "Caucasian"}), "fnr", 0.06);
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(),
+                             {fx.spec, fnr_spec});
+  ASSERT_TRUE(fair.ok());
+  ASSERT_EQ(fair->lambdas.size(), 2u);
+  EXPECT_TRUE(fair->satisfied);
+  EXPECT_LE(std::fabs(fair->val_fairness_parts[0]), 0.05 + 1e-9);
+  EXPECT_LE(std::fabs(fair->val_fairness_parts[1]), 0.06 + 1e-9);
+}
+
+TEST(OmniFairTest, CustomAecMetricWorksEndToEnd) {
+  Fixture fx;
+  FairnessSpec aec_spec;
+  aec_spec.grouping =
+      GroupByAttributeValues("race", {"African-American", "Caucasian"});
+  aec_spec.metric = std::make_shared<AverageErrorCostMetric>(1.0, 3.0);
+  aec_spec.epsilon = 0.05;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {aec_spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+  EXPECT_TRUE(fair->satisfied);
+  EXPECT_LE(std::fabs(fair->val_fairness_parts[0]), 0.05 + 1e-9);
+}
+
+TEST(OmniFairTest, IntersectionalGroupingWorksEndToEnd) {
+  Fixture fx;
+  FairnessSpec spec = MakeSpec(GroupByIntersection({"race", "sex"}), "mr", 0.1);
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+  ASSERT_GE(fair->lambdas.size(), 6u);  // C(m,2) for m >= 4 intersections
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,127 @@
+#include "core/problem.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/logistic_regression.h"
+#include "tests/testing_fairness.h"
+
+namespace omnifair {
+namespace {
+
+using testing_fairness::MakeBiasedDataset;
+
+std::vector<FairnessSpec> SpSpec(double epsilon = 0.03) {
+  return {MakeSpec(GroupByAttribute("grp"), "sp", epsilon)};
+}
+
+TEST(ProblemTest, CreateValidProblem) {
+  const Dataset train = MakeBiasedDataset(600, 0.6, 0.3, 1);
+  const Dataset val = MakeBiasedDataset(200, 0.6, 0.3, 2);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(train, val, SpSpec(), &trainer);
+  ASSERT_TRUE(problem.ok()) << problem.status();
+  EXPECT_EQ((*problem)->NumConstraints(), 1u);
+  EXPECT_DOUBLE_EQ((*problem)->Epsilon(0), 0.03);
+  EXPECT_FALSE((*problem)->DependsOnPredictions());
+  EXPECT_EQ((*problem)->train_features().rows(), 600u);
+  EXPECT_EQ((*problem)->val_features().rows(), 200u);
+}
+
+TEST(ProblemTest, NullTrainerRejected) {
+  const Dataset train = MakeBiasedDataset(100, 0.6, 0.3, 3);
+  auto problem = FairnessProblem::Create(train, train, SpSpec(), nullptr);
+  EXPECT_FALSE(problem.ok());
+}
+
+TEST(ProblemTest, EmptySplitsRejected) {
+  const Dataset train = MakeBiasedDataset(100, 0.6, 0.3, 4);
+  const Dataset empty;
+  LogisticRegressionTrainer trainer;
+  EXPECT_FALSE(FairnessProblem::Create(empty, train, SpSpec(), &trainer).ok());
+  EXPECT_FALSE(FairnessProblem::Create(train, empty, SpSpec(), &trainer).ok());
+}
+
+TEST(ProblemTest, FitCountsModels) {
+  const Dataset train = MakeBiasedDataset(300, 0.6, 0.3, 5);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(train, train, SpSpec(), &trainer);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ((*problem)->models_trained(), 0);
+  auto m1 = (*problem)->FitWithLambdas({0.0}, nullptr);
+  auto m2 = (*problem)->FitWithWeights(std::vector<double>(300, 1.0));
+  EXPECT_EQ((*problem)->models_trained(), 2);
+  // Identical weights -> identical models.
+  EXPECT_EQ(m1->Predict((*problem)->val_features()),
+            m2->Predict((*problem)->val_features()));
+}
+
+TEST(ProblemTest, LambdaShiftsDisparity) {
+  const Dataset train = MakeBiasedDataset(1500, 0.7, 0.25, 6);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(train, train, SpSpec(), &trainer);
+  ASSERT_TRUE(problem.ok());
+
+  auto base = (*problem)->FitWithLambdas({0.0}, nullptr);
+  const double fp_base = (*problem)->val_evaluator().FairnessPart(
+      0, (*problem)->PredictVal(*base));
+  // Group "a" is the high-rate group; FP(theta_0) should be positive.
+  EXPECT_GT(fp_base, 0.05);
+
+  // A negative lambda pushes SP(a) down (Lemma 2: FP increasing in lambda).
+  auto pushed = (*problem)->FitWithLambdas({-0.3}, nullptr);
+  const double fp_pushed = (*problem)->val_evaluator().FairnessPart(
+      0, (*problem)->PredictVal(*pushed));
+  EXPECT_LT(fp_pushed, fp_base);
+}
+
+TEST(ProblemTest, PredictionDependentFlagForFdr) {
+  const Dataset train = MakeBiasedDataset(200, 0.6, 0.3, 7);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(
+      train, train, {MakeSpec(GroupByAttribute("grp"), "fdr", 0.05)}, &trainer);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_TRUE((*problem)->DependsOnPredictions());
+}
+
+TEST(ProblemTest, SubsampledFitUsesFewerRows) {
+  const Dataset train = MakeBiasedDataset(1000, 0.65, 0.35, 10);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(train, train, SpSpec(), &trainer);
+  ASSERT_TRUE(problem.ok());
+  // fraction = 1.0 falls through to the full fit: identical predictions.
+  auto full = (*problem)->FitWithLambdas({0.05}, nullptr);
+  auto same = (*problem)->FitWithLambdasSubsampled({0.05}, nullptr, 1.0, 3);
+  EXPECT_EQ(full->Predict((*problem)->val_features()),
+            same->Predict((*problem)->val_features()));
+
+  // A 30% subsample still learns the (easy) concept.
+  auto sub = (*problem)->FitWithLambdasSubsampled({0.05}, nullptr, 0.3, 3);
+  const std::vector<int> preds = (*problem)->PredictVal(*sub);
+  EXPECT_GT((*problem)->ValAccuracy(preds), 0.7);
+  EXPECT_EQ((*problem)->models_trained(), 3);
+}
+
+TEST(ProblemTest, SubsampledFitDeterministicGivenSeed) {
+  const Dataset train = MakeBiasedDataset(800, 0.65, 0.35, 11);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(train, train, SpSpec(), &trainer);
+  ASSERT_TRUE(problem.ok());
+  auto a = (*problem)->FitWithLambdasSubsampled({0.02}, nullptr, 0.5, 9);
+  auto b = (*problem)->FitWithLambdasSubsampled({0.02}, nullptr, 0.5, 9);
+  EXPECT_EQ(a->Predict((*problem)->val_features()),
+            b->Predict((*problem)->val_features()));
+}
+
+TEST(ProblemTest, EncoderSharedBetweenSplits) {
+  const Dataset train = MakeBiasedDataset(400, 0.6, 0.3, 8);
+  const Dataset val = MakeBiasedDataset(100, 0.6, 0.3, 9);
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(train, val, SpSpec(), &trainer);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ((*problem)->train_features().cols(), (*problem)->val_features().cols());
+  EXPECT_EQ((*problem)->encoder().NumFeatures(),
+            (*problem)->train_features().cols());
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,89 @@
+#include "data/profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "tests/testing_fairness.h"
+
+namespace omnifair {
+namespace {
+
+using testing_fairness::MakeBiasedDataset;
+
+TEST(ProfileTest, BasicShape) {
+  const Dataset d = MakeBiasedDataset(1000, 0.6, 0.3, 1);
+  const DatasetProfile profile = ProfileDataset(d, "grp");
+  EXPECT_EQ(profile.rows, 1000u);
+  EXPECT_EQ(profile.columns.size(), d.NumColumns());
+  EXPECT_NEAR(profile.positive_rate, d.PositiveRate(), 1e-12);
+  ASSERT_EQ(profile.groups.size(), 2u);
+}
+
+TEST(ProfileTest, GroupBaseRates) {
+  const Dataset d = MakeBiasedDataset(5000, 0.7, 0.2, 2);
+  const DatasetProfile profile = ProfileDataset(d, "grp");
+  ASSERT_EQ(profile.groups.size(), 2u);
+  // Map-ordered: "a" first (rate ~0.7), "b" second (~0.2).
+  EXPECT_NEAR(profile.groups[0].positive_rate, 0.7, 0.04);
+  EXPECT_NEAR(profile.groups[1].positive_rate, 0.2, 0.04);
+  EXPECT_NEAR(profile.base_rate_gap, 0.5, 0.06);
+  EXPECT_NEAR(profile.groups[0].fraction + profile.groups[1].fraction, 1.0, 1e-12);
+}
+
+TEST(ProfileTest, NumericColumnStatistics) {
+  const Dataset d = MakeBiasedDataset(2000, 0.6, 0.3, 3, /*feature_shift=*/2.0);
+  const DatasetProfile profile = ProfileDataset(d);
+  const ColumnProfile* score = nullptr;
+  const ColumnProfile* noise = nullptr;
+  for (const ColumnProfile& column : profile.columns) {
+    if (column.name == "score") score = &column;
+    if (column.name == "noise") noise = &column;
+  }
+  ASSERT_NE(score, nullptr);
+  ASSERT_NE(noise, nullptr);
+  // "score" is label-shifted by 2 sigma: strongly correlated with y.
+  EXPECT_GT(score->label_correlation, 0.5);
+  // "noise" is independent of y.
+  EXPECT_LT(std::fabs(noise->label_correlation), 0.1);
+  EXPECT_LT(score->min, score->max);
+  EXPECT_GT(score->stddev, 0.0);
+}
+
+TEST(ProfileTest, CategoricalColumnStatistics) {
+  SyntheticOptions options;
+  options.num_rows = 3000;
+  options.seed = 4;
+  const Dataset d = MakeCompasDataset(options);
+  const DatasetProfile profile = ProfileDataset(d, "race");
+  const ColumnProfile* race = nullptr;
+  for (const ColumnProfile& column : profile.columns) {
+    if (column.name == "race") race = &column;
+  }
+  ASSERT_NE(race, nullptr);
+  EXPECT_EQ(race->type, ColumnType::kCategorical);
+  EXPECT_EQ(race->num_categories, 4u);
+  EXPECT_EQ(race->most_common, "African-American");
+  EXPECT_NEAR(race->most_common_fraction, 0.51, 0.03);
+  EXPECT_NEAR(profile.base_rate_gap, 0.20, 0.06);
+}
+
+TEST(ProfileTest, NoSensitiveAttributeNoGroups) {
+  const Dataset d = MakeBiasedDataset(200, 0.6, 0.3, 5);
+  const DatasetProfile profile = ProfileDataset(d);
+  EXPECT_TRUE(profile.groups.empty());
+  EXPECT_DOUBLE_EQ(profile.base_rate_gap, 0.0);
+}
+
+TEST(ProfileTest, ToStringRenders) {
+  const Dataset d = MakeBiasedDataset(500, 0.6, 0.3, 6);
+  const DatasetProfile profile = ProfileDataset(d, "grp");
+  const std::string text = profile.ToString();
+  EXPECT_NE(text.find("group base rates"), std::string::npos);
+  EXPECT_NE(text.find("score"), std::string::npos);
+  EXPECT_NE(text.find("P(y=1|g)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omnifair

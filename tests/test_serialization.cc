@@ -1,0 +1,117 @@
+#include "ml/serialization.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/omnifair.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/trainer_registry.h"
+#include "tests/testing_data.h"
+
+namespace omnifair {
+namespace {
+
+using testing_data::Blobs;
+using testing_data::MakeBlobs;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Round-trip property for every serializable model family: a deserialized
+/// model reproduces the original's probabilities exactly.
+class ModelRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelRoundTripTest, PredictionsSurviveRoundTrip) {
+  const Blobs blobs = MakeBlobs(300, 1.0, 7);
+  auto trainer = MakeTrainer(GetParam());
+  const auto model = trainer->Fit(blobs.X, blobs.y, blobs.unit_weights);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeModel(*model, buffer).ok());
+  auto loaded = DeserializeModel(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->Name(), model->Name());
+
+  const std::vector<double> original = model->PredictProba(blobs.X);
+  const std::vector<double> restored = (*loaded)->PredictProba(blobs.X);
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(original[i], restored[i], 1e-12) << GetParam() << " row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelRoundTripTest,
+                         ::testing::Values("lr", "dt", "rf", "xgb", "nn", "nb"));
+
+TEST(SerializationTest, FileRoundTrip) {
+  const Blobs blobs = MakeBlobs(100, 1.5, 8);
+  auto trainer = MakeTrainer("lr");
+  const auto model = trainer->Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const std::string path = TempPath("model.txt");
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->Predict(blobs.X), model->Predict(blobs.X));
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  std::stringstream buffer("definitely not a model");
+  EXPECT_FALSE(DeserializeModel(buffer).ok());
+}
+
+TEST(SerializationTest, RejectsTruncatedPayload) {
+  const Blobs blobs = MakeBlobs(50, 1.0, 9);
+  auto trainer = MakeTrainer("xgb");
+  const auto model = trainer->Fit(blobs.X, blobs.y, blobs.unit_weights);
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeModel(*model, buffer).ok());
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(DeserializeModel(truncated).ok());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  EXPECT_FALSE(LoadModel("/nonexistent/model.txt").ok());
+}
+
+TEST(SerializationTest, FairModelRoundTripWithEncoder) {
+  SyntheticOptions options;
+  options.num_rows = 2000;
+  const Dataset dataset = MakeCompasDataset(options);
+  const TrainValTestSplit split = SplitDefault(dataset, 5);
+  const FairnessSpec spec = MakeSpec(
+      GroupByAttributeValues("race", {"African-American", "Caucasian"}), "sp", 0.05);
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(split.train, split.val, trainer.get(), {spec});
+  ASSERT_TRUE(fair.ok());
+
+  const std::string path = TempPath("fair_model.txt");
+  ASSERT_TRUE(SaveFairModel(*fair, path).ok());
+  auto loaded = LoadFairModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->lambdas, fair->lambdas);
+  EXPECT_EQ(loaded->satisfied, fair->satisfied);
+  EXPECT_NEAR(loaded->val_accuracy, fair->val_accuracy, 1e-12);
+  // The loaded bundle can predict on raw (un-encoded) data directly.
+  EXPECT_EQ(loaded->Predict(split.test), fair->Predict(split.test));
+  // And audits identically.
+  auto original_audit = Audit(*fair->model, fair->encoder, split.test, {spec});
+  auto loaded_audit = Audit(*loaded->model, loaded->encoder, split.test, {spec});
+  ASSERT_TRUE(original_audit.ok());
+  ASSERT_TRUE(loaded_audit.ok());
+  EXPECT_NEAR(original_audit->max_disparity, loaded_audit->max_disparity, 1e-12);
+}
+
+TEST(SerializationTest, FairModelWithoutModelRejected) {
+  FairModel empty;
+  EXPECT_FALSE(SaveFairModel(empty, TempPath("never.txt")).ok());
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,132 @@
+#include "core/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_fairness.h"
+
+namespace omnifair {
+namespace {
+
+using testing_fairness::MakeBiasedDataset;
+
+TEST(SpecTest, MakeSpecByKindAndName) {
+  const FairnessSpec by_kind =
+      MakeSpec(GroupByAttribute("grp"), MetricKind::kStatisticalParity, 0.05);
+  EXPECT_EQ(by_kind.metric->Name(), "sp");
+  EXPECT_DOUBLE_EQ(by_kind.epsilon, 0.05);
+
+  const FairnessSpec by_name = MakeSpec(GroupByAttribute("grp"), "fnr", 0.1);
+  EXPECT_EQ(by_name.metric->Name(), "fnr");
+}
+
+TEST(SpecTest, TwoGroupsInduceOneConstraint) {
+  const Dataset d = MakeBiasedDataset(100, 0.6, 0.3, 1);
+  const FairnessSpec spec = MakeSpec(GroupByAttribute("grp"), "sp", 0.03);
+  const auto constraints = InduceConstraints(spec, d);
+  ASSERT_TRUE(constraints.ok());
+  ASSERT_EQ(constraints->size(), 1u);
+  EXPECT_EQ((*constraints)[0].group1, "a");
+  EXPECT_EQ((*constraints)[0].group2, "b");
+  EXPECT_DOUBLE_EQ((*constraints)[0].epsilon, 0.03);
+}
+
+TEST(SpecTest, MGroupsInduceChoose2Constraints) {
+  // Build a dataset with a 4-category column.
+  Dataset d;
+  Column g = Column::Categorical("g", {"a", "b", "c", "d"});
+  Column x = Column::Numeric("x");
+  for (int i = 0; i < 40; ++i) {
+    g.AppendCode(i % 4);
+    x.AppendNumeric(i);
+  }
+  d.AddColumn(std::move(g));
+  d.AddColumn(std::move(x));
+  d.SetLabels(std::vector<int>(40, 0));
+
+  const FairnessSpec spec = MakeSpec(GroupByAttribute("g"), "mr", 0.05);
+  const auto constraints = InduceConstraints(spec, d);
+  ASSERT_TRUE(constraints.ok());
+  EXPECT_EQ(constraints->size(), 6u);  // C(4,2)
+}
+
+TEST(SpecTest, SingleGroupFails) {
+  Dataset d;
+  Column g = Column::Categorical("g", {"only"});
+  Column x = Column::Numeric("x");
+  for (int i = 0; i < 10; ++i) {
+    g.AppendCode(0);
+    x.AppendNumeric(i);
+  }
+  d.AddColumn(std::move(g));
+  d.AddColumn(std::move(x));
+  d.SetLabels(std::vector<int>(10, 1));
+
+  const FairnessSpec spec = MakeSpec(GroupByAttribute("g"), "sp", 0.05);
+  const auto constraints = InduceConstraints(spec, d);
+  EXPECT_FALSE(constraints.ok());
+  EXPECT_EQ(constraints.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecTest, MissingGroupingFails) {
+  FairnessSpec spec;
+  spec.metric = MakeMetricByName("sp");
+  const Dataset d = MakeBiasedDataset(10, 0.5, 0.5, 2);
+  EXPECT_FALSE(InduceConstraints(spec, d).ok());
+}
+
+TEST(SpecTest, MissingMetricFails) {
+  FairnessSpec spec;
+  spec.grouping = GroupByAttribute("grp");
+  spec.epsilon = 0.1;
+  const Dataset d = MakeBiasedDataset(10, 0.5, 0.5, 3);
+  EXPECT_FALSE(InduceConstraints(spec, d).ok());
+}
+
+TEST(SpecTest, NegativeEpsilonFails) {
+  const Dataset d = MakeBiasedDataset(10, 0.5, 0.5, 4);
+  const FairnessSpec spec = MakeSpec(GroupByAttribute("grp"), "sp", -0.1);
+  EXPECT_FALSE(InduceConstraints(spec, d).ok());
+}
+
+TEST(SpecTest, MultipleSpecsConcatenate) {
+  const Dataset d = MakeBiasedDataset(100, 0.6, 0.3, 5);
+  const std::vector<FairnessSpec> specs = {
+      MakeSpec(GroupByAttribute("grp"), "sp", 0.03),
+      MakeSpec(GroupByAttribute("grp"), "fnr", 0.05),
+  };
+  const auto constraints = InduceConstraints(specs, d);
+  ASSERT_TRUE(constraints.ok());
+  ASSERT_EQ(constraints->size(), 2u);
+  EXPECT_EQ((*constraints)[0].metric->Name(), "sp");
+  EXPECT_EQ((*constraints)[1].metric->Name(), "fnr");
+}
+
+TEST(SpecTest, EqualizedOddsIsFprPlusFnr) {
+  const std::vector<FairnessSpec> specs =
+      EqualizedOddsSpecs(GroupByAttribute("grp"), 0.04);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].metric->Name(), "fpr");
+  EXPECT_EQ(specs[1].metric->Name(), "fnr");
+  EXPECT_DOUBLE_EQ(specs[0].epsilon, 0.04);
+  EXPECT_DOUBLE_EQ(specs[1].epsilon, 0.04);
+  const Dataset d = MakeBiasedDataset(100, 0.6, 0.3, 7);
+  EXPECT_TRUE(InduceConstraints(specs, d).ok());
+}
+
+TEST(SpecTest, PredictiveParityIsForPlusFdr) {
+  const std::vector<FairnessSpec> specs =
+      PredictiveParitySpecs(GroupByAttribute("grp"), 0.05);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].metric->Name(), "for");
+  EXPECT_EQ(specs[1].metric->Name(), "fdr");
+  EXPECT_TRUE(specs[0].metric->DependsOnPredictions());
+  EXPECT_TRUE(specs[1].metric->DependsOnPredictions());
+}
+
+TEST(SpecTest, EmptySpecListFails) {
+  const Dataset d = MakeBiasedDataset(10, 0.5, 0.5, 6);
+  EXPECT_FALSE(InduceConstraints(std::vector<FairnessSpec>{}, d).ok());
+}
+
+}  // namespace
+}  // namespace omnifair

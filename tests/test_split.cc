@@ -1,0 +1,72 @@
+#include "data/split.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+
+namespace omnifair {
+namespace {
+
+Dataset SmallCompas() {
+  SyntheticOptions options;
+  options.num_rows = 1000;
+  options.seed = 5;
+  return MakeCompasDataset(options);
+}
+
+TEST(SplitTest, DefaultFractions) {
+  const Dataset d = SmallCompas();
+  const TrainValTestSplit split = SplitDefault(d, 1);
+  EXPECT_EQ(split.train.NumRows(), 600u);
+  EXPECT_EQ(split.val.NumRows(), 200u);
+  EXPECT_EQ(split.test.NumRows(), 200u);
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  const Dataset d = SmallCompas();
+  const TrainValTestSplit split = SplitDataset(d, 0.5, 0.25, 3);
+  std::set<size_t> seen;
+  for (size_t i : split.train_indices) seen.insert(i);
+  for (size_t i : split.val_indices) seen.insert(i);
+  for (size_t i : split.test_indices) seen.insert(i);
+  EXPECT_EQ(seen.size(), d.NumRows());
+  EXPECT_EQ(split.train_indices.size() + split.val_indices.size() +
+                split.test_indices.size(),
+            d.NumRows());
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  const Dataset d = SmallCompas();
+  const TrainValTestSplit a = SplitDefault(d, 42);
+  const TrainValTestSplit b = SplitDefault(d, 42);
+  EXPECT_EQ(a.train_indices, b.train_indices);
+  EXPECT_EQ(a.test_indices, b.test_indices);
+}
+
+TEST(SplitTest, DifferentSeedsShuffleDifferently) {
+  const Dataset d = SmallCompas();
+  const TrainValTestSplit a = SplitDefault(d, 1);
+  const TrainValTestSplit b = SplitDefault(d, 2);
+  EXPECT_NE(a.train_indices, b.train_indices);
+}
+
+TEST(SplitTest, RowsCarryLabels) {
+  const Dataset d = SmallCompas();
+  const TrainValTestSplit split = SplitDefault(d, 9);
+  for (size_t k = 0; k < split.val_indices.size(); ++k) {
+    EXPECT_EQ(split.val.Label(k), d.Label(split.val_indices[k]));
+  }
+}
+
+TEST(SplitTest, ZeroValFraction) {
+  const Dataset d = SmallCompas();
+  const TrainValTestSplit split = SplitDataset(d, 0.8, 0.0, 1);
+  EXPECT_EQ(split.val.NumRows(), 0u);
+  EXPECT_EQ(split.train.NumRows(), 800u);
+  EXPECT_EQ(split.test.NumRows(), 200u);
+}
+
+}  // namespace
+}  // namespace omnifair

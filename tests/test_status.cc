@@ -1,0 +1,80 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructors) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status status = Status::Infeasible("no lambda found");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "no lambda found");
+  EXPECT_EQ(status.ToString(), "INFEASIBLE: no lambda found");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Unsupported("rf");
+  EXPECT_EQ(os.str(), "UNSUPPORTED: rf");
+}
+
+TEST(StatusTest, CodeToString) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInfeasible), "INFEASIBLE");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnsupported), "UNSUPPORTED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  struct Payload {
+    int x = 9;
+  };
+  Result<Payload> result(Payload{});
+  EXPECT_EQ(result->x, 9);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<int> result(1);
+  *result = 7;
+  EXPECT_EQ(result.value(), 7);
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,85 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const std::vector<std::string> parts = Split("a,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, NoDelimiter) {
+  const std::vector<std::string> parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyInput) {
+  const std::vector<std::string> parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  const std::vector<std::string> parts = Split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  hello  "), "hello");
+  EXPECT_EQ(StripWhitespace("\thello\n"), "hello");
+  EXPECT_EQ(StripWhitespace("hello"), "hello");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &value));
+  EXPECT_DOUBLE_EQ(value, -1000.0);
+  EXPECT_TRUE(ParseDouble("  7 ", &value));
+  EXPECT_DOUBLE_EQ(value, 7.0);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  double value = 0.0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.5x", &value));
+  EXPECT_FALSE(ParseDouble("--2", &value));
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatPercentTest, SignedOutput) {
+  EXPECT_EQ(FormatPercent(-0.012), "-1.2%");
+  EXPECT_EQ(FormatPercent(0.5, 0), "+50%");
+  EXPECT_EQ(FormatPercent(0.0), "+0.0%");
+}
+
+}  // namespace
+}  // namespace omnifair

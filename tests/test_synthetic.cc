@@ -1,0 +1,129 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+
+namespace omnifair {
+namespace {
+
+/// Parameterized over the four paper datasets (Table 4).
+class SyntheticDatasetTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  Dataset Make(size_t rows = 4000, uint64_t seed = 11) const {
+    SyntheticOptions options;
+    options.num_rows = rows;
+    options.seed = seed;
+    return MakeDatasetByName(GetParam(), options);
+  }
+};
+
+TEST_P(SyntheticDatasetTest, RowCountHonored) {
+  EXPECT_EQ(Make(1234).NumRows(), 1234u);
+}
+
+TEST_P(SyntheticDatasetTest, PaperDefaultSizes) {
+  SyntheticOptions options;  // num_rows = 0 -> paper size
+  options.seed = 1;
+  const Dataset d = MakeDatasetByName(GetParam(), options);
+  if (GetParam() == "adult") EXPECT_EQ(d.NumRows(), 48842u);
+  if (GetParam() == "compas") EXPECT_EQ(d.NumRows(), 11001u);
+  if (GetParam() == "lsac") EXPECT_EQ(d.NumRows(), 27477u);
+  if (GetParam() == "bank") EXPECT_EQ(d.NumRows(), 30488u);
+}
+
+TEST_P(SyntheticDatasetTest, ValidatesAsBinaryClassification) {
+  const Dataset d = Make();
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_GE(d.NumColumns(), 8u);  // schema-rich like the originals
+}
+
+TEST_P(SyntheticDatasetTest, DeterministicGivenSeed) {
+  const Dataset a = Make(500, 3);
+  const Dataset b = Make(500, 3);
+  EXPECT_EQ(a.labels(), b.labels());
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    const Column& ca = a.ColumnAt(c);
+    const Column& cb = b.ColumnAt(c);
+    ASSERT_EQ(ca.type(), cb.type());
+    if (ca.type() == ColumnType::kNumeric) {
+      EXPECT_EQ(ca.numeric_values(), cb.numeric_values());
+    } else {
+      EXPECT_EQ(ca.codes(), cb.codes());
+    }
+  }
+}
+
+TEST_P(SyntheticDatasetTest, SeedChangesData) {
+  const Dataset a = Make(500, 3);
+  const Dataset b = Make(500, 4);
+  EXPECT_NE(a.labels(), b.labels());
+}
+
+TEST_P(SyntheticDatasetTest, SensitiveAttributeIsFirstColumn) {
+  const Dataset d = Make();
+  EXPECT_EQ(d.ColumnAt(0).type(), ColumnType::kCategorical);
+  EXPECT_GE(d.ColumnAt(0).categories().size(), 2u);
+}
+
+TEST_P(SyntheticDatasetTest, GroupBaseRatesDiffer) {
+  // The core property: the data carries a group-dependent label bias large
+  // enough for fairness experiments to be non-trivial.
+  const Dataset d = Make(20000, 7);
+  const Column& sensitive = d.ColumnAt(0);
+  std::vector<double> positives(sensitive.categories().size(), 0.0);
+  std::vector<double> totals(sensitive.categories().size(), 0.0);
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    totals[sensitive.Code(i)] += 1.0;
+    positives[sensitive.Code(i)] += d.Label(i);
+  }
+  double max_rate = 0.0;
+  double min_rate = 1.0;
+  for (size_t g = 0; g < totals.size(); ++g) {
+    if (totals[g] < 100.0) continue;  // skip tiny groups
+    const double rate = positives[g] / totals[g];
+    max_rate = std::max(max_rate, rate);
+    min_rate = std::min(min_rate, rate);
+  }
+  EXPECT_GE(max_rate - min_rate, 0.10);
+}
+
+TEST_P(SyntheticDatasetTest, LabelBaseRateMatchesLiterature) {
+  const Dataset d = Make(20000, 9);
+  const double rate = d.PositiveRate();
+  if (GetParam() == "adult") EXPECT_NEAR(rate, 0.24, 0.05);  // 76% negative
+  if (GetParam() == "compas") EXPECT_NEAR(rate, 0.45, 0.06);
+  if (GetParam() == "lsac") EXPECT_NEAR(rate, 0.93, 0.04);  // most pass
+  if (GetParam() == "bank") EXPECT_NEAR(rate, 0.125, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDatasets, SyntheticDatasetTest,
+                         ::testing::Values("adult", "compas", "lsac", "bank"));
+
+TEST(SyntheticDatasetTest, CompasGroupProportions) {
+  SyntheticOptions options;
+  options.num_rows = 20000;
+  options.seed = 21;
+  const Dataset d = MakeCompasDataset(options);
+  const Column& race = d.ColumnByName("race");
+  double aa = 0.0;
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    aa += (race.CategoryOf(i) == "African-American");
+  }
+  EXPECT_NEAR(aa / d.NumRows(), 0.51, 0.02);
+}
+
+TEST(SyntheticDatasetTest, AdultSexProportions) {
+  SyntheticOptions options;
+  options.num_rows = 20000;
+  options.seed = 22;
+  const Dataset d = MakeAdultDataset(options);
+  const Column& sex = d.ColumnByName("sex");
+  double male = 0.0;
+  for (size_t i = 0; i < d.NumRows(); ++i) male += (sex.CategoryOf(i) == "Male");
+  EXPECT_NEAR(male / d.NumRows(), 0.67, 0.02);
+}
+
+}  // namespace
+}  // namespace omnifair

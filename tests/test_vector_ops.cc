@@ -1,0 +1,86 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace omnifair {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2({}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> a = {1.0, 2.0};
+  Axpy(2.0, {3.0, -1.0}, &a);
+  EXPECT_DOUBLE_EQ(a[0], 7.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> v = {1.0, -2.0};
+  Scale(-3.0, &v);
+  EXPECT_DOUBLE_EQ(v[0], -3.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+}
+
+TEST(VectorOpsTest, SumMeanStdDev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Sum(v), 40.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);  // classic textbook example
+}
+
+TEST(VectorOpsTest, MeanAndStdDevDegenerate) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+}
+
+TEST(SigmoidTest, Saturation) {
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);  // no overflow
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+/// Property sweep: sigmoid(-z) == 1 - sigmoid(z) and monotonicity.
+class SigmoidPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmoidPropertyTest, Symmetry) {
+  const double z = GetParam();
+  EXPECT_NEAR(Sigmoid(-z), 1.0 - Sigmoid(z), 1e-12);
+}
+
+TEST_P(SigmoidPropertyTest, Monotone) {
+  const double z = GetParam();
+  EXPECT_LE(Sigmoid(z), Sigmoid(z + 0.5));
+}
+
+TEST_P(SigmoidPropertyTest, Log1pExpMatchesDefinition) {
+  const double z = GetParam();
+  if (std::fabs(z) < 30.0) {
+    EXPECT_NEAR(Log1pExp(z), std::log1p(std::exp(z)), 1e-9);
+  } else {
+    EXPECT_GE(Log1pExp(z), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SigmoidPropertyTest,
+                         ::testing::Values(-50.0, -10.0, -2.0, -0.5, 0.0, 0.5, 2.0,
+                                           10.0, 50.0));
+
+}  // namespace
+}  // namespace omnifair

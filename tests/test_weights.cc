@@ -1,0 +1,190 @@
+#include "core/weights.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_fairness.h"
+
+namespace omnifair {
+namespace {
+
+using testing_fairness::MakeBiasedDataset;
+
+struct WeightsFixture {
+  Dataset d;
+  std::vector<ConstraintSpec> constraints;
+  GroupMap groups;
+  size_t n;
+
+  explicit WeightsFixture(const std::string& metric, uint64_t seed = 1,
+                          double epsilon = 0.03)
+      : d(MakeBiasedDataset(240, 0.65, 0.35, seed)) {
+    const FairnessSpec spec = MakeSpec(GroupByAttribute("grp"), metric, epsilon);
+    auto induced = InduceConstraints(spec, d);
+    EXPECT_TRUE(induced.ok());
+    constraints = *induced;
+    groups = GroupByAttribute("grp")(d);
+    n = d.NumRows();
+  }
+};
+
+TEST(WeightsTest, LambdaZeroGivesUnitWeights) {
+  WeightsFixture fx("sp");
+  const WeightComputer computer(fx.constraints, fx.d);
+  const std::vector<double> weights = computer.Compute(0.0, nullptr);
+  for (double w : weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(WeightsTest, SpWeightsMatchTable3) {
+  // Table 3 row SP: w|y=0,g1 = 1 - lambda*N/|g1|, w|y=1,g1 = 1 + lambda*N/|g1|,
+  //                 w|y=0,g2 = 1 + lambda*N/|g2|, w|y=1,g2 = 1 - lambda*N/|g2|.
+  WeightsFixture fx("sp");
+  const double lambda = 0.001;  // small so no clipping
+  const WeightComputer computer(fx.constraints, fx.d);
+  const std::vector<double> weights = computer.Compute(lambda, nullptr);
+  const double n = static_cast<double>(fx.n);
+  const double g1 = static_cast<double>(fx.groups.at("a").size());
+  const double g2 = static_cast<double>(fx.groups.at("b").size());
+  for (size_t i : fx.groups.at("a")) {
+    const double expected =
+        fx.d.Label(i) == 1 ? 1.0 + lambda * n / g1 : 1.0 - lambda * n / g1;
+    EXPECT_NEAR(weights[i], expected, 1e-12);
+  }
+  for (size_t i : fx.groups.at("b")) {
+    const double expected =
+        fx.d.Label(i) == 1 ? 1.0 - lambda * n / g2 : 1.0 + lambda * n / g2;
+    EXPECT_NEAR(weights[i], expected, 1e-12);
+  }
+}
+
+TEST(WeightsTest, MrWeightsMatchTable3) {
+  // Table 3 row MR (expressed as accuracy): w|g1 = 1 + lambda*N/|g1| for
+  // both labels; w|g2 = 1 - lambda*N/|g2|.
+  WeightsFixture fx("mr");
+  const double lambda = 0.002;
+  const WeightComputer computer(fx.constraints, fx.d);
+  const std::vector<double> weights = computer.Compute(lambda, nullptr);
+  const double n = static_cast<double>(fx.n);
+  const double g1 = static_cast<double>(fx.groups.at("a").size());
+  const double g2 = static_cast<double>(fx.groups.at("b").size());
+  for (size_t i : fx.groups.at("a")) {
+    EXPECT_NEAR(weights[i], 1.0 + lambda * n / g1, 1e-12);
+  }
+  for (size_t i : fx.groups.at("b")) {
+    EXPECT_NEAR(weights[i], 1.0 - lambda * n / g2, 1e-12);
+  }
+}
+
+TEST(WeightsTest, FnrWeightsTouchOnlyPositives) {
+  // FNR coefficients live on y=1 rows only; y=0 rows keep weight 1.
+  WeightsFixture fx("fnr");
+  const double lambda = 0.001;
+  const WeightComputer computer(fx.constraints, fx.d);
+  const std::vector<double> weights = computer.Compute(lambda, nullptr);
+  size_t positives_g1 = 0;
+  for (size_t i : fx.groups.at("a")) positives_g1 += (fx.d.Label(i) == 1);
+  const double n = static_cast<double>(fx.n);
+  for (size_t i : fx.groups.at("a")) {
+    if (fx.d.Label(i) == 0) {
+      EXPECT_DOUBLE_EQ(weights[i], 1.0);
+    } else {
+      // Our FNR metric is the true rate (c_i = -1/|y=1|), so
+      // w = 1 - lambda*N/|{y=1, g1}| on g1 positives.
+      EXPECT_NEAR(weights[i],
+                  1.0 - lambda * n / static_cast<double>(positives_g1), 1e-12);
+    }
+  }
+}
+
+TEST(WeightsTest, FdrWeightsUsePredictions) {
+  WeightsFixture fx("fdr");
+  const WeightComputer computer(fx.constraints, fx.d);
+  EXPECT_TRUE(computer.DependsOnPredictions());
+
+  std::vector<int> predictions(fx.n);
+  for (size_t i = 0; i < fx.n; ++i) predictions[i] = static_cast<int>(i % 2);
+  const double lambda = 0.0005;
+  const std::vector<double> weights = computer.Compute(lambda, &predictions);
+  size_t predicted_positive_g1 = 0;
+  for (size_t i : fx.groups.at("a")) predicted_positive_g1 += (predictions[i] == 1);
+  const double n = static_cast<double>(fx.n);
+  for (size_t i : fx.groups.at("a")) {
+    if (fx.d.Label(i) == 0) {
+      EXPECT_DOUBLE_EQ(weights[i], 1.0);
+    } else {
+      EXPECT_NEAR(
+          weights[i],
+          1.0 - lambda * n / static_cast<double>(predicted_positive_g1), 1e-12);
+    }
+  }
+}
+
+TEST(WeightsTest, NegativeWeightsClippedToZero) {
+  WeightsFixture fx("sp");
+  const WeightComputer computer(fx.constraints, fx.d);
+  const std::vector<double> weights = computer.Compute(100.0, nullptr);
+  for (double w : weights) EXPECT_GE(w, 0.0);
+  // Something must actually have been clipped at this extreme lambda.
+  size_t zeros = 0;
+  for (double w : weights) zeros += (w == 0.0);
+  EXPECT_GT(zeros, 0u);
+}
+
+TEST(WeightsTest, MultiConstraintWeightsAreAdditive) {
+  const Dataset d = MakeBiasedDataset(240, 0.65, 0.35, 7);
+  const std::vector<FairnessSpec> specs = {
+      MakeSpec(GroupByAttribute("grp"), "sp", 0.03),
+      MakeSpec(GroupByAttribute("grp"), "mr", 0.03),
+  };
+  auto constraints = InduceConstraints(specs, d);
+  ASSERT_TRUE(constraints.ok());
+  const WeightComputer both(*constraints, d);
+  const WeightComputer sp_only({(*constraints)[0]}, d);
+  const WeightComputer mr_only({(*constraints)[1]}, d);
+
+  const double l1 = 0.0012;
+  const double l2 = 0.0008;
+  const std::vector<double> w_both = both.Compute({l1, l2}, nullptr);
+  const std::vector<double> w_sp = sp_only.Compute(l1, nullptr);
+  const std::vector<double> w_mr = mr_only.Compute(l2, nullptr);
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    EXPECT_NEAR(w_both[i], w_sp[i] + w_mr[i] - 1.0, 1e-12);
+  }
+}
+
+TEST(WeightsTest, OverlappingGroupsAccumulateBothTerms) {
+  // Two overlapping predicate groups; a member of both gets both deltas.
+  Dataset d;
+  Column x = Column::Numeric("x");
+  for (int i = 0; i < 8; ++i) x.AppendNumeric(i);
+  d.AddColumn(std::move(x));
+  d.SetLabels({1, 1, 1, 1, 0, 0, 0, 0});
+
+  FairnessSpec spec;
+  spec.grouping = GroupByPredicates(
+      {{"low", [](const Dataset& ds, size_t i) {
+          return ds.ColumnByName("x").NumericValue(i) < 6.0;
+        }},
+       {"high", [](const Dataset& ds, size_t i) {
+          return ds.ColumnByName("x").NumericValue(i) >= 2.0;
+        }}});
+  spec.metric = MakeMetricByName("mr");
+  spec.epsilon = 0.05;
+  auto constraints = InduceConstraints(spec, d);
+  ASSERT_TRUE(constraints.ok());
+
+  const WeightComputer computer(*constraints, d);
+  const double lambda = 0.01;
+  const std::vector<double> weights = computer.Compute(lambda, nullptr);
+  const double n = 8.0;
+  // "high" is group1 (alphabetical), size 6; "low" is group2, size 6.
+  // Row 0: only "low" -> 1 - lambda*N/6. Row 7: only "high" -> 1 + lambda*N/6.
+  // Rows 2..5: both -> 1 + lambda*N/6 - lambda*N/6 = 1.
+  EXPECT_NEAR(weights[0], 1.0 - lambda * n / 6.0, 1e-12);
+  EXPECT_NEAR(weights[7], 1.0 + lambda * n / 6.0, 1e-12);
+  EXPECT_NEAR(weights[3], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,50 @@
+#ifndef OMNIFAIR_TESTS_TESTING_FAIRNESS_H_
+#define OMNIFAIR_TESTS_TESTING_FAIRNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace omnifair {
+namespace testing_fairness {
+
+/// A small two-group dataset with a tunable bias: group "a" has positive
+/// rate `rate_a`, group "b" has `rate_b`; one informative numeric feature
+/// (mean shifted by the label) plus one noise feature.
+inline Dataset MakeBiasedDataset(size_t n, double rate_a, double rate_b,
+                                 uint64_t seed, double feature_shift = 2.0) {
+  Rng rng(seed);
+  Dataset d("biased_toy");
+  Column g = Column::Categorical("grp", {"a", "b"});
+  Column f1 = Column::Numeric("score");
+  Column f2 = Column::Numeric("noise");
+  std::vector<int> labels;
+  for (size_t i = 0; i < n; ++i) {
+    const int group = rng.NextBernoulli(0.5) ? 0 : 1;
+    const double rate = group == 0 ? rate_a : rate_b;
+    const int y = rng.NextBernoulli(rate) ? 1 : 0;
+    g.AppendCode(group);
+    f1.AppendNumeric(rng.NextGaussian(y * feature_shift, 1.0));
+    f2.AppendNumeric(rng.NextGaussian(0.0, 1.0));
+    labels.push_back(y);
+  }
+  d.AddColumn(std::move(g));
+  d.AddColumn(std::move(f1));
+  d.AddColumn(std::move(f2));
+  d.SetLabels(std::move(labels));
+  return d;
+}
+
+/// Fixed-size predictions alternating 1/0 by index parity.
+inline std::vector<int> AlternatingPredictions(size_t n) {
+  std::vector<int> preds(n);
+  for (size_t i = 0; i < n; ++i) preds[i] = static_cast<int>(i % 2);
+  return preds;
+}
+
+}  // namespace testing_fairness
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_TESTS_TESTING_FAIRNESS_H_
