@@ -138,5 +138,6 @@ void Run() {
 int main() {
   omnifair::bench::Run();
   omnifair::bench::RunSubsampleAblation();
+  omnifair::bench::PrintRecoveryEvents();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "linalg/vector_ops.h"
 #include "ml/metrics.h"
 #include "ml/trainer_registry.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_utils.h"
 
@@ -198,6 +199,14 @@ struct Aggregate {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints the process-wide recovery-event counters (DESIGN.md §8) so bench
+/// output shows how often trainers diverged, metrics went non-finite, or
+/// budgets expired during the run. "recovery events: none" is the healthy
+/// baseline.
+inline void PrintRecoveryEvents() {
+  std::printf("recovery events: %s\n", RecoveryEventSummary().c_str());
 }
 
 }  // namespace bench

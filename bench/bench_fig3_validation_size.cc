@@ -58,5 +58,6 @@ void Run() {
 
 int main() {
   omnifair::bench::Run();
+  omnifair::bench::PrintRecoveryEvents();
   return 0;
 }

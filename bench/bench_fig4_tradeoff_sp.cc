@@ -63,5 +63,6 @@ void Run() {
 
 int main() {
   omnifair::bench::Run();
+  omnifair::bench::PrintRecoveryEvents();
   return 0;
 }

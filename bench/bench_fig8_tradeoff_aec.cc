@@ -77,5 +77,6 @@ void Run() {
 
 int main() {
   omnifair::bench::Run();
+  omnifair::bench::PrintRecoveryEvents();
   return 0;
 }

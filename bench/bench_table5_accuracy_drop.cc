@@ -90,5 +90,6 @@ void Run() {
 
 int main() {
   omnifair::bench::Run();
+  omnifair::bench::PrintRecoveryEvents();
   return 0;
 }

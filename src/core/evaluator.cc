@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace omnifair {
@@ -18,13 +19,16 @@ ConstraintEvaluator::ConstraintEvaluator(std::vector<ConstraintSpec> constraints
   // constraint's grouping once. Constraints induced from the same spec share
   // the same target (shared_ptr metric) but we cannot compare std::function
   // identities; evaluating the grouping per constraint keeps this simple and
-  // is cheap relative to model training.
+  // is cheap relative to model training. A grouping that throws on this
+  // split leaves both groups empty, which downgrades the constraint to the
+  // documented empty-group convention (FP_j = 0) instead of crashing.
   for (size_t j = 0; j < constraints_.size(); ++j) {
-    const GroupMap groups = constraints_[j].grouping(dataset_);
-    auto g1 = groups.find(constraints_[j].group1);
-    auto g2 = groups.find(constraints_[j].group2);
-    if (g1 != groups.end()) group1_members_[j] = g1->second;
-    if (g2 != groups.end()) group2_members_[j] = g2->second;
+    Result<GroupMap> groups = EvaluateGrouping(constraints_[j].grouping, dataset_);
+    if (!groups.ok()) continue;
+    auto g1 = groups->find(constraints_[j].group1);
+    auto g2 = groups->find(constraints_[j].group2);
+    if (g1 != groups->end()) group1_members_[j] = g1->second;
+    if (g2 != groups->end()) group2_members_[j] = g2->second;
   }
 }
 
@@ -39,8 +43,20 @@ double ConstraintEvaluator::FairnessPart(size_t j,
   OF_CHECK_EQ(predictions.size(), dataset_.NumRows());
   if (HasEmptyGroup(j)) return 0.0;
   const FairnessMetric& metric = *constraints_[j].metric;
-  return metric.Evaluate(dataset_, group1_members_[j], predictions) -
-         metric.Evaluate(dataset_, group2_members_[j], predictions);
+  const double part = FaultInjector::CorruptDouble(
+      fault_sites::kFairnessPart,
+      metric.Evaluate(dataset_, group1_members_[j], predictions) -
+          metric.Evaluate(dataset_, group2_members_[j], predictions));
+  if (!std::isfinite(part)) {
+    // Degenerate slice (e.g. a zero-denominator rate): never leak NaN into
+    // the tuner — treat the constraint as trivially satisfied this round.
+    CountRecoveryEvent(RecoveryEvent::kNonFiniteMetric);
+    OF_LOG(Warning) << "non-finite fairness part for constraint " << j << " ("
+                    << constraints_[j].metric->Name() << " " << constraints_[j].group1
+                    << " vs " << constraints_[j].group2 << "); treating as 0";
+    return 0.0;
+  }
+  return part;
 }
 
 std::vector<double> ConstraintEvaluator::FairnessParts(

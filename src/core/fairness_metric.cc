@@ -27,8 +27,10 @@ class StatisticalParityMetric : public FairnessMetric {
                                   const std::vector<size_t>& group,
                                   const std::vector<int>*) const override {
     MetricCoefficients out;
+    // Empty-group convention (DESIGN.md §8): the metric contributes 0, so
+    // the constraint is skipped instead of dividing by zero.
+    if (group.empty()) return out;
     const double size = static_cast<double>(group.size());
-    OF_CHECK_GT(size, 0.0);
     out.c.resize(group.size());
     for (size_t k = 0; k < group.size(); ++k) {
       out.c[k] = dataset.Label(group[k]) == 1 ? 1.0 / size : -1.0 / size;
@@ -46,8 +48,8 @@ class MisclassificationRateMetric : public FairnessMetric {
   MetricCoefficients Coefficients(const Dataset&, const std::vector<size_t>& group,
                                   const std::vector<int>*) const override {
     MetricCoefficients out;
+    if (group.empty()) return out;  // empty-group convention: contributes 0
     const double size = static_cast<double>(group.size());
-    OF_CHECK_GT(size, 0.0);
     out.c.assign(group.size(), 1.0 / size);
     out.c0 = 0.0;
     return out;
@@ -196,8 +198,8 @@ MetricCoefficients AverageErrorCostMetric::Coefficients(
   //   => c_i = -C_fp/|g| (y=0), -C_fn/|g| (y=1),
   //      c0 = (C_fp*|{y=0}| + C_fn*|{y=1}|) / |g|.
   MetricCoefficients out;
+  if (group.empty()) return out;  // empty-group convention: contributes 0
   const double size = static_cast<double>(group.size());
-  OF_CHECK_GT(size, 0.0);
   out.c.resize(group.size());
   size_t negatives = 0;
   for (size_t k = 0; k < group.size(); ++k) {

@@ -26,6 +26,12 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
 
   MultiTuneResult result;
   result.lambdas.assign(k, 0.0);
+  if (base_model == nullptr) {
+    // Trainer failed behind the exception firewall before any model existed.
+    result.status = problem.last_fit_status();
+    result.models_trained = problem.models_trained() - models_before;
+    return result;
+  }
 
   const double lo = -options_.max_lambda;
   const double step =
@@ -35,6 +41,10 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
 
   double best_accuracy = -1.0;
   for (long long index = 0; index < total; ++index) {
+    if (problem.BudgetExpired()) {
+      result.status = problem.budget()->ToStatus();
+      break;
+    }
     long long rest = index;
     for (size_t dim = 0; dim < k; ++dim) {
       lambdas[dim] = lo + step * static_cast<double>(rest % options_.points_per_dim);
@@ -42,6 +52,11 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
     }
     std::unique_ptr<Classifier> model =
         problem.FitWithLambdas(lambdas, base_model.get());
+    if (model == nullptr) {
+      // Trainer failed mid-grid: keep the best point found so far.
+      result.status = problem.last_fit_status();
+      break;
+    }
     const std::vector<int> val_preds = problem.PredictVal(*model);
     const bool satisfied = problem.val_evaluator().MaxViolation(val_preds) <= 1e-12;
     const double accuracy = problem.ValAccuracy(val_preds);

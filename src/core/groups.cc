@@ -67,6 +67,22 @@ GroupingFunction GroupByPredicates(
   };
 }
 
+Result<GroupMap> EvaluateGrouping(const GroupingFunction& grouping,
+                                  const Dataset& dataset) {
+  if (!grouping) return Status::InvalidArgument("grouping function is empty");
+  try {
+    return grouping(dataset);
+  } catch (const std::exception& e) {
+    CountRecoveryEvent(RecoveryEvent::kGroupingException);
+    OF_LOG(Warning) << "grouping callable threw: " << e.what();
+    return Status::Internal(std::string("grouping callable threw: ") + e.what());
+  } catch (...) {
+    CountRecoveryEvent(RecoveryEvent::kGroupingException);
+    OF_LOG(Warning) << "grouping callable threw a non-std exception";
+    return Status::Internal("grouping callable threw a non-std exception");
+  }
+}
+
 bool IsValidGrouping(const GroupMap& groups) {
   size_t non_empty = 0;
   for (const auto& [name, members] : groups) {

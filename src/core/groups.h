@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace omnifair {
 
@@ -42,6 +43,12 @@ GroupingFunction GroupByPredicates(
 
 /// Validates that the group map covers at least two non-empty groups.
 bool IsValidGrouping(const GroupMap& groups);
+
+/// Invokes a user-supplied grouping callable behind the no-throw API
+/// boundary (DESIGN.md §8): a thrown exception becomes Status::Internal (and
+/// a grouping_exception recovery event) instead of escaping the library.
+Result<GroupMap> EvaluateGrouping(const GroupingFunction& grouping,
+                                  const Dataset& dataset);
 
 }  // namespace omnifair
 

@@ -21,6 +21,12 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
   // Line 1-2: Lambda = 0, fit the unconstrained model.
   std::unique_ptr<Classifier> model =
       problem.FitWithLambdas(result.lambdas, /*weight_model=*/nullptr);
+  if (model == nullptr) {
+    // Trainer failed behind the exception firewall before any model existed.
+    result.status = problem.last_fit_status();
+    result.models_trained = problem.models_trained() - models_before;
+    return result;
+  }
   std::vector<int> val_preds = problem.PredictVal(*model);
 
   int consecutive_failures = 0;
@@ -29,14 +35,26 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
       result.satisfied = true;
       break;
     }
+    if (problem.BudgetExpired()) {
+      result.status = problem.budget()->ToStatus();
+      break;
+    }
     ++result.iterations;
     // Line 4: most violated constraint.
     const size_t j = problem.val_evaluator().MostViolated(val_preds);
     // Line 5: Algorithm 1 on coordinate j, other coordinates fixed.
     TuneResult coordinate =
         tuner.TuneCoordinate(problem, j, &result.lambdas, model.get());
-    model = std::move(coordinate.model);
-    val_preds = problem.PredictVal(*model);
+    if (coordinate.model != nullptr) {
+      model = std::move(coordinate.model);
+      val_preds = problem.PredictVal(*model);
+    }
+    if (!coordinate.status.ok()) {
+      // Budget expired or trainer failed mid-tune: stop climbing and report
+      // the best model reached so far.
+      result.status = coordinate.status;
+      break;
+    }
     if (coordinate.satisfied) {
       consecutive_failures = 0;
     } else if (++consecutive_failures >= 2) {

@@ -11,7 +11,14 @@ namespace omnifair {
 
 /// Outcome of a multi-constraint tuning run (Algorithm 2 or grid search).
 struct MultiTuneResult {
+  /// Best model found; null only when the very first fit failed behind the
+  /// exception firewall (`status` carries the cause).
   std::unique_ptr<Classifier> model;
+  /// kOk when the search ran to completion; DEADLINE_EXCEEDED when the
+  /// TrainBudget expired mid-search; INTERNAL when the trainer threw or
+  /// returned null. On a non-OK status `model` is the best-effort result
+  /// reached before the interruption.
+  Status status;
   std::vector<double> lambdas;
   bool satisfied = false;
   double val_accuracy = 0.0;

@@ -46,12 +46,40 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   const int models_before = problem.models_trained();
   const bool prediction_dependent = problem.DependsOnPredictions();
 
+  // Search-interruption state: `aborted` when the trainer failed behind the
+  // exception firewall, `expired` when the TrainBudget ran out. Either way
+  // the tune stops early and returns the best model reached so far, with
+  // `search_status` carrying the cause.
+  Status search_status;
+  bool aborted = false;
+  bool expired = false;
+  auto fit_failed = [&](const std::unique_ptr<Classifier>& model) {
+    if (model != nullptr) return false;
+    aborted = true;
+    search_status = problem.last_fit_status();
+    return true;
+  };
+  auto budget_expired = [&]() {
+    if (expired) return true;
+    if (!problem.BudgetExpired()) return false;
+    expired = true;
+    search_status = problem.budget()->ToStatus();
+    return true;
+  };
+
   // Stage 1 (Algorithm 1 lines 1-3): model at the current Lambda. When
   // called from TuneSingle this is the unconstrained lambda=0 model.
   std::unique_ptr<Classifier> theta0;
   const Classifier* theta0_ptr = initial_model;
   if (theta0_ptr == nullptr) {
     theta0 = problem.FitWithLambdas(*lambdas, /*weight_model=*/nullptr);
+    if (fit_failed(theta0)) {
+      TuneResult result;
+      result.status = search_status;
+      result.lambda = (*lambdas)[j];
+      result.models_trained = problem.models_trained() - models_before;
+      return result;
+    }
     theta0_ptr = theta0.get();
   }
   std::vector<int> val_preds = problem.PredictVal(*theta0_ptr);
@@ -59,6 +87,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
 
   auto finish = [&](BestCandidate best, bool satisfied) {
     TuneResult result;
+    result.status = search_status;
     result.satisfied = satisfied;
     result.model = std::move(best.model);
     result.lambda = best.lambda;
@@ -77,6 +106,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     if (model == nullptr) {
       // Caller owns initial_model; refit so the result owns its model.
       model = problem.FitWithLambdas(*lambdas, theta0_ptr);
+      if (fit_failed(model)) return finish(std::move(best), /*satisfied=*/false);
       val_preds = problem.PredictVal(*model);
     }
     best.Consider(std::move(model), (*lambdas)[j], problem.ValAccuracy(val_preds),
@@ -139,8 +169,10 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     // lambda, so Lemma 2's direction is reliable.
     double magnitude = options_.initial_step;
     for (int doubling = 0; doubling < options_.max_doublings; ++doubling) {
+      if (budget_expired()) break;
       trial[j] = base + direction * magnitude;
       std::unique_ptr<Classifier> theta_u = bounding_fit(trial, nullptr);
+      if (fit_failed(theta_u)) break;
       double fp = 0.0;
       if (subsampled_bounding) {
         const std::vector<int> preds = problem.PredictVal(*theta_u);
@@ -171,10 +203,12 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     Side sides[2] = {{lemma_direction, 0.0, nullptr, theta0_ptr},
                      {-lemma_direction, 0.0, nullptr, theta0_ptr}};
     for (int step = 0; step < options_.max_linear_steps && !bounded; ++step) {
+      if (budget_expired()) break;
       for (Side& side : sides) {
         const double next_magnitude = side.magnitude + options_.delta;
         trial[j] = base + side.sign * next_magnitude;
         std::unique_ptr<Classifier> theta_u = bounding_fit(trial, side.weight_model);
+        if (fit_failed(theta_u)) break;
         double fp = 0.0;
         std::unique_ptr<Classifier> kept;
         if (subsampled_bounding) {
@@ -199,21 +233,55 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
           side.weight_model = side.theta_l.get();
         }
       }
+      if (aborted) break;
     }
+  }
+
+  // Fills `best` with a usable model when the search ends without an in-band
+  // candidate. The owned base-lambda model is reused when it answers the
+  // request (no extra fit); otherwise one mandatory fallback fit runs — the
+  // single fit exempt from the budget — unless the trainer itself is failing,
+  // in which case the base model is the best we can do.
+  auto use_theta0 = [&](BestCandidate* target) {
+    // val_preds still holds theta0's predictions.
+    target->model = std::move(theta0);
+    target->lambda = base;
+    target->val_accuracy = problem.ValAccuracy(val_preds);
+    target->val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+  };
+  auto ensure_model = [&](double lambda_value) {
+    if (best.model != nullptr) return;
+    if (theta0 != nullptr && lambda_value == base) {
+      use_theta0(&best);
+      return;
+    }
+    if (!aborted) {
+      trial[j] = lambda_value;
+      std::unique_ptr<Classifier> fallback =
+          problem.FitWithLambdas(trial, weight_model);
+      if (!fit_failed(fallback)) {
+        std::vector<int> preds = problem.PredictVal(*fallback);
+        best.model = std::move(fallback);
+        best.lambda = lambda_value;
+        best.val_accuracy = problem.ValAccuracy(preds);
+        best.val_fairness_parts = problem.val_evaluator().FairnessParts(preds);
+        return;
+      }
+    }
+    if (theta0 != nullptr) use_theta0(&best);
+  };
+
+  if (aborted || expired) {
+    // Trainer failure or budget expiry during bracketing: return the best
+    // in-band model seen, else a model at the starting lambda.
+    const bool satisfied = best.model != nullptr;
+    ensure_model(base);
+    return finish(std::move(best), satisfied);
   }
 
   if (!bounded) {
     // No lambda within budget resolves the constraint: infeasible (NA(1)).
-    if (best.model == nullptr) {
-      // Return the model at the starting lambda as best effort.
-      trial[j] = base;
-      std::unique_ptr<Classifier> fallback = problem.FitWithLambdas(trial, weight_model);
-      std::vector<int> preds = problem.PredictVal(*fallback);
-      best.model = std::move(fallback);
-      best.lambda = base;
-      best.val_accuracy = problem.ValAccuracy(preds);
-      best.val_fairness_parts = problem.val_evaluator().FairnessParts(preds);
-    }
+    ensure_model(base);
     return finish(std::move(best), /*satisfied=*/false);
   }
 
@@ -222,9 +290,11 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   // and BestCandidate keeps the satisfying model with the highest
   // validation accuracy seen anywhere in the search.
   while (magnitude_hi - magnitude_lo >= options_.tau) {
+    if (budget_expired()) break;
     const double magnitude_mid = 0.5 * (magnitude_lo + magnitude_hi);
     trial[j] = base + direction * magnitude_mid;
     std::unique_ptr<Classifier> theta_m = problem.FitWithLambdas(trial, weight_model);
+    if (fit_failed(theta_m)) break;
     double fp = 0.0;
     std::unique_ptr<Classifier> kept =
         evaluate_and_consider(std::move(theta_m), trial[j], &fp);
@@ -244,13 +314,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     // The band was crossed without landing inside it (discrete model jumps
     // can overshoot |FP| <= epsilon entirely). Report the resolved-side
     // endpoint as best effort.
-    trial[j] = base + direction * magnitude_hi;
-    std::unique_ptr<Classifier> fallback = problem.FitWithLambdas(trial, weight_model);
-    std::vector<int> preds = problem.PredictVal(*fallback);
-    best.model = std::move(fallback);
-    best.lambda = trial[j];
-    best.val_accuracy = problem.ValAccuracy(preds);
-    best.val_fairness_parts = problem.val_evaluator().FairnessParts(preds);
+    ensure_model(base + direction * magnitude_hi);
   }
   return finish(std::move(best), satisfied);
 }

@@ -6,6 +6,7 @@
 
 #include "core/problem.h"
 #include "ml/classifier.h"
+#include "util/status.h"
 
 namespace omnifair {
 
@@ -35,9 +36,16 @@ struct TuneOptions {
 
 /// Outcome of one Algorithm 1 run (or one hill-climbing coordinate step).
 struct TuneResult {
-  /// Best model found. Never null: on infeasibility this is the closest
-  /// model reached (best-effort), with satisfied=false.
+  /// Best model found. On infeasibility this is the closest model reached
+  /// (best-effort), with satisfied=false. Null only when the trainer failed
+  /// (exception firewall) before any model could be produced — `status`
+  /// carries the cause then.
   std::unique_ptr<Classifier> model;
+  /// kOk when the search ran to completion. DEADLINE_EXCEEDED when the
+  /// TrainBudget expired mid-search (model is the best found so far);
+  /// INTERNAL when the trainer threw or returned null (model is the best
+  /// earlier candidate, possibly null).
+  Status status;
   /// Final value of the tuned lambda coordinate.
   double lambda = 0.0;
   /// Whether the target constraint is satisfied on the validation split.

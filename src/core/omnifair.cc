@@ -34,6 +34,11 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
       FairnessProblem::Create(train, val, specs, trainer, options_.encoder);
   if (!problem.ok()) return problem.status();
 
+  // The budget starts ticking here; every Fit* inside the tuners is charged
+  // to it, and on expiry the search returns the best model reached so far.
+  TrainBudget budget(options_.budget);
+  (*problem)->set_budget(&budget);
+
   const bool warm = options_.warm_start && trainer->SupportsWarmStart();
   if (warm) {
     trainer->ResetWarmStart();
@@ -45,6 +50,7 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
     const LambdaTuner tuner(options_.hill_climb.tune);
     TuneResult tuned = tuner.TuneSingle(**problem);
     fair.model = std::move(tuned.model);
+    fair.outcome = std::move(tuned.status);
     fair.lambdas = {tuned.lambda};
     fair.satisfied = tuned.satisfied;
     fair.val_accuracy = tuned.val_accuracy;
@@ -54,14 +60,22 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
     const HillClimber climber(options_.hill_climb);
     MultiTuneResult tuned = climber.Run(**problem);
     fair.model = std::move(tuned.model);
+    fair.outcome = std::move(tuned.status);
     fair.lambdas = std::move(tuned.lambdas);
     fair.satisfied = tuned.satisfied;
     fair.val_accuracy = tuned.val_accuracy;
     fair.val_fairness_parts = std::move(tuned.val_fairness_parts);
     fair.models_trained = tuned.models_trained;
   }
+  (*problem)->set_budget(nullptr);
 
   if (warm) trainer->SetWarmStart(false);
+  if (fair.model == nullptr) {
+    // The trainer never produced a model; surface the firewall's status
+    // rather than a FairModel that cannot predict.
+    if (fair.outcome.ok()) return Status::Internal("trainer produced no model");
+    return fair.outcome;
+  }
   fair.encoder = (*problem)->encoder();
   fair.train_seconds = stopwatch.ElapsedSeconds();
   return fair;
@@ -168,7 +182,9 @@ Result<AuditReport> Audit(const Classifier& model, const FeatureEncoder& encoder
   // Per-(metric, group) dashboard rows: every spec's grouping evaluated
   // once, each non-empty group reported with its metric value and accuracy.
   for (const FairnessSpec& spec : specs) {
-    const GroupMap groups = spec.grouping(dataset);
+    Result<GroupMap> groups_result = EvaluateGrouping(spec.grouping, dataset);
+    if (!groups_result.ok()) continue;  // firewalled; already logged
+    const GroupMap& groups = *groups_result;
     for (const auto& [group_name, members] : groups) {
       if (members.empty()) continue;
       GroupAudit row;

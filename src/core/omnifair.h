@@ -14,6 +14,7 @@
 #include "data/encoder.h"
 #include "ml/classifier.h"
 #include "util/status.h"
+#include "util/train_budget.h"
 
 namespace omnifair {
 
@@ -24,6 +25,11 @@ struct OmniFairOptions {
   /// Enable the warm-start optimization (§7.2.1, Table 6) when the trainer
   /// supports it (LR, NN).
   bool warm_start = false;
+  /// Optional resource cap on the tuning search (wall-clock deadline and/or
+  /// max trainer invocations). Defaults to unlimited. On expiry Train still
+  /// returns the best model found, with FairModel::outcome set to
+  /// DEADLINE_EXCEEDED (DESIGN.md §8).
+  TrainBudgetOptions budget;
 };
 
 /// A fairness-constrained model plus everything needed to use and audit it.
@@ -36,6 +42,12 @@ struct FairModel {
   /// Whether every induced constraint held on the validation split. When
   /// false the model is best-effort (the paper's NA(1) condition).
   bool satisfied = false;
+  /// How the tuning search ended: kOk when it ran to completion,
+  /// DEADLINE_EXCEEDED when the TrainBudget expired mid-search, INTERNAL
+  /// when the trainer failed partway (exception firewall) but an earlier
+  /// model could still be returned. The model is always usable; `outcome`
+  /// tells you whether the search was cut short.
+  Status outcome;
   double val_accuracy = 0.0;
   /// FP_j on validation per constraint (signed).
   std::vector<double> val_fairness_parts;
@@ -92,7 +104,12 @@ class OmniFair {
 
   /// Trains a fair model. Returns kInvalidArgument for malformed specs;
   /// infeasibility is reported via FairModel::satisfied = false (callers
-  /// may still use the best-effort model).
+  /// may still use the best-effort model). Never throws: exceptions from
+  /// the trainer or the grouping callables are converted to Status at the
+  /// API boundary (DESIGN.md §8). When the trainer fails before any model
+  /// exists the call returns kInternal; when it fails later, or the
+  /// configured TrainBudget expires, the best model reached is returned
+  /// with FairModel::outcome annotating the interruption.
   Result<FairModel> Train(const Dataset& train, const Dataset& val, Trainer* trainer,
                           const std::vector<FairnessSpec>& specs) const;
 

@@ -1,6 +1,7 @@
 #include "core/problem.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "ml/metrics.h"
 #include "util/logging.h"
@@ -42,6 +43,48 @@ double FairnessProblem::Epsilon(size_t j) const {
   return constraints_[j].epsilon;
 }
 
+std::unique_ptr<Classifier> FairnessProblem::FirewalledFit(
+    const Matrix& X, const std::vector<int>& y, std::vector<double> weights) {
+  // Non-finite weights (a degenerate Lambda or a buggy weight model) would
+  // poison every downstream loss; clamp them to 0 and keep going.
+  size_t clamped = 0;
+  for (double& w : weights) {
+    if (!std::isfinite(w)) {
+      w = 0.0;
+      ++clamped;
+    }
+  }
+  if (clamped > 0) {
+    CountRecoveryEvent(RecoveryEvent::kNonFiniteWeight);
+    OF_LOG(Warning) << "clamped " << clamped << " non-finite example weights to 0";
+  }
+
+  ++models_trained_;
+  if (budget_ != nullptr) budget_->NoteModelTrained();
+
+  std::unique_ptr<Classifier> model;
+  Status caught;
+  try {
+    model = trainer_->Fit(X, y, weights);
+  } catch (const std::exception& e) {
+    caught = Status::Internal(std::string("trainer threw: ") + e.what());
+  } catch (...) {
+    caught = Status::Internal("trainer threw a non-std exception");
+  }
+  if (!caught.ok()) {
+    CountRecoveryEvent(RecoveryEvent::kTrainerException);
+    OF_LOG(Warning) << "exception firewall: " << caught.message();
+    fit_status_ = std::move(caught);
+    return nullptr;
+  }
+  if (model == nullptr) {
+    fit_status_ = Status::Internal("trainer returned a null model");
+    return nullptr;
+  }
+  fit_status_ = Status::Ok();
+  return model;
+}
+
 std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(
     const std::vector<double>& lambdas, const Classifier* weight_model) {
   std::vector<int> predictions;
@@ -50,10 +93,8 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(
     predictions = weight_model->Predict(X_train_);
     predictions_ptr = &predictions;
   }
-  const std::vector<double> weights =
-      weight_computer_->Compute(lambdas, predictions_ptr);
-  ++models_trained_;
-  return trainer_->Fit(X_train_, train_->labels(), weights);
+  return FirewalledFit(X_train_, train_->labels(),
+                       weight_computer_->Compute(lambdas, predictions_ptr));
 }
 
 std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
@@ -89,15 +130,13 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
   std::vector<double> weights;
   weights.reserve(subsample_rows_.size());
   for (size_t i : subsample_rows_) weights.push_back(full_weights[i]);
-  ++models_trained_;
-  return trainer_->Fit(subsample_features_, subsample_labels_, weights);
+  return FirewalledFit(subsample_features_, subsample_labels_, std::move(weights));
 }
 
 std::unique_ptr<Classifier> FairnessProblem::FitWithWeights(
     const std::vector<double>& weights) {
   OF_CHECK_EQ(weights.size(), train_->NumRows());
-  ++models_trained_;
-  return trainer_->Fit(X_train_, train_->labels(), weights);
+  return FirewalledFit(X_train_, train_->labels(), weights);
 }
 
 std::vector<int> FairnessProblem::PredictTrain(const Classifier& model) const {

@@ -11,6 +11,7 @@
 #include "data/encoder.h"
 #include "ml/classifier.h"
 #include "util/status.h"
+#include "util/train_budget.h"
 
 namespace omnifair {
 
@@ -44,7 +45,9 @@ class FairnessProblem {
   /// Solves Equation (21) for the given Lambda: derives training-example
   /// weights (using `weight_model`'s train-split predictions when metrics
   /// are prediction-parameterized) and fits the trainer. Each call counts
-  /// towards models_trained().
+  /// towards models_trained(). All Fit variants run the user trainer behind
+  /// an exception firewall (DESIGN.md §8): a trainer that throws or returns
+  /// null yields nullptr here, with the cause in last_fit_status().
   std::unique_ptr<Classifier> FitWithLambdas(const std::vector<double>& lambdas,
                                              const Classifier* weight_model);
 
@@ -86,8 +89,22 @@ class FairnessProblem {
   /// paper's Figures 5/6).
   int models_trained() const { return models_trained_; }
 
+  /// Why the most recent Fit* call returned nullptr (kOk after a success).
+  const Status& last_fit_status() const { return fit_status_; }
+
+  /// Attaches a (caller-owned) budget; every Fit* call is charged to it and
+  /// the tuners poll BudgetExpired() before exploratory fits.
+  void set_budget(TrainBudget* budget) { budget_ = budget; }
+  TrainBudget* budget() const { return budget_; }
+  bool BudgetExpired() const { return budget_ != nullptr && budget_->Expired(); }
+
  private:
   FairnessProblem() = default;
+
+  /// Runs trainer_->Fit behind the exception firewall with sanitized
+  /// weights; updates counters, the budget, and fit_status_.
+  std::unique_ptr<Classifier> FirewalledFit(const Matrix& X, const std::vector<int>& y,
+                                            std::vector<double> weights);
 
   std::unique_ptr<Dataset> train_;  // owned copies with stable addresses
   std::unique_ptr<Dataset> val_;
@@ -99,6 +116,8 @@ class FairnessProblem {
   std::vector<ConstraintSpec> constraints_;
   Trainer* trainer_ = nullptr;
   int models_trained_ = 0;
+  Status fit_status_;
+  TrainBudget* budget_ = nullptr;
 
   // Cached subsample (rebuilt when fraction/seed change).
   double subsample_fraction_ = 0.0;

@@ -42,7 +42,9 @@ Result<std::vector<ConstraintSpec>> InduceConstraints(const FairnessSpec& spec,
   if (spec.epsilon < 0.0) {
     return Status::InvalidArgument("epsilon must be non-negative");
   }
-  const GroupMap groups = spec.grouping(reference);
+  Result<GroupMap> groups_result = EvaluateGrouping(spec.grouping, reference);
+  if (!groups_result.ok()) return groups_result.status();
+  const GroupMap& groups = *groups_result;
   std::vector<std::string> names;
   for (const auto& [name, members] : groups) {
     if (!members.empty()) names.push_back(name);

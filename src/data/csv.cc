@@ -1,11 +1,49 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "util/string_utils.h"
 
 namespace omnifair {
+namespace {
+
+/// Splits one CSV record into fields, honoring double-quoted fields with ""
+/// as the escaped-quote sequence. Returns false on an unterminated quote.
+bool SplitCsvRecord(std::string_view record, char delimiter,
+                    std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < record.size(); ++i) {
+    const char c = record[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < record.size() && record[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) {
   std::ifstream in(path);
@@ -15,7 +53,10 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty CSV file " + path);
   }
-  std::vector<std::string> header = Split(line, options.delimiter);
+  std::vector<std::string> header;
+  if (!SplitCsvRecord(line, options.delimiter, &header)) {
+    return Status::InvalidArgument(path + ":1: unterminated quoted field");
+  }
   for (std::string& name : header) name = std::string(StripWhitespace(name));
 
   int label_index = -1;
@@ -27,15 +68,23 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
                                    "' not found in " + path);
   }
 
-  // First pass: collect raw cells.
+  // First pass: collect raw cells, remembering each kept row's source line
+  // so later parse failures can name the offending row (blank lines are
+  // skipped, so row index and line number diverge).
   std::vector<std::vector<std::string>> cells;  // per column
   cells.resize(header.size());
+  std::vector<size_t> row_lines;
+  std::vector<std::string> fields;
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty()) continue;
-    std::vector<std::string> fields = Split(stripped, options.delimiter);
+    if (!SplitCsvRecord(stripped, options.delimiter, &fields)) {
+      std::ostringstream msg;
+      msg << path << ":" << line_number << ": unterminated quoted field";
+      return Status::InvalidArgument(msg.str());
+    }
     if (fields.size() != header.size()) {
       std::ostringstream msg;
       msg << path << ":" << line_number << ": expected " << header.size()
@@ -45,6 +94,7 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
     for (size_t i = 0; i < fields.size(); ++i) {
       cells[i].emplace_back(StripWhitespace(fields[i]));
     }
+    row_lines.push_back(line_number);
   }
 
   // Infer column types and build the dataset.
@@ -54,29 +104,59 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
   for (size_t c = 0; c < header.size(); ++c) {
     if (static_cast<int>(c) == label_index) {
       labels.reserve(cells[c].size());
-      for (const std::string& cell : cells[c]) {
+      for (size_t r = 0; r < cells[c].size(); ++r) {
+        const std::string& cell = cells[c][r];
         if (!options.positive_label_value.empty()) {
           labels.push_back(cell == options.positive_label_value ? 1 : 0);
         } else {
           double value = 0.0;
           if (!ParseDouble(cell, &value) || (value != 0.0 && value != 1.0)) {
-            return Status::InvalidArgument("label cell '" + cell +
-                                           "' is not 0/1 in " + path);
+            std::ostringstream msg;
+            msg << path << ":" << row_lines[r] << ": label cell '" << cell
+                << "' is not 0/1";
+            return Status::InvalidArgument(msg.str());
           }
           labels.push_back(static_cast<int>(value));
         }
       }
       continue;
     }
-    bool forced = false;
+    bool forced_categorical = false;
     for (const std::string& name : options.force_categorical) {
-      if (name == header[c]) forced = true;
+      if (name == header[c]) forced_categorical = true;
     }
-    bool numeric = !forced;
+    bool forced_numeric = false;
+    for (const std::string& name : options.force_numeric) {
+      if (name == header[c]) forced_numeric = true;
+    }
+    if (forced_categorical && forced_numeric) {
+      return Status::InvalidArgument("column '" + header[c] +
+                                     "' listed in both force_categorical and "
+                                     "force_numeric");
+    }
+    if (forced_numeric) {
+      Column col = Column::Numeric(header[c]);
+      for (size_t r = 0; r < cells[c].size(); ++r) {
+        double value = 0.0;
+        if (!ParseDouble(cells[c][r], &value) || !std::isfinite(value)) {
+          std::ostringstream msg;
+          msg << path << ":" << row_lines[r] << ": cell '" << cells[c][r]
+              << "' in numeric column '" << header[c]
+              << "' is not a finite number";
+          return Status::InvalidArgument(msg.str());
+        }
+        col.AppendNumeric(value);
+      }
+      dataset.AddColumn(std::move(col));
+      continue;
+    }
+    bool numeric = !forced_categorical;
     if (numeric) {
       for (const std::string& cell : cells[c]) {
-        double unused = 0.0;
-        if (!ParseDouble(cell, &unused)) {
+        double value = 0.0;
+        // Non-finite parses ("nan", "inf") demote the column to categorical:
+        // they would otherwise poison every downstream loss (DESIGN.md §8).
+        if (!ParseDouble(cell, &value) || !std::isfinite(value)) {
           numeric = false;
           break;
         }

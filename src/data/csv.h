@@ -19,12 +19,19 @@ struct CsvReadOptions {
   std::string positive_label_value;
   /// Columns to parse as categorical even if all cells look numeric.
   std::vector<std::string> force_categorical;
+  /// Columns that MUST be numeric: a cell that does not parse as a finite
+  /// double fails the read with kInvalidArgument naming the offending row,
+  /// instead of silently demoting the column to categorical.
+  std::vector<std::string> force_numeric;
 };
 
 /// Reads a CSV file with a header row into a Dataset. Column types are
-/// inferred: a column is numeric iff every cell parses as a double (and it is
-/// not listed in force_categorical). Cells are not quoted/escaped — the
-/// synthetic datasets in this repo never need that.
+/// inferred: a column is numeric iff every cell parses as a finite double
+/// (and it is not listed in force_categorical). Fields may be quoted with
+/// double quotes ("" escapes a literal quote inside); malformed rows —
+/// ragged field counts, unterminated quotes, bad labels, non-numeric cells
+/// in force_numeric columns — fail with kInvalidArgument carrying the
+/// path:line of the offending row.
 Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options);
 
 /// Writes a Dataset (attributes + label column) as CSV with a header row.

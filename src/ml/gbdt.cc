@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "linalg/vector_ops.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace omnifair {
@@ -172,6 +173,12 @@ std::unique_ptr<Classifier> GbdtTrainer::Fit(const Matrix& X,
   std::vector<std::vector<GbdtTreeNode>> trees;
   trees.reserve(options_.num_rounds);
 
+  // Divergence recovery (DESIGN.md §8): a round whose tree makes any raw
+  // score non-finite is dropped, and later trees have their leaf values
+  // damped by `backoff`. `raw` therefore only ever holds finite scores.
+  std::vector<double> candidate_raw(n);
+  double backoff = 1.0;
+  int retries = 0;
   for (int round = 0; round < options_.num_rounds; ++round) {
     for (size_t i = 0; i < n; ++i) {
       const double p = Sigmoid(raw[i]);
@@ -180,9 +187,29 @@ std::unique_ptr<Classifier> GbdtTrainer::Fit(const Matrix& X,
     }
     GbdtTreeBuilder builder(X, grad, hess, options_);
     std::vector<GbdtTreeNode> tree = builder.Build();
-    for (size_t i = 0; i < n; ++i) {
-      raw[i] += options_.learning_rate * PredictTree(tree, X.Row(i));
+    if (backoff < 1.0) {
+      for (GbdtTreeNode& node : tree) node.value *= backoff;
     }
+    bool diverged = FaultInjector::ShouldFail(fault_sites::kGbdtRound);
+    candidate_raw = raw;
+    for (size_t i = 0; i < n; ++i) {
+      candidate_raw[i] += options_.learning_rate * PredictTree(tree, X.Row(i));
+      diverged = diverged || !std::isfinite(candidate_raw[i]);
+    }
+    if (diverged) {
+      if (retries >= options_.max_divergence_retries) {
+        OF_LOG(Warning) << "gbdt: divergence persisted after " << retries
+                        << " retries; stopping with " << trees.size() << " trees";
+        break;
+      }
+      ++retries;
+      CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+      OF_LOG(Warning) << "gbdt: non-finite raw score at round " << round
+                      << "; dropping tree and damping (retry " << retries << ")";
+      backoff *= 0.5;
+      continue;
+    }
+    raw.swap(candidate_raw);
     trees.push_back(std::move(tree));
   }
   return std::make_unique<GbdtModel>(std::move(trees), base_score,

@@ -21,6 +21,11 @@ struct GbdtOptions {
   double min_child_weight = 1.0;
   /// Minimum gain to accept a split (XGBoost's gamma).
   double min_split_gain = 0.0;
+  /// Divergence recovery (DESIGN.md §8): a boosting round whose tree pushes
+  /// any raw score non-finite is dropped and subsequent trees have their
+  /// leaf values damped by another factor of 2, at most this many times
+  /// before boosting stops with the ensemble built so far.
+  int max_divergence_retries = 3;
 };
 
 /// A regression tree over (gradient, hessian) statistics: internal nodes

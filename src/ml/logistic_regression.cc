@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/vector_ops.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace omnifair {
@@ -86,10 +87,48 @@ std::unique_ptr<Classifier> LogisticRegressionTrainer::Fit(
   std::vector<double> candidate(d + 1, 0.0);
   double step = options_.learning_rate;
   double loss = Loss(X, y, weights, theta, options_.l2);
+  if (!std::isfinite(loss) && warm_start_) {
+    // A pathological warm start (e.g. from a diverged previous fit) can put
+    // the initial loss out of range; restart from zero instead.
+    std::fill(theta.begin(), theta.end(), 0.0);
+    loss = Loss(X, y, weights, theta, options_.l2);
+  }
+  if (!std::isfinite(loss)) {
+    // Even theta = 0 overflows: the data/weights themselves are degenerate.
+    OF_LOG(Warning) << "logistic regression: non-finite loss at theta=0; "
+                       "returning the zero-coefficient model";
+    return std::make_unique<LogisticRegressionModel>(std::vector<double>(d, 0.0), 0.0);
+  }
+
+  // Divergence recovery (DESIGN.md §8): `checkpoint` is the last theta whose
+  // loss was finite; on a non-finite loss/gradient we roll back to it with a
+  // halved learning rate, up to max_divergence_retries times.
+  std::vector<double> checkpoint = theta;
+  double checkpoint_loss = loss;
+  int retries = 0;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     ++total_iterations_;
     const double grad_norm = Gradient(X, y, weights, theta, options_.l2, &grad);
+    const bool diverged = !std::isfinite(loss) || !std::isfinite(grad_norm) ||
+                          FaultInjector::ShouldFail(fault_sites::kLrDescend);
+    if (diverged) {
+      if (retries >= options_.max_divergence_retries) {
+        OF_LOG(Warning) << "logistic regression: divergence persisted after "
+                        << retries << " retries; returning last checkpoint";
+        theta = checkpoint;
+        break;
+      }
+      ++retries;
+      CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+      OF_LOG(Warning) << "logistic regression: non-finite loss/gradient at "
+                         "iteration "
+                      << iter << "; backing off (retry " << retries << ")";
+      theta = checkpoint;
+      loss = checkpoint_loss;
+      step = options_.learning_rate * std::pow(0.5, retries);
+      continue;
+    }
     if (grad_norm < options_.tolerance) break;
 
     // Backtracking line search on the full-batch loss.
@@ -108,6 +147,10 @@ std::unique_ptr<Classifier> LogisticRegressionTrainer::Fit(
       step *= 0.5;
     }
     if (!accepted) break;  // step underflow: converged to numeric precision
+    if (std::isfinite(loss)) {
+      checkpoint = theta;
+      checkpoint_loss = loss;
+    }
   }
 
   if (warm_start_) warm_theta_ = theta;

@@ -22,6 +22,11 @@ struct LogisticRegressionOptions {
   double tolerance = 1e-4;
   /// Initial learning rate for backtracking line search.
   double learning_rate = 1.0;
+  /// Divergence recovery (DESIGN.md §8): when the loss or gradient goes
+  /// non-finite, training rolls back to the last finite checkpoint with a
+  /// halved learning rate, at most this many times before giving up and
+  /// returning the checkpoint model.
+  int max_divergence_retries = 3;
 };
 
 /// A trained logistic regression model: p(y=1|x) = sigmoid(w.x + b).

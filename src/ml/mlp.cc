@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/vector_ops.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -67,7 +68,11 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
   const size_t p = ParamCount(d, h);
 
   std::vector<double> params(p);
-  if (warm_start_ && warm_params_.size() == p) {
+  const bool warm_usable =
+      warm_start_ && warm_params_.size() == p &&
+      std::all_of(warm_params_.begin(), warm_params_.end(),
+                  [](double value) { return std::isfinite(value); });
+  if (warm_usable) {
     params = warm_params_;
   } else {
     Rng rng(options_.seed);
@@ -88,6 +93,13 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
   const double beta2 = 0.999;
   const double adam_eps = 1e-8;
   double previous_loss = std::numeric_limits<double>::infinity();
+
+  // Divergence recovery (DESIGN.md §8): `checkpoint` is the last parameter
+  // vector whose epoch loss was finite; a non-finite loss rolls back to it
+  // with reset Adam moments and a halved learning rate.
+  std::vector<double> checkpoint = params;
+  double learning_rate = options_.learning_rate;
+  int retries = 0;
 
   for (int epoch = 1; epoch <= options_.max_epochs; ++epoch) {
     Views v = MakeViews(params, d, h);
@@ -122,6 +134,29 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
 
     const double inv_n = 1.0 / static_cast<double>(n);
     loss *= inv_n;
+
+    const bool diverged =
+        !std::isfinite(loss) || FaultInjector::ShouldFail(fault_sites::kMlpEpoch);
+    if (diverged) {
+      if (retries >= options_.max_divergence_retries) {
+        OF_LOG(Warning) << "mlp: divergence persisted after " << retries
+                        << " retries; returning last checkpoint";
+        params = checkpoint;
+        break;
+      }
+      ++retries;
+      CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+      OF_LOG(Warning) << "mlp: non-finite loss at epoch " << epoch
+                      << "; backing off (retry " << retries << ")";
+      params = checkpoint;
+      std::fill(m.begin(), m.end(), 0.0);
+      std::fill(vv.begin(), vv.end(), 0.0);
+      learning_rate *= 0.5;
+      previous_loss = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    checkpoint = params;
+
     for (size_t k = 0; k < p; ++k) {
       grad[k] = grad[k] * inv_n + options_.l2 * params[k];
     }
@@ -132,7 +167,7 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
     for (size_t k = 0; k < p; ++k) {
       m[k] = beta1 * m[k] + (1.0 - beta1) * grad[k];
       vv[k] = beta2 * vv[k] + (1.0 - beta2) * grad[k] * grad[k];
-      params[k] -= options_.learning_rate * (m[k] / bc1) /
+      params[k] -= learning_rate * (m[k] / bc1) /
                    (std::sqrt(vv[k] / bc2) + adam_eps);
     }
 
@@ -141,6 +176,16 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
       break;
     }
     previous_loss = loss;
+  }
+
+  // The final Adam update runs after the epoch's loss check, so it can still
+  // push a parameter out of range; fall back to the checkpoint then.
+  if (!std::all_of(params.begin(), params.end(),
+                   [](double value) { return std::isfinite(value); })) {
+    CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+    OF_LOG(Warning) << "mlp: non-finite parameters after training; "
+                       "returning last checkpoint";
+    params = checkpoint;
   }
 
   if (warm_start_) warm_params_ = params;

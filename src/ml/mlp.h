@@ -19,6 +19,11 @@ struct MlpOptions {
   /// Convergence threshold on relative loss improvement per epoch.
   double tolerance = 1e-6;
   uint64_t seed = 23;
+  /// Divergence recovery (DESIGN.md §8): on a non-finite epoch loss the
+  /// parameters roll back to the last finite checkpoint, the Adam moments
+  /// reset and the learning rate halves, at most this many times before the
+  /// checkpoint model is returned as-is.
+  int max_divergence_retries = 3;
 };
 
 /// A trained one-hidden-layer MLP: p = sigmoid(w2 . relu(W1 x + b1) + b2).

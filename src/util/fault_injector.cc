@@ -1,0 +1,81 @@
+#include "util/fault_injector.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace omnifair {
+namespace {
+
+struct SiteState {
+  int fire_at = 1;
+  bool repeat = false;
+  long long calls = 0;
+};
+
+std::atomic<bool> g_any_armed{false};
+std::atomic<long long> g_clock_skew_micros{0};
+std::mutex g_mutex;
+
+std::map<std::string, SiteState>& Sites() {
+  static auto* sites = new std::map<std::string, SiteState>();
+  return *sites;
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& site, int fire_at, bool repeat) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState state;
+  state.fire_at = fire_at;
+  state.repeat = repeat;
+  Sites()[site] = state;
+  g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Sites().erase(site);
+  if (Sites().empty()) g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Sites().clear();
+  g_any_armed.store(false, std::memory_order_relaxed);
+  g_clock_skew_micros.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(const std::string& site) {
+  if (!g_any_armed.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = Sites().find(site);
+  if (it == Sites().end()) return false;
+  SiteState& state = it->second;
+  ++state.calls;
+  return state.repeat ? state.calls >= state.fire_at : state.calls == state.fire_at;
+}
+
+double FaultInjector::CorruptDouble(const std::string& site, double value) {
+  return ShouldFail(site) ? std::numeric_limits<double>::quiet_NaN() : value;
+}
+
+void FaultInjector::AdvanceClock(double seconds) {
+  g_clock_skew_micros.fetch_add(static_cast<long long>(std::llround(seconds * 1e6)),
+                                std::memory_order_relaxed);
+}
+
+double FaultInjector::ClockSkewSeconds() {
+  return static_cast<double>(g_clock_skew_micros.load(std::memory_order_relaxed)) *
+         1e-6;
+}
+
+long long FaultInjector::CallCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.calls;
+}
+
+}  // namespace omnifair

@@ -1,0 +1,50 @@
+#ifndef OMNIFAIR_UTIL_FAULT_INJECTOR_H_
+#define OMNIFAIR_UTIL_FAULT_INJECTOR_H_
+
+#include <string>
+
+namespace omnifair {
+
+/// Well-known fault-injection sites compiled into the library. Each site is a
+/// named probe on a recovery path; arming it forces the exact failure that
+/// path guards against, so every guard is deterministically unit-testable.
+namespace fault_sites {
+/// Forces a divergence (non-finite loss) in LogisticRegressionTrainer::Fit.
+inline constexpr char kLrDescend[] = "lr.descend";
+/// Forces a divergence (non-finite epoch loss) in MlpTrainer::Fit.
+inline constexpr char kMlpEpoch[] = "mlp.epoch";
+/// Forces a diverged boosting round in GbdtTrainer::Fit.
+inline constexpr char kGbdtRound[] = "gbdt.round";
+/// Corrupts one FP_j evaluation in ConstraintEvaluator::FairnessPart to NaN.
+inline constexpr char kFairnessPart[] = "evaluator.fairness_part";
+}  // namespace fault_sites
+
+/// Deterministic, process-global fault injector. Disarmed by default (the
+/// fast path is one relaxed atomic load); tests Arm a site to make it fire on
+/// its Nth call. The virtual clock skew lets TrainBudget deadline handling be
+/// exercised without sleeping. All functions are thread-safe.
+class FaultInjector {
+ public:
+  /// Arms `site` to fire on its `fire_at`-th call (1-based) and, when
+  /// `repeat` is set, on every later call too.
+  static void Arm(const std::string& site, int fire_at = 1, bool repeat = false);
+  static void Disarm(const std::string& site);
+  /// Disarms every site and zeroes call counts and the clock skew.
+  static void Reset();
+
+  /// True when `site` fires on this call; always false while disarmed.
+  static bool ShouldFail(const std::string& site);
+  /// Returns NaN when `site` fires on this call, `value` otherwise.
+  static double CorruptDouble(const std::string& site, double value);
+
+  /// Advances the virtual clock consulted by TrainBudget deadlines.
+  static void AdvanceClock(double seconds);
+  static double ClockSkewSeconds();
+
+  /// Calls observed at `site` since Arm (armed sites only; 0 otherwise).
+  static long long CallCount(const std::string& site);
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_UTIL_FAULT_INJECTOR_H_

@@ -23,10 +23,61 @@ const char* SeverityTag(LogSeverity severity) {
   return "?";
 }
 
+std::atomic<long long> g_recovery_counts[static_cast<size_t>(RecoveryEvent::kCount)];
+
 }  // namespace
 
 void SetLogLevel(LogSeverity min_severity) { g_min_severity = min_severity; }
 LogSeverity GetLogLevel() { return g_min_severity; }
+
+const char* RecoveryEventName(RecoveryEvent event) {
+  switch (event) {
+    case RecoveryEvent::kTrainerException:
+      return "trainer_exception";
+    case RecoveryEvent::kGroupingException:
+      return "grouping_exception";
+    case RecoveryEvent::kDivergenceBackoff:
+      return "divergence_backoff";
+    case RecoveryEvent::kNonFiniteMetric:
+      return "non_finite_metric";
+    case RecoveryEvent::kNonFiniteWeight:
+      return "non_finite_weight";
+    case RecoveryEvent::kBudgetExpired:
+      return "budget_expired";
+    case RecoveryEvent::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void CountRecoveryEvent(RecoveryEvent event) {
+  const size_t index = static_cast<size_t>(event);
+  if (index >= static_cast<size_t>(RecoveryEvent::kCount)) return;
+  g_recovery_counts[index].fetch_add(1, std::memory_order_relaxed);
+}
+
+long long RecoveryEventCount(RecoveryEvent event) {
+  const size_t index = static_cast<size_t>(event);
+  if (index >= static_cast<size_t>(RecoveryEvent::kCount)) return 0;
+  return g_recovery_counts[index].load(std::memory_order_relaxed);
+}
+
+void ResetRecoveryEvents() {
+  for (auto& count : g_recovery_counts) count.store(0, std::memory_order_relaxed);
+}
+
+std::string RecoveryEventSummary() {
+  std::string summary;
+  for (size_t i = 0; i < static_cast<size_t>(RecoveryEvent::kCount); ++i) {
+    const long long count = g_recovery_counts[i].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    if (!summary.empty()) summary += " ";
+    summary += RecoveryEventName(static_cast<RecoveryEvent>(i));
+    summary += "=";
+    summary += std::to_string(count);
+  }
+  return summary.empty() ? "none" : summary;
+}
 
 namespace internal_logging {
 

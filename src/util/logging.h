@@ -15,6 +15,28 @@ enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal
 void SetLogLevel(LogSeverity min_severity);
 LogSeverity GetLogLevel();
 
+/// Recovery events counted by the robustness layer (exception firewall,
+/// divergence backoff, degenerate-metric guards, budget expiry). Counters are
+/// process-global relaxed atomics; benches print the summary so silent
+/// recoveries stay visible in their output.
+enum class RecoveryEvent {
+  kTrainerException = 0,  ///< user trainer threw across the no-throw boundary
+  kGroupingException,     ///< user grouping callable threw
+  kDivergenceBackoff,     ///< iterative trainer re-initialized after divergence
+  kNonFiniteMetric,       ///< non-finite FP_j guarded to 0 (constraint skipped)
+  kNonFiniteWeight,       ///< non-finite example weight clamped to 0
+  kBudgetExpired,         ///< TrainBudget deadline or model cap reached
+  kCount
+};
+
+/// Stable snake_case name of an event, e.g. "divergence_backoff".
+const char* RecoveryEventName(RecoveryEvent event);
+void CountRecoveryEvent(RecoveryEvent event);
+long long RecoveryEventCount(RecoveryEvent event);
+void ResetRecoveryEvents();
+/// "none" or e.g. "divergence_backoff=3 trainer_exception=1".
+std::string RecoveryEventSummary();
+
 namespace internal_logging {
 
 /// Stream-style log message; emits on destruction. Not for direct use — use

@@ -14,6 +14,8 @@ std::string StatusCodeToString(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   /// ("NA(2)" in Table 5 of the paper).
   kUnsupported = 3,
   kInternal = 4,
+  /// A TrainBudget (wall-clock deadline or model cap) expired before the
+  /// search finished; any model returned alongside is best-effort.
+  kDeadlineExceeded = 5,
 };
 
 /// Human-readable name of a status code, e.g. "INFEASIBLE".
@@ -48,6 +51,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

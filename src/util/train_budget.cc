@@ -1,0 +1,43 @@
+#include "util/train_budget.h"
+
+#include <sstream>
+
+#include "util/fault_injector.h"
+#include "util/logging.h"
+
+namespace omnifair {
+
+TrainBudget::TrainBudget(TrainBudgetOptions options) : options_(options) {}
+
+double TrainBudget::ElapsedSeconds() const {
+  return stopwatch_.ElapsedSeconds() + FaultInjector::ClockSkewSeconds();
+}
+
+bool TrainBudget::Expired() const {
+  if (!limited()) return false;
+  const bool deadline_hit =
+      options_.deadline_seconds > 0.0 && ElapsedSeconds() >= options_.deadline_seconds;
+  const bool cap_hit = options_.max_models > 0 && models_trained_ >= options_.max_models;
+  if ((deadline_hit || cap_hit) && !expiry_logged_) {
+    expiry_logged_ = true;
+    CountRecoveryEvent(RecoveryEvent::kBudgetExpired);
+    OF_LOG(Warning) << "train budget expired ("
+                    << (deadline_hit ? "deadline" : "model cap")
+                    << "); returning best-effort model";
+  }
+  return deadline_hit || cap_hit;
+}
+
+Status TrainBudget::ToStatus() const {
+  if (!Expired()) return Status::Ok();
+  std::ostringstream message;
+  message << "train budget expired after " << models_trained_ << " models / "
+          << ElapsedSeconds() << "s";
+  if (options_.deadline_seconds > 0.0) {
+    message << " (deadline " << options_.deadline_seconds << "s)";
+  }
+  if (options_.max_models > 0) message << " (cap " << options_.max_models << " models)";
+  return Status::DeadlineExceeded(message.str());
+}
+
+}  // namespace omnifair

@@ -1,0 +1,55 @@
+#ifndef OMNIFAIR_UTIL_TRAIN_BUDGET_H_
+#define OMNIFAIR_UTIL_TRAIN_BUDGET_H_
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace omnifair {
+
+/// Limits on one tuning run. Zero or negative values mean "unlimited"; the
+/// default budget never expires.
+struct TrainBudgetOptions {
+  /// Wall-clock deadline for the whole run, in seconds.
+  double deadline_seconds = 0.0;
+  /// Maximum trainer invocations across the run.
+  int max_models = 0;
+};
+
+/// Tracks one tuning run against its budget. The tuners poll Expired() before
+/// each optional exploratory fit and stop with the best model found so far
+/// once the budget runs out; mandatory fallback fits (at most one per tuner
+/// invocation) are exempt so a best-effort model can still be produced.
+/// Wall-clock reads include the FaultInjector's virtual clock skew, which is
+/// what makes deadline handling testable without sleeping.
+class TrainBudget {
+ public:
+  explicit TrainBudget(TrainBudgetOptions options = {});
+
+  /// Registers one trainer invocation against the model cap.
+  void NoteModelTrained() { ++models_trained_; }
+
+  bool limited() const {
+    return options_.deadline_seconds > 0.0 || options_.max_models > 0;
+  }
+  /// Seconds since construction, including injected clock skew.
+  double ElapsedSeconds() const;
+  int models_trained() const { return models_trained_; }
+
+  /// True once the deadline has passed or the model cap is reached. The
+  /// first expiry is counted as a RecoveryEvent and logged.
+  bool Expired() const;
+
+  /// kOk while within budget; DEADLINE_EXCEEDED with the expiry reason once
+  /// Expired().
+  Status ToStatus() const;
+
+ private:
+  TrainBudgetOptions options_;
+  Stopwatch stopwatch_;
+  int models_trained_ = 0;
+  mutable bool expiry_logged_ = false;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_UTIL_TRAIN_BUDGET_H_

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the test suite with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs it. Uses a dedicated build tree (build-sanitized/) so the regular
+# build/ stays untouched.
+#
+# Usage: tools/run_sanitized_tests.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-sanitized"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DOMNIFAIR_SANITIZE="address;undefined" \
+  -DOMNIFAIR_BUILD_BENCHMARKS=OFF \
+  -DOMNIFAIR_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
