@@ -26,7 +26,8 @@ struct AblationRow {
   int fits = 0;
 };
 
-AblationRow RunOmniFair(const TrainValTestSplit& split, const FairnessSpec& spec) {
+AblationRow RunOmniFair(BenchReporter& reporter, const TrainValTestSplit& split,
+                        const FairnessSpec& spec) {
   auto trainer = MakeTrainer("lr");
   OmniFair omnifair;
   auto fair = omnifair.Train(split.train, split.val, trainer.get(), {spec});
@@ -35,6 +36,13 @@ AblationRow RunOmniFair(const TrainValTestSplit& split, const FairnessSpec& spec
   row.satisfied = fair->satisfied;
   row.accuracy = fair->val_accuracy;
   row.fits = fair->models_trained;
+  // Algorithm 1 trajectories are small (a dozen points); keep them all so
+  // the JSON shows how the fit count stays flat while epsilon tightens.
+  if (!fair->tune_report.empty()) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "omnifair eps=%.2f", spec.epsilon);
+    reporter.AddTrajectory(label, fair->tune_report);
+  }
   return row;
 }
 
@@ -80,7 +88,7 @@ AblationRow RunRandom(const TrainValTestSplit& split, const FairnessSpec& spec,
   return row;
 }
 
-void RunSubsampleAblation() {
+void RunSubsampleAblation(BenchReporter& reporter) {
   PrintHeader("Ablation: subsampled bounding fits (paper future work, §8)");
   std::printf("%-12s %6s %10s %8s %8s\n", "subsample", "sat", "val acc", "time",
               "fits");
@@ -102,11 +110,19 @@ void RunSubsampleAblation() {
     std::printf("%-12.2f %6s %9.1f%% %7.2fs %8d\n", fraction,
                 fair->satisfied ? "yes" : "no", 100.0 * fair->val_accuracy,
                 seconds, fair->models_trained);
+    reporter.AddRow("subsample")
+        .Value("fraction", fraction)
+        .Value("satisfied", fair->satisfied ? 1.0 : 0.0)
+        .Value("val_accuracy", fair->val_accuracy)
+        .Value("seconds", seconds)
+        .Value("models_trained", fair->models_trained);
   }
 }
 
-void Run() {
+void Run(BenchReporter& reporter) {
   PrintHeader("Ablation: Algorithm 1 vs grid vs random lambda search");
+  reporter.Config("dataset", "compas");
+  reporter.Config("metric", "sp");
   std::printf("%-8s | %-22s | %-22s | %-22s\n", "eps", "omnifair (alg.1)",
               "grid (33 pts)", "random (33 draws)");
   std::printf("%-8s | %6s %8s %5s | %6s %8s %5s | %6s %8s %5s\n", "", "sat",
@@ -117,9 +133,21 @@ void Run() {
   const TrainValTestSplit split = SplitDefault(data, 2600);
   for (double epsilon : {0.10, 0.05, 0.03, 0.02, 0.01}) {
     const FairnessSpec spec = MakeSpec(MainGroups("compas"), "sp", epsilon);
-    const AblationRow a = RunOmniFair(split, spec);
+    const AblationRow a = RunOmniFair(reporter, split, spec);
     const AblationRow g = RunGrid(split, spec, 33);
     const AblationRow r = RunRandom(split, spec, 33, 99);
+    const struct {
+      const char* tuner;
+      const AblationRow& row;
+    } rows[] = {{"omnifair", a}, {"grid", g}, {"random", r}};
+    for (const auto& entry : rows) {
+      reporter.AddRow("search_ablation")
+          .Label("tuner", entry.tuner)
+          .Value("epsilon", epsilon)
+          .Value("satisfied", entry.row.satisfied ? 1.0 : 0.0)
+          .Value("val_accuracy", entry.row.accuracy)
+          .Value("fits", entry.row.fits);
+    }
     auto cell = [](const AblationRow& row) {
       static char buf[64];
       std::snprintf(buf, sizeof(buf), "%6s %7.1f%% %5d", row.satisfied ? "yes" : "no",
@@ -136,8 +164,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::RunSubsampleAblation();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "ablation_search", "Ablation: Algorithm 1 vs grid vs random lambda search");
+  omnifair::bench::Run(reporter);
+  omnifair::bench::RunSubsampleAblation(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

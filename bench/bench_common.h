@@ -1,22 +1,32 @@
 #ifndef OMNIFAIR_BENCH_BENCH_COMMON_H_
 #define OMNIFAIR_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/agarwal.h"
 #include "baselines/baseline.h"
 #include "core/omnifair.h"
+#include "core/tune_report.h"
 #include "data/datasets.h"
 #include "data/split.h"
 #include "linalg/vector_ops.h"
 #include "ml/metrics.h"
 #include "ml/trainer_registry.h"
+#include "util/json_writer.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_utils.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 namespace bench {
@@ -24,18 +34,31 @@ namespace bench {
 /// Environment override helpers so all benches share the same knobs:
 ///   OMNIFAIR_BENCH_ROWS  - dataset size (0 = per-bench default)
 ///   OMNIFAIR_BENCH_SEEDS - number of random splits averaged
-inline size_t EnvRows(size_t fallback) {
-  const char* value = std::getenv("OMNIFAIR_BENCH_ROWS");
+/// Malformed values (e.g. "5k", "", "-3") are rejected with a warning naming
+/// the variable and the rejected value; the fallback is used instead. The
+/// silent-atol behavior this replaces would quietly run "5k" as 5 rows.
+inline long EnvPositiveLong(const char* variable, long fallback) {
+  const char* value = std::getenv(variable);
   if (value == nullptr) return fallback;
-  const long parsed = std::atol(value);
-  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0' || parsed <= 0) {
+    OF_LOG(Warning) << variable << "=\"" << value
+                    << "\" is not a positive integer; using default "
+                    << fallback;
+    return fallback;
+  }
+  return parsed;
+}
+
+inline size_t EnvRows(size_t fallback) {
+  return static_cast<size_t>(
+      EnvPositiveLong("OMNIFAIR_BENCH_ROWS", static_cast<long>(fallback)));
 }
 
 inline int EnvSeeds(int fallback) {
-  const char* value = std::getenv("OMNIFAIR_BENCH_SEEDS");
-  if (value == nullptr) return fallback;
-  const int parsed = std::atoi(value);
-  return parsed > 0 ? parsed : fallback;
+  return static_cast<int>(EnvPositiveLong("OMNIFAIR_BENCH_SEEDS", fallback));
 }
 
 /// Per-dataset bench defaults: a fraction of the paper's sizes so the whole
@@ -207,6 +230,217 @@ inline void PrintHeader(const std::string& title) {
 /// baseline.
 inline void PrintRecoveryEvents() {
   std::printf("recovery events: %s\n", RecoveryEventSummary().c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (DESIGN.md §9).
+//
+// Every bench binary keeps its human-readable printf table and additionally
+// writes one versioned JSON document to <outdir>/<bench>.json, where
+// <outdir> is $OMNIFAIR_BENCH_OUT or "bench/out". Schema (validated by
+// tools/check_bench_json.py):
+//
+//   {
+//     "schema": "omnifair.bench", "schema_version": 1,
+//     "bench": "<name>", "title": "...",
+//     "config": {...},                       // knobs: rows, seeds, epsilon...
+//     "results": [{"section": "...", "labels": {...}, "values": {...}}],
+//     "tune_trajectories": [{"label": "...", "report": <TuneReport JSON>}],
+//     "metrics": <MetricsSnapshot JSON>,     // counters/gauges/histograms
+//     "recovery_events": {"divergence_backoff": 3, ...},  // non-zero only
+//     "wall_seconds": 12.3
+//   }
+// ---------------------------------------------------------------------------
+
+class BenchReporter {
+ public:
+  /// One result row: string labels (dataset, method...) + numeric values
+  /// (accuracy, seconds...). Insertion order is preserved in the JSON.
+  struct Row {
+    std::string section;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::vector<std::pair<std::string, double>> values;
+
+    Row& Label(std::string key, std::string value) {
+      labels.emplace_back(std::move(key), std::move(value));
+      return *this;
+    }
+    Row& Value(std::string key, double value) {
+      values.emplace_back(std::move(key), value);
+      return *this;
+    }
+  };
+
+  BenchReporter(std::string bench_name, std::string title)
+      : bench_name_(std::move(bench_name)), title_(std::move(title)) {}
+
+  void Config(std::string key, std::string value) {
+    config_strings_.emplace_back(std::move(key), std::move(value));
+  }
+  void Config(std::string key, double value) {
+    config_numbers_.emplace_back(std::move(key), value);
+  }
+  void Config(std::string key, long long value) {
+    Config(std::move(key), static_cast<double>(value));
+  }
+  void Config(std::string key, int value) {
+    Config(std::move(key), static_cast<double>(value));
+  }
+  void Config(std::string key, size_t value) {
+    Config(std::move(key), static_cast<double>(value));
+  }
+
+  /// Returned reference stays valid for the reporter's lifetime (deque).
+  Row& AddRow(std::string section) {
+    rows_.emplace_back();
+    rows_.back().section = std::move(section);
+    return rows_.back();
+  }
+
+  /// Convenience: one row per method table cell from an Aggregate.
+  Row& AddAggregate(std::string section, const Aggregate& aggregate) {
+    Row& row = AddRow(std::move(section));
+    row.Value("runs", aggregate.runs)
+        .Value("satisfied_runs", aggregate.satisfied)
+        .Value("test_accuracy", aggregate.MeanAccuracy())
+        .Value("test_disparity", aggregate.MeanDisparity())
+        .Value("test_auc", aggregate.MeanAuc())
+        .Value("seconds", aggregate.MeanSeconds())
+        .Value("models_trained", aggregate.MeanModels());
+    return row;
+  }
+
+  /// Attaches a full tuning trajectory (the paper's Figure 2 data). Keep it
+  /// to a few representative runs per bench; every TunePoint is serialized.
+  void AddTrajectory(std::string label, const TuneReport& report) {
+    trajectories_.emplace_back(std::move(label), report);
+  }
+
+  const std::string& bench_name() const { return bench_name_; }
+  const std::string& path() const { return path_; }
+
+  /// Directory resolved from $OMNIFAIR_BENCH_OUT (default "bench/out").
+  static std::string OutputDirectory() {
+    const char* dir = std::getenv("OMNIFAIR_BENCH_OUT");
+    return (dir != nullptr && *dir != '\0') ? dir : "bench/out";
+  }
+
+  /// Serializes the full document (schema above) to a string.
+  std::string ToJson() const {
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.BeginObject();
+    writer.KV("schema", "omnifair.bench");
+    writer.KV("schema_version", 1);
+    writer.KV("bench", bench_name_);
+    writer.KV("title", title_);
+
+    writer.Key("config");
+    writer.BeginObject();
+    for (const auto& [key, value] : config_strings_) writer.KV(key, value);
+    for (const auto& [key, value] : config_numbers_) writer.KV(key, value);
+    writer.EndObject();
+
+    writer.Key("results");
+    writer.BeginArray();
+    for (const Row& row : rows_) {
+      writer.BeginObject();
+      writer.KV("section", row.section);
+      writer.Key("labels");
+      writer.BeginObject();
+      for (const auto& [key, value] : row.labels) writer.KV(key, value);
+      writer.EndObject();
+      writer.Key("values");
+      writer.BeginObject();
+      for (const auto& [key, value] : row.values) writer.KV(key, value);
+      writer.EndObject();
+      writer.EndObject();
+    }
+    writer.EndArray();
+
+    writer.Key("tune_trajectories");
+    writer.BeginArray();
+    for (const auto& [label, report] : trajectories_) {
+      writer.BeginObject();
+      writer.KV("label", label);
+      writer.Key("report");
+      report.WriteJson(writer);
+      writer.EndObject();
+    }
+    writer.EndArray();
+
+    writer.Key("metrics");
+    MetricsRegistry::Global().Snapshot().WriteJson(writer);
+
+    writer.Key("recovery_events");
+    writer.BeginObject();
+    for (int i = 0; i < static_cast<int>(RecoveryEvent::kCount); ++i) {
+      const RecoveryEvent event = static_cast<RecoveryEvent>(i);
+      const long long count = RecoveryEventCount(event);
+      if (count > 0) writer.KV(RecoveryEventName(event), count);
+    }
+    writer.EndObject();
+
+    writer.KV("wall_seconds", stopwatch_.ElapsedSeconds());
+    writer.EndObject();
+    return os.str();
+  }
+
+  /// Writes <outdir>/<bench>.json, creating the directory if needed.
+  Status Write() {
+    const std::filesystem::path dir(OutputDirectory());
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create bench output directory " +
+                              dir.string() + ": " + ec.message());
+    }
+    path_ = (dir / (bench_name_ + ".json")).string();
+    std::ofstream out(path_);
+    if (!out) return Status::Internal("cannot open " + path_ + " for write");
+    out << ToJson() << "\n";
+    if (!out) return Status::Internal("write failed for " + path_);
+    return Status::Ok();
+  }
+
+ private:
+  const std::string bench_name_;
+  const std::string title_;
+  std::string path_;
+  Stopwatch stopwatch_;
+  std::vector<std::pair<std::string, std::string>> config_strings_;
+  std::vector<std::pair<std::string, double>> config_numbers_;
+  std::deque<Row> rows_;
+  std::vector<std::pair<std::string, TuneReport>> trajectories_;
+};
+
+/// Standard bench epilogue: prints the recovery-event summary, writes the
+/// JSON document, and — when $OMNIFAIR_TRACE_FILE is set and the telemetry
+/// level is kFullTrace — dumps the collected spans as a Chrome trace.
+/// Returns the process exit code (non-zero when the JSON write failed).
+inline int FinishBench(BenchReporter& reporter) {
+  PrintRecoveryEvents();
+  const Status status = reporter.Write();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench json write failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("bench json: %s\n", reporter.path().c_str());
+
+  const char* trace_path = std::getenv("OMNIFAIR_TRACE_FILE");
+  if (trace_path != nullptr && *trace_path != '\0') {
+    const Status trace_status =
+        TraceCollector::Global().WriteChromeJson(trace_path);
+    if (trace_status.ok()) {
+      std::printf("trace (%zu spans): %s  [open in chrome://tracing]\n",
+                  TraceCollector::Global().EventCount(), trace_path);
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   trace_status.ToString().c_str());
+    }
+  }
+  return 0;
 }
 
 }  // namespace bench

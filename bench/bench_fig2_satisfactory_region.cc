@@ -16,9 +16,12 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchReporter& reporter) {
   PrintHeader("Figure 2: satisfactory regions (COMPAS, two SP constraints, LR)");
   const double epsilon = 0.05;
+  reporter.Config("dataset", "compas");
+  reporter.Config("metric", "sp");
+  reporter.Config("epsilon", epsilon);
 
   SyntheticOptions data_options;
   data_options.num_rows = 2 * DefaultRows("compas");
@@ -62,10 +65,18 @@ void Run() {
       const bool sat2 = std::fabs(fps[1]) <= epsilon;
       const char mark = sat1 && sat2 ? 'B' : (sat1 ? '1' : (sat2 ? '2' : '.'));
       std::printf(" %6c", mark);
+      reporter.AddRow("satisfactory_region")
+          .Value("lambda1", lambda1)
+          .Value("lambda2", lambda2)
+          .Value("fp1", fps[0])
+          .Value("fp2", fps[1])
+          .Value("satisfied", sat1 && sat2 ? 1.0 : 0.0);
     }
     std::printf("\n");
   }
   std::printf("\nmodels trained: %d\n", (*problem)->models_trained());
+  reporter.AddRow("summary").Value("models_trained",
+                                   (*problem)->models_trained());
 }
 
 }  // namespace
@@ -73,7 +84,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig2_satisfactory_region",
+      "Figure 2: satisfactory regions (COMPAS, two SP constraints, LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

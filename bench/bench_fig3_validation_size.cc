@@ -12,8 +12,12 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchReporter& reporter) {
   const int seeds = EnvSeeds(3);
+  reporter.Config("seeds", seeds);
+  reporter.Config("dataset", "compas");
+  reporter.Config("metric", "sp");
+  reporter.Config("epsilon", 0.03);
   PrintHeader("Figure 3: validation size ablation (COMPAS, SP eps = 0.03, LR)");
   std::printf("%-14s %10s %10s %10s\n", "val fraction", "test acc", "test bias",
               "val bias");
@@ -49,6 +53,12 @@ void Run() {
     if (runs == 0) continue;
     std::printf("%-14.2f %9.1f%% %10.3f %10.3f\n", val_fraction,
                 100.0 * accuracy / runs, bias / runs, val_bias / runs);
+    reporter.AddRow("validation_size")
+        .Value("val_fraction", val_fraction)
+        .Value("runs", runs)
+        .Value("test_accuracy", accuracy / runs)
+        .Value("test_bias", bias / runs)
+        .Value("val_bias", val_bias / runs);
   }
 }
 
@@ -57,7 +67,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig3_validation_size",
+      "Figure 3: validation size ablation (COMPAS, SP eps = 0.03, LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

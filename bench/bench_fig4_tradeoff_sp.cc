@@ -12,7 +12,8 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void RunDataset(const std::string& dataset, const std::string& model) {
+void RunDataset(BenchReporter& reporter, const std::string& dataset,
+                const std::string& model) {
   const int seeds = EnvSeeds(2);
   const std::vector<double> epsilons = {0.01, 0.03, 0.05, 0.10, 0.15, 0.20};
   const std::vector<std::string> methods = {"omnifair", "kamiran", "calmon",
@@ -44,17 +45,24 @@ void RunDataset(const std::string& dataset, const std::string& model) {
                       agg.MeanAuc());
         std::printf(" %24s", cell);
       }
+      reporter.AddAggregate("tradeoff", agg)
+          .Label("dataset", dataset)
+          .Label("model", model)
+          .Label("method", method)
+          .Value("epsilon", epsilon);
     }
     std::printf("\n");
   }
 }
 
-void Run() {
+void Run(BenchReporter& reporter) {
+  reporter.Config("seeds", EnvSeeds(2));
+  reporter.Config("metric", "sp");
   PrintHeader("Figure 4 (+10/11): SP accuracy-fairness trade-off varying epsilon");
-  RunDataset("adult", "lr");   // Fig 4(a) + 4(c) via the AUC column
-  RunDataset("adult", "rf");   // Fig 4(b)
-  RunDataset("compas", "lr");  // Fig 10
-  RunDataset("lsac", "lr");    // Fig 11
+  RunDataset(reporter, "adult", "lr");   // Fig 4(a) + 4(c) via the AUC column
+  RunDataset(reporter, "adult", "rf");   // Fig 4(b)
+  RunDataset(reporter, "compas", "lr");  // Fig 10
+  RunDataset(reporter, "lsac", "lr");    // Fig 11
 }
 
 }  // namespace
@@ -62,7 +70,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig4_tradeoff_sp",
+      "Figure 4 (+10/11): SP accuracy-fairness trade-off varying epsilon");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

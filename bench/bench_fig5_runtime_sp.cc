@@ -10,8 +10,11 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchReporter& reporter) {
   const int seeds = EnvSeeds(2);
+  reporter.Config("seeds", seeds);
+  reporter.Config("metric", "sp");
+  reporter.Config("epsilon", 0.03);
   PrintHeader("Figure 5: running time under SP constraint (LR)");
   const std::vector<std::string> methods = {"kamiran", "calmon", "omnifair",
                                             "zafar", "agarwal", "celis"};
@@ -37,6 +40,9 @@ void Run() {
         std::snprintf(cell, sizeof(cell), "%.2fs", agg.MeanSeconds());
         std::printf(" %12s", cell);
       }
+      reporter.AddAggregate("runtime", agg)
+          .Label("dataset", dataset)
+          .Label("method", method);
     }
     std::printf("\n");
   }
@@ -49,7 +55,9 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig5_runtime_sp", "Figure 5: running time under SP constraint (LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

@@ -10,8 +10,11 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchReporter& reporter) {
   const int seeds = EnvSeeds(2);
+  reporter.Config("seeds", seeds);
+  reporter.Config("metric", "fdr");
+  reporter.Config("epsilon", 0.03);
   PrintHeader("Figure 6: running time under FDR constraint (LR)");
   std::printf("%-10s %12s %12s %10s %14s %14s\n", "dataset", "omnifair", "celis",
               "speedup", "omnifair fits", "celis fits");
@@ -34,6 +37,12 @@ void Run() {
                     ? celis_agg.MeanSeconds() / omnifair_agg.MeanSeconds()
                     : 0.0,
                 omnifair_agg.MeanModels(), celis_agg.MeanModels());
+    reporter.AddAggregate("runtime", omnifair_agg)
+        .Label("dataset", dataset)
+        .Label("method", "omnifair");
+    reporter.AddAggregate("runtime", celis_agg)
+        .Label("dataset", dataset)
+        .Label("method", "celis");
   }
 }
 
@@ -42,7 +51,9 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig6_runtime_fdr", "Figure 6: running time under FDR constraint (LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

@@ -11,7 +11,7 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void RunDataset(const std::string& dataset) {
+void RunDataset(BenchReporter& reporter, const std::string& dataset) {
   const int seeds = EnvSeeds(2);
   const std::vector<double> epsilons = {0.01, 0.02, 0.03, 0.05, 0.08};
   std::printf("\n--- %s --- (cells: test FDR disparity -> test accuracy)\n",
@@ -37,16 +37,22 @@ void RunDataset(const std::string& dataset) {
                       100.0 * agg.MeanAccuracy());
         std::printf(" %24s", cell);
       }
+      reporter.AddAggregate("tradeoff", agg)
+          .Label("dataset", dataset)
+          .Label("method", method)
+          .Value("epsilon", epsilon);
     }
     std::printf("\n");
   }
 }
 
-void Run() {
+void Run(BenchReporter& reporter) {
+  reporter.Config("seeds", EnvSeeds(2));
+  reporter.Config("metric", "fdr");
   PrintHeader("Figure 7 (+12/13): FDR accuracy-fairness trade-off (LR)");
-  RunDataset("adult");
-  RunDataset("compas");
-  RunDataset("lsac");
+  RunDataset(reporter, "adult");
+  RunDataset(reporter, "compas");
+  RunDataset(reporter, "lsac");
 }
 
 }  // namespace
@@ -54,7 +60,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig7_tradeoff_fdr",
+      "Figure 7 (+12/13): FDR accuracy-fairness trade-off (LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

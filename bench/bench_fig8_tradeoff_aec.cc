@@ -12,7 +12,8 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void RunDataset(const std::string& dataset, double cost_fp, double cost_fn) {
+void RunDataset(BenchReporter& reporter, const std::string& dataset,
+                double cost_fp, double cost_fn) {
   const int seeds = EnvSeeds(2);
   std::printf("\n--- %s (C_fp=%.1f, C_fn=%.1f) ---\n", dataset.c_str(), cost_fp,
               cost_fn);
@@ -33,6 +34,9 @@ void RunDataset(const std::string& dataset, double cost_fp, double cost_fn) {
     }
     std::printf("%-10s %12.3f %11.1f%% %10s\n", "baseline", agg.MeanDisparity(),
                 100.0 * agg.MeanAccuracy(), "-");
+    reporter.AddAggregate("tradeoff_aec", agg)
+        .Label("dataset", dataset)
+        .Label("row", "baseline");
   }
 
   for (double epsilon : {0.02, 0.05, 0.10, 0.15}) {
@@ -58,17 +62,26 @@ void RunDataset(const std::string& dataset, double cost_fp, double cost_fn) {
       std::printf("%-10.2f %12.3f %11.1f%% %7d/%d\n", epsilon, agg.MeanDisparity(),
                   100.0 * agg.MeanAccuracy(), feasible, seeds);
     }
+    reporter.AddAggregate("tradeoff_aec", agg)
+        .Label("dataset", dataset)
+        .Label("row", "constrained")
+        .Value("epsilon", epsilon)
+        .Value("feasible", feasible);
   }
 }
 
-void Run() {
+void Run(BenchReporter& reporter) {
   PrintHeader("Figure 8 (+12/13): customized AEC metric trade-off (LR)");
+  reporter.Config("seeds", EnvSeeds(2));
+  reporter.Config("metric", "aec");
+  reporter.Config("cost_fp", 1.0);
+  reporter.Config("cost_fn", 3.0);
   // The COMPAS motivation: a false negative (missed re-offender) costs more
   // than a false positive in one reading; the reverse in another. Use the
   // paper's example asymmetry.
-  RunDataset("adult", 1.0, 3.0);
-  RunDataset("compas", 1.0, 3.0);
-  RunDataset("lsac", 1.0, 3.0);
+  RunDataset(reporter, "adult", 1.0, 3.0);
+  RunDataset(reporter, "compas", 1.0, 3.0);
+  RunDataset(reporter, "lsac", 1.0, 3.0);
 }
 
 }  // namespace
@@ -76,7 +89,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig8_tradeoff_aec",
+      "Figure 8 (+12/13): customized AEC metric trade-off (LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

@@ -21,8 +21,12 @@ FairnessSpec ThreeGroupSpec(double epsilon) {
                   "sp", epsilon);
 }
 
-void Run() {
+void Run(BenchReporter& reporter) {
   const int seeds = EnvSeeds(2);
+  reporter.Config("seeds", seeds);
+  reporter.Config("dataset", "compas");
+  reporter.Config("metric", "sp");
+  reporter.Config("groups", "African-American/Caucasian/Hispanic");
   PrintHeader("Figure 9: three-group SP on COMPAS (SP_max vs accuracy, LR)");
   std::printf("%-10s %-10s %10s %10s %10s\n", "method", "eps", "SP_max",
               "accuracy", "feasible");
@@ -53,6 +57,10 @@ void Run() {
                     epsilon, agg.MeanDisparity(), 100.0 * agg.MeanAccuracy(),
                     feasible, seeds);
       }
+      reporter.AddAggregate("multi_group", agg)
+          .Label("method", method)
+          .Value("epsilon", epsilon)
+          .Value("feasible", feasible);
     }
   }
 }
@@ -62,7 +70,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "fig9_multi_group",
+      "Figure 9: three-group SP on COMPAS (SP_max vs accuracy, LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

@@ -75,8 +75,41 @@ void BM_AuditModel(benchmark::State& state) {
 }
 BENCHMARK(BM_AuditModel);
 
+/// Console output as usual, plus one BenchReporter row per benchmark so the
+/// microbench participates in the machine-readable bench/out/ corpus.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(BenchReporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      out_.AddRow("microbench")
+          .Label("name", run.benchmark_name())
+          .Label("time_unit", benchmark::GetTimeUnitString(run.time_unit))
+          .Value("real_time", run.GetAdjustedRealTime())
+          .Value("cpu_time", run.GetAdjustedCPUTime())
+          .Value("iterations", static_cast<double>(run.iterations));
+    }
+  }
+
+ private:
+  BenchReporter& out_;
+};
+
 }  // namespace
 }  // namespace bench
 }  // namespace omnifair
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  omnifair::InitTelemetryFromEnv();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  omnifair::bench::BenchReporter reporter(
+      "microbench", "Microbenchmarks: weight computation, FP evaluation, fits");
+  omnifair::bench::JsonCapturingReporter console(reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return omnifair::bench::FinishBench(reporter);
+}

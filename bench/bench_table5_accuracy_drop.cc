@@ -24,12 +24,15 @@ std::string Cell(const Aggregate& method, const Aggregate& unconstrained) {
   return FormatPercent(drop);
 }
 
-void Run() {
+void Run(BenchReporter& reporter) {
   const std::vector<std::string> datasets = {"compas", "adult", "lsac", "bank"};
   const std::vector<std::string> models = PaperModelNames();  // lr rf xgb nn
   const std::vector<std::string> methods = {"omnifair", "kamiran", "calmon",
                                             "zafar",    "celis",   "agarwal"};
   const int seeds = EnvSeeds(2);
+  reporter.Config("seeds", seeds);
+  reporter.Config("metric", "sp");
+  reporter.Config("epsilon", kEpsilon);
 
   PrintHeader("Table 5: accuracy drop at SP epsilon = 0.03 (test set)");
   std::printf("rows per dataset: compas=%zu adult=%zu lsac=%zu bank=%zu, %d seeds\n",
@@ -81,6 +84,32 @@ void Run() {
     std::printf("%-10s", "thomas");
     for (size_t m = 0; m < models.size(); ++m) std::printf(" %10s", "NA(2)");
     std::printf(" %10s\n", Cell(thomas_agg, unconstrained_cmaes).c_str());
+
+    for (size_t m = 0; m < models.size(); ++m) {
+      reporter.AddRow("accuracy_drop")
+          .Label("dataset", dataset)
+          .Label("method", "unconstrained")
+          .Label("model", models[m])
+          .Value("test_accuracy", table[0][m].MeanAccuracy());
+      for (size_t i = 0; i < methods.size(); ++i) {
+        const Aggregate& agg = table[i + 1][m];
+        BenchReporter::Row& row = reporter.AddRow("accuracy_drop");
+        row.Label("dataset", dataset)
+            .Label("method", methods[i])
+            .Label("model", models[m])
+            .Label("cell", Cell(agg, table[0][m]));
+        if (agg.runs > 0 && agg.AnySatisfied()) {
+          row.Value("accuracy_drop",
+                    agg.SatisfiedAccuracy() - table[0][m].MeanAccuracy())
+              .Value("test_accuracy", agg.SatisfiedAccuracy());
+        }
+      }
+    }
+    reporter.AddRow("accuracy_drop")
+        .Label("dataset", dataset)
+        .Label("method", "thomas")
+        .Label("model", "cmaes")
+        .Label("cell", Cell(thomas_agg, unconstrained_cmaes));
   }
 }
 
@@ -89,7 +118,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "table5_accuracy_drop",
+      "Table 5: accuracy drop at SP epsilon = 0.03 (test set)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

@@ -11,8 +11,11 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchReporter& reporter) {
   const int seeds = EnvSeeds(3);
+  reporter.Config("seeds", seeds);
+  reporter.Config("metric", "sp");
+  reporter.Config("epsilon", 0.03);
   PrintHeader("Table 6: warm-start speedup under LR (SP epsilon = 0.03)");
   std::printf("%-10s %16s %16s %10s %14s\n", "dataset", "no warm start(s)",
               "warm start(s)", "speedup", "iter speedup");
@@ -36,6 +39,11 @@ void Run() {
         auto fair = omnifair.Train(split.train, split.val, &trainer, {spec});
         const double elapsed = stopwatch.ElapsedSeconds();
         if (!fair.ok()) continue;
+        // One representative trajectory per dataset: the warm-start run of
+        // the first seed (shows lambda progression alongside iteration cost).
+        if (warm && s == 0 && !fair->tune_report.empty()) {
+          reporter.AddTrajectory(dataset + " warm", fair->tune_report);
+        }
         if (warm) {
           warm_seconds += elapsed;
           warm_iterations += trainer.total_iterations();
@@ -52,6 +60,14 @@ void Run() {
                     ? static_cast<double>(cold_iterations) /
                           static_cast<double>(warm_iterations)
                     : 0.0);
+    reporter.AddRow("warm_start")
+        .Label("dataset", dataset)
+        .Value("cold_seconds", cold_seconds / seeds)
+        .Value("warm_seconds", warm_seconds / seeds)
+        .Value("speedup",
+               warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0)
+        .Value("cold_iterations", static_cast<double>(cold_iterations))
+        .Value("warm_iterations", static_cast<double>(warm_iterations));
   }
 }
 
@@ -60,7 +76,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "table6_warm_start",
+      "Table 6: warm-start speedup under LR (SP epsilon = 0.03)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

@@ -11,8 +11,11 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchReporter& reporter) {
   const int seeds = EnvSeeds(3);
+  reporter.Config("seeds", seeds);
+  reporter.Config("dataset", "compas");
+  reporter.Config("constraints", "sp+fnr");
   PrintHeader("Table 7: enforcing SP and FNR on COMPAS (LR)");
 
   // Baseline (unconstrained) row.
@@ -37,6 +40,11 @@ void Run() {
   std::printf("%-9s %9s %8s %8s\n", "epsilon", "accuracy", "SP", "FNR");
   std::printf("%-9s %8.1f%% %8.3f %8.3f\n", "baseline", 100.0 * base_accuracy / seeds,
               base_sp / seeds, base_fnr / seeds);
+  reporter.AddRow("multi_metric")
+      .Label("row", "baseline")
+      .Value("test_accuracy", base_accuracy / seeds)
+      .Value("sp_disparity", base_sp / seeds)
+      .Value("fnr_disparity", base_fnr / seeds);
 
   for (double epsilon : {0.01, 0.02, 0.03, 0.04, 0.05, 0.06}) {
     int feasible = 0;
@@ -60,10 +68,21 @@ void Run() {
     }
     if (feasible == 0) {
       std::printf("%-9.2f %9s %8s %8s\n", epsilon, "N/A", "N/A", "N/A");
+      reporter.AddRow("multi_metric")
+          .Label("row", "constrained")
+          .Value("epsilon", epsilon)
+          .Value("feasible_splits", 0);
     } else {
       std::printf("%-9.2f %8.1f%% %8.3f %8.3f   (%d/%d splits feasible)\n", epsilon,
                   100.0 * accuracy / feasible, sp / feasible, fnr / feasible,
                   feasible, seeds);
+      reporter.AddRow("multi_metric")
+          .Label("row", "constrained")
+          .Value("epsilon", epsilon)
+          .Value("feasible_splits", feasible)
+          .Value("test_accuracy", accuracy / feasible)
+          .Value("sp_disparity", sp / feasible)
+          .Value("fnr_disparity", fnr / feasible);
     }
   }
 }
@@ -73,7 +92,9 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "table7_multi_metric", "Table 7: enforcing SP and FNR on COMPAS (LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

@@ -14,18 +14,25 @@ namespace omnifair {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchReporter& reporter) {
   PrintHeader("Table 8: grid search vs hill climbing (COMPAS, SP + FNR, LR)");
   std::printf("%-8s %6s %6s %12s %10s %11s %10s\n", "epsilon", "Grid", "HC",
               "Grid time(s)", "HC time(s)", "Grid fits", "HC fits");
+  reporter.Config("dataset", "compas");
+  reporter.Config("constraints", "sp+fnr");
 
   const GroupingFunction groups = MainGroups("compas");
   const Dataset data = MakeBenchDataset("compas", 700);
   const TrainValTestSplit split = SplitDefault(data, 800);
 
+  // Trajectories are attached for one representative epsilon so the JSON
+  // stays small (the grid alone is 169 fits per epsilon).
+  const double trajectory_epsilon = 0.03;
+
   for (double epsilon : {0.01, 0.02, 0.03, 0.04, 0.05, 0.06}) {
     const std::vector<FairnessSpec> specs = {MakeSpec(groups, "sp", epsilon),
                                              MakeSpec(groups, "fnr", epsilon)};
+    const bool record = epsilon == trajectory_epsilon;
 
     auto grid_trainer = MakeTrainer("lr");
     auto grid_problem =
@@ -35,7 +42,11 @@ void Run() {
     grid_options.points_per_dim = 13;  // 169 fits for k = 2
     grid_options.max_lambda = 0.4;
     const GridSearchTuner grid(grid_options);
+    TuneReport grid_report;
+    grid_report.algorithm = "grid_search";
+    if (record) (*grid_problem)->StartTuneReport(&grid_report);
     MultiTuneResult grid_result = grid.Run(**grid_problem);
+    (*grid_problem)->StartTuneReport(nullptr);
     const double grid_seconds = grid_watch.ElapsedSeconds();
 
     auto hc_trainer = MakeTrainer("lr");
@@ -43,13 +54,40 @@ void Run() {
         FairnessProblem::Create(split.train, split.val, specs, hc_trainer.get());
     Stopwatch hc_watch;
     const HillClimber climber;
+    TuneReport hc_report;
+    hc_report.algorithm = "hill_climb";
+    if (record) (*hc_problem)->StartTuneReport(&hc_report);
     MultiTuneResult hc_result = climber.Run(**hc_problem);
+    (*hc_problem)->StartTuneReport(nullptr);
     const double hc_seconds = hc_watch.ElapsedSeconds();
+
+    if (record) {
+      grid_report.models_trained = grid_result.models_trained;
+      grid_report.wall_seconds = grid_seconds;
+      hc_report.models_trained = hc_result.models_trained;
+      hc_report.wall_seconds = hc_seconds;
+      if (!grid_report.empty()) reporter.AddTrajectory("grid eps=0.03", grid_report);
+      if (!hc_report.empty()) reporter.AddTrajectory("hc eps=0.03", hc_report);
+    }
 
     std::printf("%-8.2f %6s %6s %12.2f %10.2f %11d %10d\n", epsilon,
                 grid_result.satisfied ? "Yes" : "No",
                 hc_result.satisfied ? "Yes" : "No", grid_seconds, hc_seconds,
                 grid_result.models_trained, hc_result.models_trained);
+    reporter.AddRow("grid_vs_hc")
+        .Label("method", "grid")
+        .Value("epsilon", epsilon)
+        .Value("satisfied", grid_result.satisfied ? 1.0 : 0.0)
+        .Value("seconds", grid_seconds)
+        .Value("models_trained", grid_result.models_trained)
+        .Value("val_accuracy", grid_result.val_accuracy);
+    reporter.AddRow("grid_vs_hc")
+        .Label("method", "hill_climb")
+        .Value("epsilon", epsilon)
+        .Value("satisfied", hc_result.satisfied ? 1.0 : 0.0)
+        .Value("seconds", hc_seconds)
+        .Value("models_trained", hc_result.models_trained)
+        .Value("val_accuracy", hc_result.val_accuracy);
   }
 }
 
@@ -58,7 +96,10 @@ void Run() {
 }  // namespace omnifair
 
 int main() {
-  omnifair::bench::Run();
-  omnifair::bench::PrintRecoveryEvents();
-  return 0;
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "table8_grid_vs_hc",
+      "Table 8: grid search vs hill climbing (COMPAS, SP + FNR, LR)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
 }

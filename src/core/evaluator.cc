@@ -6,6 +6,7 @@
 
 #include "util/fault_injector.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace omnifair {
 
@@ -41,6 +42,7 @@ double ConstraintEvaluator::FairnessPart(size_t j,
                                          const std::vector<int>& predictions) const {
   OF_CHECK_LT(j, constraints_.size());
   OF_CHECK_EQ(predictions.size(), dataset_.NumRows());
+  OF_COUNTER_INC("evaluator.fairness_part_evals");
   if (HasEmptyGroup(j)) return 0.0;
   const FairnessMetric& metric = *constraints_[j].metric;
   const double part = FaultInjector::CorruptDouble(

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 
@@ -17,11 +19,20 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
   const size_t k = problem.NumConstraints();
   OF_CHECK_GE(k, 1u);
   OF_CHECK_GE(options_.points_per_dim, 2);
+  OF_TRACE_SPAN("grid_search");
   const int models_before = problem.models_trained();
+
+  // Trajectory annotation shared by the base fit and every grid point.
+  auto annotate = [&problem](const std::vector<int>& preds) {
+    if (!problem.RecordingTuneReport()) return;
+    problem.AnnotateLastTunePoint(problem.ValAccuracy(preds),
+                                  problem.val_evaluator().FairnessParts(preds));
+  };
 
   // The weight model for prediction-parameterized metrics: the
   // unconstrained fit.
   std::vector<double> lambdas(k, 0.0);
+  problem.SetTuneStage("initial");
   std::unique_ptr<Classifier> base_model = problem.FitWithLambdas(lambdas, nullptr);
 
   MultiTuneResult result;
@@ -32,6 +43,7 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
     result.models_trained = problem.models_trained() - models_before;
     return result;
   }
+  if (problem.RecordingTuneReport()) annotate(problem.PredictVal(*base_model));
 
   const double lo = -options_.max_lambda;
   const double step =
@@ -40,11 +52,14 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
       std::pow(static_cast<double>(options_.points_per_dim), static_cast<double>(k)));
 
   double best_accuracy = -1.0;
+  problem.SetTuneStage("grid");
   for (long long index = 0; index < total; ++index) {
     if (problem.BudgetExpired()) {
       result.status = problem.budget()->ToStatus();
       break;
     }
+    OF_TRACE_SPAN("grid_point");
+    OF_COUNTER_INC("tuner.grid_points");
     long long rest = index;
     for (size_t dim = 0; dim < k; ++dim) {
       lambdas[dim] = lo + step * static_cast<double>(rest % options_.points_per_dim);
@@ -58,6 +73,7 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
       break;
     }
     const std::vector<int> val_preds = problem.PredictVal(*model);
+    annotate(val_preds);
     const bool satisfied = problem.val_evaluator().MaxViolation(val_preds) <= 1e-12;
     const double accuracy = problem.ValAccuracy(val_preds);
     if (points != nullptr) {

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 
@@ -11,6 +13,7 @@ HillClimber::HillClimber(HillClimbOptions options) : options_(options) {}
 MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
   const size_t k = problem.NumConstraints();
   OF_CHECK_GE(k, 1u);
+  OF_TRACE_SPAN("hill_climb");
   const int models_before = problem.models_trained();
   const int max_iterations = options_.max_iterations_factor * static_cast<int>(k);
   const LambdaTuner tuner(options_.tune);
@@ -19,6 +22,7 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
   result.lambdas.assign(k, 0.0);
 
   // Line 1-2: Lambda = 0, fit the unconstrained model.
+  problem.SetTuneStage("initial");
   std::unique_ptr<Classifier> model =
       problem.FitWithLambdas(result.lambdas, /*weight_model=*/nullptr);
   if (model == nullptr) {
@@ -28,6 +32,10 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
     return result;
   }
   std::vector<int> val_preds = problem.PredictVal(*model);
+  if (problem.RecordingTuneReport()) {
+    problem.AnnotateLastTunePoint(problem.ValAccuracy(val_preds),
+                                  problem.val_evaluator().FairnessParts(val_preds));
+  }
 
   int consecutive_failures = 0;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
@@ -40,6 +48,8 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
       break;
     }
     ++result.iterations;
+    OF_TRACE_SPAN("hill_climb_iteration");
+    OF_COUNTER_INC("tuner.hill_climb_iterations");
     // Line 4: most violated constraint.
     const size_t j = problem.val_evaluator().MostViolated(val_preds);
     // Line 5: Algorithm 1 on coordinate j, other coordinates fixed.

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 namespace {
@@ -42,9 +44,19 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   OF_CHECK(lambdas != nullptr);
   OF_CHECK_EQ(lambdas->size(), problem.NumConstraints());
   OF_CHECK_LT(j, lambdas->size());
+  OF_TRACE_SPAN("tune_coordinate");
+  OF_COUNTER_INC("tuner.coordinate_tunes");
   const double epsilon = problem.Epsilon(j);
   const int models_before = problem.models_trained();
   const bool prediction_dependent = problem.DependsOnPredictions();
+
+  // Trajectory annotation: stamps the most recent TunePoint with validation
+  // metrics. One extra FairnessParts sweep per fit, paid only when recording.
+  auto annotate = [&](const std::vector<int>& preds) {
+    if (!problem.RecordingTuneReport()) return;
+    problem.AnnotateLastTunePoint(problem.ValAccuracy(preds),
+                                  problem.val_evaluator().FairnessParts(preds));
+  };
 
   // Search-interruption state: `aborted` when the trainer failed behind the
   // exception firewall, `expired` when the TrainBudget ran out. Either way
@@ -72,6 +84,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   std::unique_ptr<Classifier> theta0;
   const Classifier* theta0_ptr = initial_model;
   if (theta0_ptr == nullptr) {
+    problem.SetTuneStage("initial");
     theta0 = problem.FitWithLambdas(*lambdas, /*weight_model=*/nullptr);
     if (fit_failed(theta0)) {
       TuneResult result;
@@ -83,6 +96,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     theta0_ptr = theta0.get();
   }
   std::vector<int> val_preds = problem.PredictVal(*theta0_ptr);
+  if (theta0 != nullptr) annotate(val_preds);
   const double fp0 = problem.val_evaluator().FairnessPart(j, val_preds);
 
   auto finish = [&](BestCandidate best, bool satisfied) {
@@ -105,9 +119,11 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     std::unique_ptr<Classifier> model = std::move(theta0);
     if (model == nullptr) {
       // Caller owns initial_model; refit so the result owns its model.
+      problem.SetTuneStage("initial");
       model = problem.FitWithLambdas(*lambdas, theta0_ptr);
       if (fit_failed(model)) return finish(std::move(best), /*satisfied=*/false);
       val_preds = problem.PredictVal(*model);
+      annotate(val_preds);
     }
     best.Consider(std::move(model), (*lambdas)[j], problem.ValAccuracy(val_preds),
                   problem.val_evaluator().FairnessParts(val_preds));
@@ -133,6 +149,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   auto evaluate_and_consider = [&](std::unique_ptr<Classifier> model,
                                    double lambda_value, double* fp_out) {
     std::vector<int> preds = problem.PredictVal(*model);
+    annotate(preds);
     const double fp = problem.val_evaluator().FairnessPart(j, preds);
     *fp_out = fp;
     if (std::fabs(fp) <= epsilon) {
@@ -167,15 +184,19 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   if (!prediction_dependent) {
     // Stage 2.1 (lines 21-27): exponential search. Weights are exact given
     // lambda, so Lemma 2's direction is reliable.
+    problem.SetTuneStage("exponential");
     double magnitude = options_.initial_step;
     for (int doubling = 0; doubling < options_.max_doublings; ++doubling) {
       if (budget_expired()) break;
+      OF_TRACE_SPAN("lambda_step");
+      OF_COUNTER_INC("tuner.lambda_steps");
       trial[j] = base + direction * magnitude;
       std::unique_ptr<Classifier> theta_u = bounding_fit(trial, nullptr);
       if (fit_failed(theta_u)) break;
       double fp = 0.0;
       if (subsampled_bounding) {
         const std::vector<int> preds = problem.PredictVal(*theta_u);
+        annotate(preds);
         fp = problem.val_evaluator().FairnessPart(j, preds);
       } else {
         theta_u = evaluate_and_consider(std::move(theta_u), trial[j], &fp);
@@ -202,8 +223,11 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     };
     Side sides[2] = {{lemma_direction, 0.0, nullptr, theta0_ptr},
                      {-lemma_direction, 0.0, nullptr, theta0_ptr}};
+    problem.SetTuneStage("linear");
     for (int step = 0; step < options_.max_linear_steps && !bounded; ++step) {
       if (budget_expired()) break;
+      OF_TRACE_SPAN("lambda_step");
+      OF_COUNTER_INC("tuner.lambda_steps");
       for (Side& side : sides) {
         const double next_magnitude = side.magnitude + options_.delta;
         trial[j] = base + side.sign * next_magnitude;
@@ -213,6 +237,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
         std::unique_ptr<Classifier> kept;
         if (subsampled_bounding) {
           const std::vector<int> preds = problem.PredictVal(*theta_u);
+          annotate(preds);
           fp = problem.val_evaluator().FairnessPart(j, preds);
           kept = std::move(theta_u);
         } else {
@@ -257,10 +282,12 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     }
     if (!aborted) {
       trial[j] = lambda_value;
+      problem.SetTuneStage("fallback");
       std::unique_ptr<Classifier> fallback =
           problem.FitWithLambdas(trial, weight_model);
       if (!fit_failed(fallback)) {
         std::vector<int> preds = problem.PredictVal(*fallback);
+        annotate(preds);
         best.model = std::move(fallback);
         best.lambda = lambda_value;
         best.val_accuracy = problem.ValAccuracy(preds);
@@ -289,8 +316,11 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   // satisfying magnitude has the least accuracy impact (Lemma 2, Eq. 16),
   // and BestCandidate keeps the satisfying model with the highest
   // validation accuracy seen anywhere in the search.
+  problem.SetTuneStage("binary");
   while (magnitude_hi - magnitude_lo >= options_.tau) {
     if (budget_expired()) break;
+    OF_TRACE_SPAN("lambda_step");
+    OF_COUNTER_INC("tuner.lambda_steps");
     const double magnitude_mid = 0.5 * (magnitude_lo + magnitude_hi);
     trial[j] = base + direction * magnitude_mid;
     std::unique_ptr<Classifier> theta_m = problem.FitWithLambdas(trial, weight_model);

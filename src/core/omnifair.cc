@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include <fstream>
 #include <sstream>
@@ -11,6 +12,8 @@
 #include "ml/serialization.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 
@@ -29,6 +32,16 @@ OmniFair::OmniFair(OmniFairOptions options) : options_(std::move(options)) {}
 Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
                                   Trainer* trainer,
                                   const std::vector<FairnessSpec>& specs) const {
+  // An explicit per-call telemetry level overrides the process-global one
+  // for the duration of this Train (DESIGN.md §9). kOff is the documented
+  // zero-overhead path: no counters, no spans, no TuneReport.
+  std::optional<ScopedTelemetryLevel> scoped_level;
+  if (options_.telemetry.level.has_value()) {
+    scoped_level.emplace(*options_.telemetry.level);
+  }
+  OF_TRACE_SPAN("omnifair_train");
+  OF_COUNTER_INC("omnifair.train_calls");
+
   Stopwatch stopwatch;
   Result<std::unique_ptr<FairnessProblem>> problem =
       FairnessProblem::Create(train, val, specs, trainer, options_.encoder);
@@ -46,7 +59,12 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
   }
 
   FairModel fair;
+  const bool record_trajectory =
+      EffectiveTelemetryLevel() >= TelemetryLevel::kCounters;
+  if (record_trajectory) (*problem)->StartTuneReport(&fair.tune_report);
+
   if ((*problem)->NumConstraints() == 1) {
+    fair.tune_report.algorithm = "lambda_tuner";
     const LambdaTuner tuner(options_.hill_climb.tune);
     TuneResult tuned = tuner.TuneSingle(**problem);
     fair.model = std::move(tuned.model);
@@ -57,6 +75,7 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
     fair.val_fairness_parts = std::move(tuned.val_fairness_parts);
     fair.models_trained = tuned.models_trained;
   } else {
+    fair.tune_report.algorithm = "hill_climb";
     const HillClimber climber(options_.hill_climb);
     MultiTuneResult tuned = climber.Run(**problem);
     fair.model = std::move(tuned.model);
@@ -67,7 +86,9 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
     fair.val_fairness_parts = std::move(tuned.val_fairness_parts);
     fair.models_trained = tuned.models_trained;
   }
+  (*problem)->StartTuneReport(nullptr);
   (*problem)->set_budget(nullptr);
+  fair.tune_report.models_trained = fair.models_trained;
 
   if (warm) trainer->SetWarmStart(false);
   if (fair.model == nullptr) {

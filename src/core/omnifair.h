@@ -10,10 +10,12 @@
 #include "core/lambda_tuner.h"
 #include "core/problem.h"
 #include "core/spec.h"
+#include "core/tune_report.h"
 #include "data/dataset.h"
 #include "data/encoder.h"
 #include "ml/classifier.h"
 #include "util/status.h"
+#include "util/telemetry.h"
 #include "util/train_budget.h"
 
 namespace omnifair {
@@ -30,6 +32,12 @@ struct OmniFairOptions {
   /// returns the best model found, with FairModel::outcome set to
   /// DEADLINE_EXCEEDED (DESIGN.md §8).
   TrainBudgetOptions budget;
+  /// Observability knob (DESIGN.md §9). Unset inherits the process-global
+  /// level (default: counters + TuneReport, no spans). Set it to
+  /// TelemetryLevel::kOff for an explicit zero-overhead Train — no counters,
+  /// no spans, and an empty FairModel::tune_report — or to kFullTrace to
+  /// capture chrome://tracing spans for this call only.
+  TelemetryOptions telemetry;
 };
 
 /// A fairness-constrained model plus everything needed to use and audit it.
@@ -53,6 +61,11 @@ struct FairModel {
   std::vector<double> val_fairness_parts;
   int models_trained = 0;
   double train_seconds = 0.0;
+  /// Full tuning trajectory: one TunePoint per trainer invocation, with the
+  /// validation accuracy / fairness parts the tuner saw at each Lambda (the
+  /// paper's Figure 2 data, recorded for free on every Train call). Empty
+  /// when telemetry is off (DESIGN.md §9).
+  TuneReport tune_report;
 
   /// Hard predictions for a raw (un-encoded) dataset.
   std::vector<int> Predict(const Dataset& dataset) const;

@@ -6,6 +6,8 @@
 #include "ml/metrics.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 
@@ -43,6 +45,45 @@ double FairnessProblem::Epsilon(size_t j) const {
   return constraints_[j].epsilon;
 }
 
+std::vector<double> FairnessProblem::Epsilons() const {
+  std::vector<double> epsilons;
+  epsilons.reserve(constraints_.size());
+  for (const ConstraintSpec& constraint : constraints_) {
+    epsilons.push_back(constraint.epsilon);
+  }
+  return epsilons;
+}
+
+void FairnessProblem::StartTuneReport(TuneReport* report) {
+  tune_report_ = report;
+  tune_stage_ = "";
+  if (report != nullptr) {
+    report->epsilons = Epsilons();
+    tune_stopwatch_.Restart();
+  }
+}
+
+void FairnessProblem::RecordTunePoint(const std::vector<double>& lambdas,
+                                      bool fit_ok) {
+  if (tune_report_ == nullptr) return;
+  TunePoint point;
+  point.lambdas = lambdas;
+  point.stage = tune_stage_;
+  point.fit_ok = fit_ok;
+  point.models_trained = static_cast<int>(tune_report_->points.size()) + 1;
+  point.seconds = tune_stopwatch_.ElapsedSeconds();
+  tune_report_->points.push_back(std::move(point));
+}
+
+void FairnessProblem::AnnotateLastTunePoint(
+    double val_accuracy, std::vector<double> val_fairness_parts) {
+  if (tune_report_ == nullptr || tune_report_->points.empty()) return;
+  TunePoint& point = tune_report_->points.back();
+  point.evaluated = true;
+  point.val_accuracy = val_accuracy;
+  point.val_fairness_parts = std::move(val_fairness_parts);
+}
+
 std::unique_ptr<Classifier> FairnessProblem::FirewalledFit(
     const Matrix& X, const std::vector<int>& y, std::vector<double> weights) {
   // Non-finite weights (a degenerate Lambda or a buggy weight model) would
@@ -61,6 +102,9 @@ std::unique_ptr<Classifier> FairnessProblem::FirewalledFit(
 
   ++models_trained_;
   if (budget_ != nullptr) budget_->NoteModelTrained();
+  OF_COUNTER_INC("trainer.fits");
+  OF_TRACE_SPAN("trainer_fit");
+  OF_SCOPED_LATENCY_US("trainer.fit_us");
 
   std::unique_ptr<Classifier> model;
   Status caught;
@@ -73,11 +117,13 @@ std::unique_ptr<Classifier> FairnessProblem::FirewalledFit(
   }
   if (!caught.ok()) {
     CountRecoveryEvent(RecoveryEvent::kTrainerException);
+    OF_COUNTER_INC("trainer.fit_failures");
     OF_LOG(Warning) << "exception firewall: " << caught.message();
     fit_status_ = std::move(caught);
     return nullptr;
   }
   if (model == nullptr) {
+    OF_COUNTER_INC("trainer.fit_failures");
     fit_status_ = Status::Internal("trainer returned a null model");
     return nullptr;
   }
@@ -93,8 +139,11 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(
     predictions = weight_model->Predict(X_train_);
     predictions_ptr = &predictions;
   }
-  return FirewalledFit(X_train_, train_->labels(),
-                       weight_computer_->Compute(lambdas, predictions_ptr));
+  std::unique_ptr<Classifier> model =
+      FirewalledFit(X_train_, train_->labels(),
+                    weight_computer_->Compute(lambdas, predictions_ptr));
+  RecordTunePoint(lambdas, model != nullptr);
+  return model;
 }
 
 std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
@@ -130,7 +179,10 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
   std::vector<double> weights;
   weights.reserve(subsample_rows_.size());
   for (size_t i : subsample_rows_) weights.push_back(full_weights[i]);
-  return FirewalledFit(subsample_features_, subsample_labels_, std::move(weights));
+  std::unique_ptr<Classifier> model =
+      FirewalledFit(subsample_features_, subsample_labels_, std::move(weights));
+  RecordTunePoint(lambdas, model != nullptr);
+  return model;
 }
 
 std::unique_ptr<Classifier> FairnessProblem::FitWithWeights(

@@ -6,11 +6,13 @@
 
 #include "core/evaluator.h"
 #include "core/spec.h"
+#include "core/tune_report.h"
 #include "core/weights.h"
 #include "data/dataset.h"
 #include "data/encoder.h"
 #include "ml/classifier.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 #include "util/train_budget.h"
 
 namespace omnifair {
@@ -98,6 +100,23 @@ class FairnessProblem {
   TrainBudget* budget() const { return budget_; }
   bool BudgetExpired() const { return budget_ != nullptr && budget_->Expired(); }
 
+  /// --- tune-trajectory recording (DESIGN.md §9) ---
+  /// Attaches a caller-owned TuneReport; from here on every FitWithLambdas /
+  /// FitWithLambdasSubsampled appends one TunePoint (including failed fits,
+  /// which still consume a trainer invocation), so within a recorded search
+  /// points.size() tracks models_trained exactly. Pass nullptr to stop.
+  void StartTuneReport(TuneReport* report);
+  bool RecordingTuneReport() const { return tune_report_ != nullptr; }
+  /// Stage label stamped on subsequently recorded points ("exponential",
+  /// "binary", ...). Cheap pointer store; tuners set it before each fit.
+  void SetTuneStage(const char* stage) { tune_stage_ = stage; }
+  /// Fills the validation metrics of the most recently recorded point.
+  /// Tuners call this right after evaluating a fitted model on validation.
+  void AnnotateLastTunePoint(double val_accuracy,
+                             std::vector<double> val_fairness_parts);
+  /// epsilon_j for every induced constraint (TuneReport header data).
+  std::vector<double> Epsilons() const;
+
  private:
   FairnessProblem() = default;
 
@@ -105,6 +124,10 @@ class FairnessProblem {
   /// weights; updates counters, the budget, and fit_status_.
   std::unique_ptr<Classifier> FirewalledFit(const Matrix& X, const std::vector<int>& y,
                                             std::vector<double> weights);
+
+  /// Appends a TunePoint for a fit just issued at `lambdas` (no-op unless
+  /// recording).
+  void RecordTunePoint(const std::vector<double>& lambdas, bool fit_ok);
 
   std::unique_ptr<Dataset> train_;  // owned copies with stable addresses
   std::unique_ptr<Dataset> val_;
@@ -118,6 +141,9 @@ class FairnessProblem {
   int models_trained_ = 0;
   Status fit_status_;
   TrainBudget* budget_ = nullptr;
+  TuneReport* tune_report_ = nullptr;  // caller-owned; null = not recording
+  const char* tune_stage_ = "";
+  Stopwatch tune_stopwatch_;
 
   // Cached subsample (rebuilt when fraction/seed change).
   double subsample_fraction_ = 0.0;

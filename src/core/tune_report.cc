@@ -1,0 +1,54 @@
+#include "core/tune_report.h"
+
+#include <sstream>
+
+#include "util/json_writer.h"
+
+namespace omnifair {
+
+void TuneReport::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.KV("algorithm", algorithm);
+  writer.Key("epsilons");
+  writer.BeginArray();
+  for (double epsilon : epsilons) writer.Double(epsilon);
+  writer.EndArray();
+  writer.KV("models_trained", models_trained);
+  writer.KV("wall_seconds", wall_seconds);
+  writer.Key("points");
+  writer.BeginArray();
+  for (const TunePoint& point : points) {
+    writer.BeginObject();
+    writer.Key("lambdas");
+    writer.BeginArray();
+    for (double lambda : point.lambdas) writer.Double(lambda);
+    writer.EndArray();
+    writer.KV("stage", point.stage);
+    writer.KV("fit_ok", point.fit_ok);
+    writer.KV("models_trained", point.models_trained);
+    writer.KV("seconds", point.seconds);
+    writer.KV("evaluated", point.evaluated);
+    if (point.evaluated) {
+      writer.KV("val_accuracy", point.val_accuracy);
+    } else {
+      writer.Key("val_accuracy");
+      writer.Null();
+    }
+    writer.Key("val_fairness_parts");
+    writer.BeginArray();
+    for (double part : point.val_fairness_parts) writer.Double(part);
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+std::string TuneReport::ToJson() const {
+  std::ostringstream os;
+  JsonWriter writer(os);
+  WriteJson(writer);
+  return os.str();
+}
+
+}  // namespace omnifair

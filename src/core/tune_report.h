@@ -1,0 +1,63 @@
+#ifndef OMNIFAIR_CORE_TUNE_REPORT_H_
+#define OMNIFAIR_CORE_TUNE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace omnifair {
+
+class JsonWriter;
+
+/// One point visited by a tuning search: exactly one trainer invocation.
+/// Together the points of a TuneReport are the data behind the paper's
+/// Figure 2 satisfactory-region curve — every (Lambda, accuracy, fairness)
+/// sample the search paid a model fit for.
+struct TunePoint {
+  /// Full Lambda vector the trainer was fitted at.
+  std::vector<double> lambdas;
+  /// Which search stage issued the fit: "initial", "exponential", "linear",
+  /// "binary", "fallback", "grid", or "" when a caller fit outside a stage.
+  std::string stage;
+  /// False when the fit failed behind the exception firewall (the point
+  /// still counts: it consumed a trainer invocation).
+  bool fit_ok = true;
+  /// Cumulative trainer invocations within this report after this fit, so
+  /// points[i].models_trained == i + 1 by construction.
+  int models_trained = 0;
+  /// Wall-clock seconds since the tune started when the fit was issued.
+  double seconds = 0.0;
+  /// Whether the tuner evaluated this model on the validation split (the
+  /// fields below are only meaningful when true).
+  bool evaluated = false;
+  double val_accuracy = 0.0;
+  /// Signed FP_j per induced constraint on validation.
+  std::vector<double> val_fairness_parts;
+};
+
+/// Trajectory of a whole tuning search, attached to FairModel by
+/// OmniFair::Train (and fillable by callers driving GridSearchTuner or the
+/// LambdaTuner directly via FairnessProblem::StartTuneReport). Recording
+/// costs one extra validation evaluation per fit and is on at
+/// TelemetryLevel::kCounters and above; at kOff the report stays empty.
+struct TuneReport {
+  /// "lambda_tuner", "hill_climb", or "grid_search".
+  std::string algorithm;
+  /// epsilon_j per induced constraint (so satisfaction is derivable from
+  /// the points without re-creating the problem).
+  std::vector<double> epsilons;
+  std::vector<TunePoint> points;
+  /// Trainer invocations the search reported; equals points.size() whenever
+  /// recording covered the whole search.
+  int models_trained = 0;
+  double wall_seconds = 0.0;
+
+  bool empty() const { return points.empty(); }
+
+  /// Serializes as {"algorithm": ..., "epsilons": [...], "points": [...]}.
+  void WriteJson(JsonWriter& writer) const;
+  std::string ToJson() const;
+};
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_TUNE_REPORT_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 
@@ -21,6 +23,9 @@ bool WeightComputer::DependsOnPredictions() const {
 std::vector<double> WeightComputer::Compute(const std::vector<double>& lambdas,
                                             const std::vector<int>* predictions) const {
   OF_CHECK_EQ(lambdas.size(), evaluator_.NumConstraints());
+  OF_COUNTER_INC("weights.computations");
+  OF_TRACE_SPAN("compute_weights");
+  OF_SCOPED_LATENCY_US("weights.compute_us");
   const Dataset& train = evaluator_.dataset();
   const double n = static_cast<double>(train.NumRows());
   std::vector<double> weights(train.NumRows(), 1.0);

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 namespace {
@@ -190,6 +192,8 @@ std::unique_ptr<Classifier> DecisionTreeTrainer::Fit(
   OF_CHECK_EQ(X.rows(), y.size());
   OF_CHECK_EQ(X.rows(), weights.size());
   OF_CHECK_GT(X.rows(), 0u);
+  OF_TRACE_SPAN("fit/dt");
+  OF_SCOPED_LATENCY_US("ml.fit_us.dt");
   TreeBuilder builder(X, y, weights, options_);
   return std::make_unique<DecisionTreeModel>(builder.Build());
 }

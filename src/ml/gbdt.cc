@@ -7,6 +7,8 @@
 #include "linalg/vector_ops.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 namespace {
@@ -154,6 +156,8 @@ std::unique_ptr<Classifier> GbdtTrainer::Fit(const Matrix& X,
                                              const std::vector<double>& weights) {
   OF_CHECK_EQ(X.rows(), y.size());
   OF_CHECK_EQ(X.rows(), weights.size());
+  OF_TRACE_SPAN("fit/xgb");
+  OF_SCOPED_LATENCY_US("ml.fit_us.xgb");
   const size_t n = X.rows();
 
   // Base score: weighted log-odds of the positive class.

@@ -5,6 +5,8 @@
 #include "linalg/vector_ops.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 namespace {
@@ -78,6 +80,8 @@ std::unique_ptr<Classifier> LogisticRegressionTrainer::Fit(
     const Matrix& X, const std::vector<int>& y, const std::vector<double>& weights) {
   OF_CHECK_EQ(X.rows(), y.size());
   OF_CHECK_EQ(X.rows(), weights.size());
+  OF_TRACE_SPAN("fit/lr");
+  OF_SCOPED_LATENCY_US("ml.fit_us.lr");
   const size_t d = X.cols();
 
   std::vector<double> theta(d + 1, 0.0);

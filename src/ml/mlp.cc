@@ -8,6 +8,8 @@
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 namespace {
@@ -62,6 +64,8 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
                                             const std::vector<double>& weights) {
   OF_CHECK_EQ(X.rows(), y.size());
   OF_CHECK_EQ(X.rows(), weights.size());
+  OF_TRACE_SPAN("fit/nn");
+  OF_SCOPED_LATENCY_US("ml.fit_us.nn");
   const size_t n = X.rows();
   const size_t d = X.cols();
   const size_t h = static_cast<size_t>(options_.hidden_units);

@@ -5,6 +5,8 @@
 
 #include "linalg/vector_ops.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 
@@ -42,6 +44,8 @@ std::unique_ptr<Classifier> NaiveBayesTrainer::Fit(const Matrix& X,
                                                    const std::vector<double>& weights) {
   OF_CHECK_EQ(X.rows(), y.size());
   OF_CHECK_EQ(X.rows(), weights.size());
+  OF_TRACE_SPAN("fit/nb");
+  OF_SCOPED_LATENCY_US("ml.fit_us.nb");
   const size_t n = X.rows();
   const size_t d = X.cols();
 

@@ -6,6 +6,8 @@
 
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omnifair {
 
@@ -32,6 +34,8 @@ std::unique_ptr<Classifier> RandomForestTrainer::Fit(
     const Matrix& X, const std::vector<int>& y, const std::vector<double>& weights) {
   OF_CHECK_EQ(X.rows(), y.size());
   OF_CHECK_EQ(X.rows(), weights.size());
+  OF_TRACE_SPAN("fit/rf");
+  OF_SCOPED_LATENCY_US("ml.fit_us.rf");
   const size_t n = X.rows();
 
   size_t max_features = options_.max_features;

@@ -1,0 +1,146 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace omnifair {
+
+void JsonWriter::BeforeValue() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!scopes_.empty()) {
+    OF_CHECK(scopes_.back() == Scope::kArray)
+        << "JSON object values need a Key() first";
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  scopes_.push_back(Scope::kObject);
+  first_.push_back(true);
+  os_ << '{';
+}
+
+void JsonWriter::EndObject() {
+  OF_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  OF_CHECK(!key_pending_) << "dangling Key() at EndObject";
+  scopes_.pop_back();
+  first_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  scopes_.push_back(Scope::kArray);
+  first_.push_back(true);
+  os_ << '[';
+}
+
+void JsonWriter::EndArray() {
+  OF_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  scopes_.pop_back();
+  first_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  OF_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject)
+      << "Key() outside of an object";
+  OF_CHECK(!key_pending_) << "two keys in a row";
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  WriteEscaped(key);
+  os_ << ':';
+  key_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  WriteEscaped(value);
+}
+
+void JsonWriter::Int(long long value) {
+  BeforeValue();
+  os_ << value;
+}
+
+void JsonWriter::UInt(unsigned long long value) {
+  BeforeValue();
+  os_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    os_ << "null";
+    return;
+  }
+  // Shortest round-trippable representation; %.17g always round-trips and
+  // integral values still print compactly enough for bench documents.
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  os_ << buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+}
+
+void JsonWriter::WriteEscaped(std::string_view text) {
+  os_ << JsonEscape(text);
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace omnifair

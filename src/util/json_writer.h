@@ -1,0 +1,73 @@
+#ifndef OMNIFAIR_UTIL_JSON_WRITER_H_
+#define OMNIFAIR_UTIL_JSON_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omnifair {
+
+/// Minimal streaming JSON writer used by the telemetry exports (metrics
+/// snapshots, Chrome trace files, TuneReport, bench documents). Produces
+/// compact valid JSON: strings are escaped, non-finite doubles become null
+/// (JSON has no NaN/Infinity), and commas are inserted automatically.
+///
+/// Usage:
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("answer"); w.Int(42);
+///   w.Key("parts"); w.BeginArray(); w.Double(0.5); w.EndArray();
+///   w.EndObject();
+///
+/// Misuse (e.g. a value in an object without a preceding Key) is a
+/// programmer error and trips an OF_CHECK in the implementation.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(long long value);
+  void UInt(unsigned long long value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + value in one call.
+  void KV(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void KV(std::string_view key, const char* value) { Key(key); String(value); }
+  void KV(std::string_view key, long long value) { Key(key); Int(value); }
+  void KV(std::string_view key, int value) { Key(key); Int(value); }
+  void KV(std::string_view key, size_t value) { Key(key); UInt(value); }
+  void KV(std::string_view key, double value) { Key(key); Double(value); }
+  void KV(std::string_view key, bool value) { Key(key); Bool(value); }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void WriteEscaped(std::string_view text);
+
+  std::ostream& os_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_;   // parallel to scopes_: no comma needed yet
+  bool key_pending_ = false;  // a Key was written; next value omits the comma
+};
+
+/// Escapes `text` as a double-quoted JSON string literal (with quotes).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_UTIL_JSON_WRITER_H_

@@ -1,6 +1,9 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <mutex>
+
+#include "util/telemetry.h"
 
 namespace omnifair {
 namespace {
@@ -23,7 +26,22 @@ const char* SeverityTag(LogSeverity severity) {
   return "?";
 }
 
-std::atomic<long long> g_recovery_counts[static_cast<size_t>(RecoveryEvent::kCount)];
+/// Registry counters backing the RecoveryEvent API, resolved once and cached
+/// (registry pointers are stable for the process lifetime). Named
+/// "recovery.<event>" so they show up alongside the rest of the telemetry in
+/// metric snapshots and bench JSON.
+Counter* RecoveryCounter(RecoveryEvent event) {
+  static Counter* counters[static_cast<size_t>(RecoveryEvent::kCount)] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (size_t i = 0; i < static_cast<size_t>(RecoveryEvent::kCount); ++i) {
+      counters[i] = MetricsRegistry::Global().GetCounter(
+          std::string("recovery.") +
+          RecoveryEventName(static_cast<RecoveryEvent>(i)));
+    }
+  });
+  return counters[static_cast<size_t>(event)];
+}
 
 }  // namespace
 
@@ -53,23 +71,25 @@ const char* RecoveryEventName(RecoveryEvent event) {
 void CountRecoveryEvent(RecoveryEvent event) {
   const size_t index = static_cast<size_t>(event);
   if (index >= static_cast<size_t>(RecoveryEvent::kCount)) return;
-  g_recovery_counts[index].fetch_add(1, std::memory_order_relaxed);
+  RecoveryCounter(event)->Add(1);
 }
 
 long long RecoveryEventCount(RecoveryEvent event) {
   const size_t index = static_cast<size_t>(event);
   if (index >= static_cast<size_t>(RecoveryEvent::kCount)) return 0;
-  return g_recovery_counts[index].load(std::memory_order_relaxed);
+  return RecoveryCounter(event)->Value();
 }
 
 void ResetRecoveryEvents() {
-  for (auto& count : g_recovery_counts) count.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < static_cast<size_t>(RecoveryEvent::kCount); ++i) {
+    RecoveryCounter(static_cast<RecoveryEvent>(i))->Reset();
+  }
 }
 
 std::string RecoveryEventSummary() {
   std::string summary;
   for (size_t i = 0; i < static_cast<size_t>(RecoveryEvent::kCount); ++i) {
-    const long long count = g_recovery_counts[i].load(std::memory_order_relaxed);
+    const long long count = RecoveryEventCount(static_cast<RecoveryEvent>(i));
     if (count == 0) continue;
     if (!summary.empty()) summary += " ";
     summary += RecoveryEventName(static_cast<RecoveryEvent>(i));

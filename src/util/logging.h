@@ -16,9 +16,12 @@ void SetLogLevel(LogSeverity min_severity);
 LogSeverity GetLogLevel();
 
 /// Recovery events counted by the robustness layer (exception firewall,
-/// divergence backoff, degenerate-metric guards, budget expiry). Counters are
-/// process-global relaxed atomics; benches print the summary so silent
-/// recoveries stay visible in their output.
+/// divergence backoff, degenerate-metric guards, budget expiry). Since the
+/// telemetry layer landed these are thin wrappers over MetricsRegistry
+/// counters named "recovery.<event>" (DESIGN.md §9) — the functions below are
+/// kept so existing callers and tests keep working. Counting is unconditional
+/// (not gated on the telemetry level): recovery visibility is a robustness
+/// guarantee, not an observability opt-in.
 enum class RecoveryEvent {
   kTrainerException = 0,  ///< user trainer threw across the no-throw boundary
   kGroupingException,     ///< user grouping callable threw

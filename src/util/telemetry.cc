@@ -1,0 +1,239 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace omnifair {
+namespace {
+
+std::atomic<int> g_global_level{static_cast<int>(TelemetryLevel::kCounters)};
+
+/// Thread-local override stack depth is tiny (Train calls don't nest deeply);
+/// a single int with "previous value" restoration in the RAII object is all
+/// we need. -1 means "no override active".
+thread_local int tls_level_override = -1;
+
+/// Atomically max-updates `target` towards `value` with `cmp`.
+template <typename Compare>
+void AtomicExtreme(std::atomic<double>& target, double value, Compare cmp) {
+  double current = target.load(std::memory_order_relaxed);
+  while (cmp(value, current) &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void SetTelemetryLevel(TelemetryLevel level) {
+  g_global_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+TelemetryLevel GetTelemetryLevel() {
+  return static_cast<TelemetryLevel>(g_global_level.load(std::memory_order_relaxed));
+}
+
+TelemetryLevel EffectiveTelemetryLevel() {
+  const int override_level = tls_level_override;
+  if (override_level >= 0) return static_cast<TelemetryLevel>(override_level);
+  return GetTelemetryLevel();
+}
+
+void InitTelemetryFromEnv() {
+  const char* value = std::getenv("OMNIFAIR_TELEMETRY");
+  if (value == nullptr) return;
+  std::string lowered(value);
+  for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lowered == "off" || lowered == "none" || lowered == "0") {
+    SetTelemetryLevel(TelemetryLevel::kOff);
+  } else if (lowered == "counters" || lowered == "1") {
+    SetTelemetryLevel(TelemetryLevel::kCounters);
+  } else if (lowered == "trace" || lowered == "full" || lowered == "2") {
+    SetTelemetryLevel(TelemetryLevel::kFullTrace);
+  } else {
+    OF_LOG(Warning) << "OMNIFAIR_TELEMETRY=\"" << value
+                    << "\" not recognized (want off|counters|trace); keeping "
+                    << static_cast<int>(GetTelemetryLevel());
+  }
+}
+
+ScopedTelemetryLevel::ScopedTelemetryLevel(TelemetryLevel level)
+    : previous_(tls_level_override) {
+  tls_level_override = static_cast<int>(level);
+}
+
+ScopedTelemetryLevel::~ScopedTelemetryLevel() { tls_level_override = previous_; }
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  OF_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending: " << name_;
+}
+
+void Histogram::Record(double value) {
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicExtreme(min_, value, [](double a, double b) { return a < b; });
+  AtomicExtreme(max_, value, [](double a, double b) { return a > b; });
+}
+
+double Histogram::Mean() const {
+  const long long count = Count();
+  return count > 0 ? Sum() / static_cast<double>(count) : 0.0;
+}
+
+std::vector<long long> Histogram::BucketCounts() const {
+  std::vector<long long> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> bounds = {10.0,    20.0,    50.0,   100.0,
+                                             200.0,   500.0,   1e3,    2e3,
+                                             5e3,     1e4,     2e4,    5e4,
+                                             1e5,     1e6};
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& counter : counters_) {
+    if (counter->name() == name) return counter.get();
+  }
+  counters_.emplace_back(new Counter(name));
+  return counters_.back().get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& gauge : gauges_) {
+    if (gauge->name() == name) return gauge.get();
+  }
+  gauges_.emplace_back(new Gauge(name));
+  return gauges_.back().get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& histogram : histograms_) {
+    if (histogram->name() == name) return histogram.get();
+  }
+  histograms_.emplace_back(new Histogram(name, bounds));
+  return histograms_.back().get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& counter : counters_) {
+    snapshot.counters.emplace_back(counter->name(), counter->Value());
+  }
+  for (const auto& gauge : gauges_) {
+    snapshot.gauges.emplace_back(gauge->name(), gauge->Value());
+  }
+  for (const auto& histogram : histograms_) {
+    MetricsSnapshot::HistogramSnapshot h;
+    h.name = histogram->name();
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    h.min = histogram->Min();
+    h.max = histogram->Max();
+    h.bounds = histogram->bounds();
+    h.buckets = histogram->BucketCounts();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& counter : counters_) counter->Reset();
+  for (const auto& gauge : gauges_) gauge->Reset();
+  for (const auto& histogram : histograms_) histogram->Reset();
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [name, value] : counters) writer.KV(name, value);
+  writer.EndObject();
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const auto& [name, value] : gauges) writer.KV(name, value);
+  writer.EndObject();
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const HistogramSnapshot& h : histograms) {
+    writer.Key(h.name);
+    writer.BeginObject();
+    writer.KV("count", h.count);
+    writer.KV("sum", h.sum);
+    // min/max are +/-inf on an empty histogram; JsonWriter turns those into
+    // null, which is exactly what the schema wants.
+    writer.KV("min", h.min);
+    writer.KV("max", h.max);
+    writer.Key("bounds");
+    writer.BeginArray();
+    for (double bound : h.bounds) writer.Double(bound);
+    writer.EndArray();
+    writer.Key("buckets");
+    writer.BeginArray();
+    for (long long bucket : h.buckets) writer.Int(bucket);
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  JsonWriter writer(os);
+  WriteJson(writer);
+  return os.str();
+}
+
+}  // namespace omnifair

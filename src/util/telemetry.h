@@ -1,0 +1,259 @@
+#ifndef OMNIFAIR_UTIL_TELEMETRY_H_
+#define OMNIFAIR_UTIL_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace omnifair {
+
+class JsonWriter;
+
+// ---------------------------------------------------------------------------
+// Telemetry levels (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+/// How much observability the process pays for:
+///   kOff       - no counters, no histograms, no spans, no TuneReport.
+///   kCounters  - metrics registry active (counters/gauges/histograms) and
+///                TuneReport recording; no trace spans. The default.
+///   kFullTrace - everything, plus OF_TRACE_SPAN events for chrome://tracing.
+enum class TelemetryLevel : int { kOff = 0, kCounters = 1, kFullTrace = 2 };
+
+/// Per-Train telemetry knob threaded through OmniFairOptions. An unset
+/// level inherits the process-global level; a set level overrides it for the
+/// duration of the call (so `level = kOff` is an explicit zero-overhead
+/// guarantee regardless of global state).
+struct TelemetryOptions {
+  std::optional<TelemetryLevel> level;
+};
+
+/// Process-global telemetry level (relaxed atomic; default kCounters).
+void SetTelemetryLevel(TelemetryLevel level);
+TelemetryLevel GetTelemetryLevel();
+
+/// The level instrumentation actually consults: the innermost thread-local
+/// ScopedTelemetryLevel override if one is active, else the global level.
+TelemetryLevel EffectiveTelemetryLevel();
+
+/// Reads OMNIFAIR_TELEMETRY (off | counters | trace) into the global level.
+/// Unset or unrecognized values leave the level unchanged (a warning is
+/// logged for unrecognized values). Benches call this at startup.
+void InitTelemetryFromEnv();
+
+/// RAII thread-local override of the telemetry level; nests.
+class ScopedTelemetryLevel {
+ public:
+  explicit ScopedTelemetryLevel(TelemetryLevel level);
+  ~ScopedTelemetryLevel();
+
+  ScopedTelemetryLevel(const ScopedTelemetryLevel&) = delete;
+  ScopedTelemetryLevel& operator=(const ScopedTelemetryLevel&) = delete;
+
+ private:
+  int previous_;  // -1 when no override was active before this one
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter. Increments are relaxed atomics (lock-free hot path).
+class Counter {
+ public:
+  void Add(long long delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  long long Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  const std::string name_;
+  std::atomic<long long> value_{0};
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: upper bounds are set at creation and never change,
+/// so Record() is lock-free (a linear bucket scan plus relaxed atomics; the
+/// default latency bucketing has 14 bounds, which beats binary search at this
+/// size). Values above the last bound land in the overflow bucket.
+class Histogram {
+ public:
+  void Record(double value);
+
+  long long Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Min/Max of recorded values; +/-inf when Count() == 0.
+  double Min() const { return min_.load(std::memory_order_relaxed); }
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; entry i counts values <= bounds()[i],
+  /// the last entry counts the overflow.
+  std::vector<long long> BucketCounts() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  const std::string name_;
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<long long>> buckets_;
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Default histogram bucketing for latencies in microseconds (10us .. 1s).
+const std::vector<double>& DefaultLatencyBoundsUs();
+
+/// Point-in-time copy of every metric, taken under the registry mutex.
+struct MetricsSnapshot {
+  struct HistogramSnapshot {
+    std::string name;
+    long long count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> bounds;
+    std::vector<long long> buckets;
+  };
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  void WriteJson(JsonWriter& writer) const;
+  std::string ToJson() const;
+};
+
+/// Process-global registry of named metrics. Lookup/creation takes a mutex;
+/// the returned pointers are stable for the process lifetime (metrics are
+/// never deleted, Reset only zeroes values), so hot paths cache them in
+/// function-local statics — see the OF_COUNTER_* macros below.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Find-or-create. A name used with two different metric kinds yields two
+  /// distinct metrics (kinds live in separate namespaces).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first creation; must be strictly ascending.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds = DefaultLatencyBoundsUs());
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every metric value (pointers stay valid).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Records the elapsed time since construction into `histogram` (in
+/// microseconds) when destroyed. A null histogram disables the timer and
+/// skips the clock calls entirely.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatencyTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace omnifair
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. `name` must be a string literal (the metric pointer
+// is cached in a function-local static). All of them are no-ops below
+// TelemetryLevel::kCounters: one thread-local read on the hot path.
+// ---------------------------------------------------------------------------
+
+#define OF_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define OF_TELEMETRY_CONCAT(a, b) OF_TELEMETRY_CONCAT_INNER(a, b)
+
+#define OF_COUNTER_ADD(name, delta)                                           \
+  do {                                                                        \
+    if (::omnifair::EffectiveTelemetryLevel() >=                              \
+        ::omnifair::TelemetryLevel::kCounters) {                              \
+      static ::omnifair::Counter* of_counter =                                \
+          ::omnifair::MetricsRegistry::Global().GetCounter(name);             \
+      of_counter->Add(delta);                                                 \
+    }                                                                         \
+  } while (0)
+
+#define OF_COUNTER_INC(name) OF_COUNTER_ADD(name, 1)
+
+#define OF_GAUGE_SET(name, value)                                             \
+  do {                                                                        \
+    if (::omnifair::EffectiveTelemetryLevel() >=                              \
+        ::omnifair::TelemetryLevel::kCounters) {                              \
+      static ::omnifair::Gauge* of_gauge =                                    \
+          ::omnifair::MetricsRegistry::Global().GetGauge(name);               \
+      of_gauge->Set(value);                                                   \
+    }                                                                         \
+  } while (0)
+
+#define OF_HISTOGRAM_RECORD(name, value)                                      \
+  do {                                                                        \
+    if (::omnifair::EffectiveTelemetryLevel() >=                              \
+        ::omnifair::TelemetryLevel::kCounters) {                              \
+      static ::omnifair::Histogram* of_histogram =                            \
+          ::omnifair::MetricsRegistry::Global().GetHistogram(name);           \
+      of_histogram->Record(value);                                            \
+    }                                                                         \
+  } while (0)
+
+/// Scoped timer recording into a latency histogram (microseconds). Below
+/// kCounters the timer is constructed disabled and makes no clock calls.
+/// The histogram pointer is resolved once per call site (one mutex'd lookup
+/// at first execution, regardless of level — registration is not overhead).
+#define OF_SCOPED_LATENCY_US(name)                                            \
+  static ::omnifair::Histogram* OF_TELEMETRY_CONCAT(of_hist_, __LINE__) =     \
+      ::omnifair::MetricsRegistry::Global().GetHistogram(name);               \
+  ::omnifair::ScopedLatencyTimer OF_TELEMETRY_CONCAT(of_latency_, __LINE__)(  \
+      ::omnifair::EffectiveTelemetryLevel() >=                                \
+              ::omnifair::TelemetryLevel::kCounters                           \
+          ? OF_TELEMETRY_CONCAT(of_hist_, __LINE__)                           \
+          : nullptr)
+
+#endif  // OMNIFAIR_UTIL_TELEMETRY_H_

@@ -1,0 +1,154 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/json_writer.h"
+
+namespace omnifair {
+namespace {
+
+thread_local uint16_t tls_span_depth = 0;
+
+}  // namespace
+
+uint64_t TraceNowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch)
+                                   .count());
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // never destroyed
+  return *collector;
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::LocalBuffer() {
+  // The shared_ptr keeps the buffer alive in buffers_ after the thread exits,
+  // so spans recorded by short-lived worker threads survive until export.
+  thread_local std::shared_ptr<ThreadBuffer> local = [this] {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->thread_id = next_thread_id_++;
+    buffers_.push_back(buffer);
+    return buffer;
+  }();
+  return local.get();
+}
+
+void TraceCollector::Record(const TraceEvent& event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  TraceEvent stamped = event;
+  stamped.thread_id = buffer->thread_id;
+  buffer->events.push_back(stamped);
+}
+
+size_t TraceCollector::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+size_t TraceCollector::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceCollector::Events() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::ostringstream os;
+  JsonWriter writer(os);
+  writer.BeginObject();
+  writer.KV("displayTimeUnit", "ms");
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  for (const TraceEvent& event : events) {
+    writer.BeginObject();
+    writer.KV("name", event.name != nullptr ? event.name : "?");
+    writer.KV("ph", "X");
+    writer.KV("ts", static_cast<double>(event.start_ns) / 1e3);
+    writer.KV("dur", static_cast<double>(event.duration_ns) / 1e3);
+    writer.KV("pid", 1);
+    writer.KV("tid", static_cast<long long>(event.thread_id));
+    writer.Key("args");
+    writer.BeginObject();
+    writer.KV("depth", static_cast<long long>(event.depth));
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return os.str();
+}
+
+Status TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+  out << ToChromeJson();
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name),
+      active_(EffectiveTelemetryLevel() >= TelemetryLevel::kFullTrace) {
+  if (!active_) return;
+  depth_ = ++tls_span_depth;
+  start_ns_ = TraceNowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint64_t end_ns = TraceNowNs();
+  --tls_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns - start_ns_;
+  event.depth = depth_;
+  TraceCollector::Global().Record(event);
+}
+
+}  // namespace omnifair

@@ -1,0 +1,106 @@
+#ifndef OMNIFAIR_UTIL_TRACE_H_
+#define OMNIFAIR_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace omnifair {
+
+/// One completed span: a Chrome trace "X" (complete) event. `name` must be a
+/// string literal (events store the pointer, not a copy — spans are emitted
+/// from hot paths and must not allocate).
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  ///< steady-clock time since process trace epoch
+  uint64_t duration_ns = 0;
+  uint32_t thread_id = 0;  ///< dense id assigned per recording thread
+  uint16_t depth = 0;      ///< nesting depth at the time the span opened (1-based)
+};
+
+/// Process-global collector of trace spans. Each recording thread owns a
+/// buffer (registered on first use and kept alive after thread exit) guarded
+/// by its own — virtually always uncontended — mutex, so recording never
+/// touches global state. Export/Clear walk all buffers under the registry
+/// mutex. Spans are only recorded at TelemetryLevel::kFullTrace.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  /// Appends a completed event to the calling thread's buffer. Buffers cap at
+  /// kMaxEventsPerThread; events beyond that are counted as dropped.
+  void Record(const TraceEvent& event);
+
+  /// Total buffered events across all threads.
+  size_t EventCount() const;
+  /// Events dropped because a thread buffer hit its cap.
+  size_t DroppedCount() const;
+
+  /// All buffered events (every thread), ordered by start time.
+  std::vector<TraceEvent> Events() const;
+
+  /// Serializes the buffered events as a Chrome trace document — load it via
+  /// chrome://tracing or https://ui.perfetto.dev. Timestamps are microseconds
+  /// since the trace epoch.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// Drops all buffered events (buffers stay registered).
+  void Clear();
+
+  static constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint32_t thread_id = 0;
+    size_t dropped = 0;
+  };
+
+  TraceCollector() = default;
+  ThreadBuffer* LocalBuffer();
+
+  mutable std::mutex mu_;  // guards buffers_ (the list, not the events)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_thread_id_ = 0;
+};
+
+/// Nanoseconds since the process trace epoch (first use of the clock).
+uint64_t TraceNowNs();
+
+/// RAII span. Construction snapshots the clock and bumps the thread's
+/// nesting depth; destruction records the complete event. When the effective
+/// telemetry level is below kFullTrace the span is inert: one thread-local
+/// read, no clock calls, no allocation.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  uint16_t depth_ = 0;
+  bool active_;
+};
+
+}  // namespace omnifair
+
+/// Opens a scoped trace span: `OF_TRACE_SPAN("lambda_step");`. The name must
+/// be a string literal. No-op below TelemetryLevel::kFullTrace.
+#define OF_TRACE_SPAN(name) \
+  ::omnifair::TraceSpan OF_TELEMETRY_CONCAT(of_trace_span_, __LINE__)(name)
+
+#endif  // OMNIFAIR_UTIL_TRACE_H_

@@ -1,0 +1,570 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "core/omnifair.h"
+#include "core/tune_report.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/trainer_registry.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/trace.h"
+
+namespace omnifair {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validity checker, so every exporter's output
+// round-trips through an independent parser (not the writer's own logic).
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_])) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(Peek())) ++pos_;
+    if (Peek() == '.') { ++pos_; while (std::isdigit(Peek())) ++pos_; }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(Peek())) ++pos_;
+    }
+    return pos_ > start && std::isdigit(text_[pos_ - 1]);
+  }
+
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool JsonIsValid(const std::string& text) { return JsonChecker(text).Valid(); }
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonIsValid(R"({"a": [1, -2.5e3, "x\n", true, null], "b": {}})"));
+  EXPECT_FALSE(JsonIsValid(R"({"a": 1,})"));
+  EXPECT_FALSE(JsonIsValid(R"({"a" 1})"));
+  EXPECT_FALSE(JsonIsValid("{\"a\": 1} trailing"));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTest, CounterConcurrentIncrements) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+  counter->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), static_cast<long long>(kThreads) * kPerThread);
+}
+
+TEST(TelemetryTest, HistogramConcurrentRecords) {
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+      "test.concurrent_histogram", {1.0, 10.0, 100.0});
+  histogram->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Record(static_cast<double>(t + 1));  // 1..4
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const long long total = static_cast<long long>(kThreads) * kPerThread;
+  EXPECT_EQ(histogram->Count(), total);
+  // sum = 5000 * (1+2+3+4)
+  EXPECT_NEAR(histogram->Sum(), 5000.0 * 10.0, 1e-6);
+  EXPECT_EQ(histogram->Min(), 1.0);
+  EXPECT_EQ(histogram->Max(), 4.0);
+  const std::vector<long long> buckets = histogram->BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // <=1, <=10, <=100, overflow
+  EXPECT_EQ(buckets[0], kPerThread);      // the 1.0 values
+  EXPECT_EQ(buckets[1], 3 * kPerThread);  // 2, 3, 4
+  EXPECT_EQ(buckets[2], 0);
+  EXPECT_EQ(buckets[3], 0);
+}
+
+TEST(TelemetryTest, HistogramBucketBoundaries) {
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("test.bucket_edges", {1.0, 2.0, 5.0});
+  histogram->Reset();
+  histogram->Record(0.5);
+  histogram->Record(1.5);
+  histogram->Record(10.0);  // overflow
+  const std::vector<long long> buckets = histogram->BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 0);
+  EXPECT_EQ(buckets[3], 1);
+  EXPECT_EQ(histogram->Count(), 3);
+}
+
+TEST(TelemetryTest, RegistryPointersAreStableAcrossReset) {
+  Counter* before = MetricsRegistry::Global().GetCounter("test.stable");
+  before->Add(7);
+  MetricsRegistry::Global().ResetAll();
+  Counter* after = MetricsRegistry::Global().GetCounter("test.stable");
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(after->Value(), 0);
+}
+
+TEST(TelemetryTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry::Global().GetCounter("test.snapshot_counter")->Add(3);
+  MetricsRegistry::Global().GetGauge("test.snapshot_gauge")->Set(1.5);
+  MetricsRegistry::Global()
+      .GetHistogram("test.snapshot_hist", {1.0, 2.0})
+      ->Record(1.2);
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"test.snapshot_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Levels
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTest, ScopedLevelOverridesAndNests) {
+  const TelemetryLevel global = GetTelemetryLevel();
+  EXPECT_EQ(EffectiveTelemetryLevel(), global);
+  {
+    ScopedTelemetryLevel off(TelemetryLevel::kOff);
+    EXPECT_EQ(EffectiveTelemetryLevel(), TelemetryLevel::kOff);
+    {
+      ScopedTelemetryLevel trace(TelemetryLevel::kFullTrace);
+      EXPECT_EQ(EffectiveTelemetryLevel(), TelemetryLevel::kFullTrace);
+    }
+    EXPECT_EQ(EffectiveTelemetryLevel(), TelemetryLevel::kOff);
+  }
+  EXPECT_EQ(EffectiveTelemetryLevel(), global);
+}
+
+TEST(TelemetryTest, ThreadLocalOverrideDoesNotLeakAcrossThreads) {
+  ScopedTelemetryLevel off(TelemetryLevel::kOff);
+  TelemetryLevel seen = TelemetryLevel::kOff;
+  std::thread other([&seen] { seen = EffectiveTelemetryLevel(); });
+  other.join();
+  EXPECT_EQ(seen, GetTelemetryLevel());
+}
+
+TEST(TelemetryTest, CounterMacroDisabledAtOff) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.macro_gated");
+  counter->Reset();
+  {
+    ScopedTelemetryLevel off(TelemetryLevel::kOff);
+    OF_COUNTER_INC("test.macro_gated");
+  }
+  EXPECT_EQ(counter->Value(), 0);
+  OF_COUNTER_INC("test.macro_gated");
+  EXPECT_EQ(counter->Value(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpanNestingAndThreadBufferFlush) {
+  const TelemetryLevel global = GetTelemetryLevel();
+  SetTelemetryLevel(TelemetryLevel::kFullTrace);
+  TraceCollector::Global().Clear();
+
+  {
+    OF_TRACE_SPAN("outer");
+    OF_TRACE_SPAN("inner");
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([] { OF_TRACE_SPAN("worker_span"); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SetTelemetryLevel(global);
+
+  const std::vector<TraceEvent> events = TraceCollector::Global().Events();
+  ASSERT_EQ(events.size(), 4u);
+
+  int outer_depth = 0;
+  int inner_depth = 0;
+  std::vector<uint32_t> worker_threads;
+  for (const TraceEvent& event : events) {
+    const std::string name = event.name;
+    if (name == "outer") outer_depth = event.depth;
+    if (name == "inner") inner_depth = event.depth;
+    if (name == "worker_span") worker_threads.push_back(event.thread_id);
+  }
+  EXPECT_EQ(outer_depth, 1);
+  EXPECT_EQ(inner_depth, 2);
+  // The two worker spans came from distinct (exited) threads whose buffers
+  // were still readable after join.
+  ASSERT_EQ(worker_threads.size(), 2u);
+  EXPECT_NE(worker_threads[0], worker_threads[1]);
+
+  TraceCollector::Global().Clear();
+  EXPECT_EQ(TraceCollector::Global().EventCount(), 0u);
+}
+
+TEST(TraceTest, SpansInertBelowFullTrace) {
+  TraceCollector::Global().Clear();
+  {
+    ScopedTelemetryLevel counters(TelemetryLevel::kCounters);
+    OF_TRACE_SPAN("should_not_record");
+  }
+  EXPECT_EQ(TraceCollector::Global().EventCount(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonRoundTrips) {
+  const TelemetryLevel global = GetTelemetryLevel();
+  SetTelemetryLevel(TelemetryLevel::kFullTrace);
+  TraceCollector::Global().Clear();
+  { OF_TRACE_SPAN("json_span"); }
+  SetTelemetryLevel(global);
+
+  const std::string json = TraceCollector::Global().ToChromeJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  TraceCollector::Global().Clear();
+}
+
+// ---------------------------------------------------------------------------
+// TuneReport
+// ---------------------------------------------------------------------------
+
+struct TuneFixture {
+  Dataset data;
+  TrainValTestSplit split;
+  FairnessSpec spec;
+
+  TuneFixture() {
+    SyntheticOptions options;
+    options.num_rows = 2500;
+    options.seed = 2;
+    data = MakeCompasDataset(options);
+    split = SplitDefault(data, 13);
+    spec = MakeSpec(
+        GroupByAttributeValues("race", {"African-American", "Caucasian"}), "sp",
+        0.03);
+  }
+};
+
+TEST(TuneReportTest, PopulatedAndConsistentWithModelsTrained) {
+  TuneFixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+
+  const TuneReport& report = fair->tune_report;
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.algorithm, "lambda_tuner");
+  ASSERT_EQ(report.epsilons.size(), 1u);
+  EXPECT_NEAR(report.epsilons[0], 0.03, 1e-12);
+
+  // The acceptance invariant: one TunePoint per trainer invocation.
+  EXPECT_EQ(static_cast<int>(report.points.size()), fair->models_trained);
+  EXPECT_EQ(report.models_trained, fair->models_trained);
+  for (size_t i = 0; i < report.points.size(); ++i) {
+    EXPECT_EQ(report.points[i].models_trained, static_cast<int>(i) + 1);
+    EXPECT_TRUE(report.points[i].fit_ok);
+    ASSERT_EQ(report.points[i].lambdas.size(), 1u);
+    EXPECT_GE(report.points[i].seconds, 0.0);
+  }
+  // The first point is the unconstrained fit.
+  EXPECT_EQ(report.points[0].stage, "initial");
+  EXPECT_NEAR(report.points[0].lambdas[0], 0.0, 1e-12);
+}
+
+TEST(TuneReportTest, FairnessPartMonotoneInLambda) {
+  TuneFixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+
+  // Collect the evaluated (lambda, FP) samples and sort by lambda: Lemma 2
+  // says FP is monotone in lambda for single-constraint SP. Real validation
+  // sets are finite so allow a small tolerance on each step.
+  std::vector<std::pair<double, double>> samples;
+  for (const TunePoint& point : fair->tune_report.points) {
+    if (!point.evaluated) continue;
+    samples.emplace_back(point.lambdas[0], point.val_fairness_parts[0]);
+  }
+  ASSERT_GE(samples.size(), 3u);
+  std::sort(samples.begin(), samples.end());
+
+  constexpr double kTolerance = 0.02;
+  bool non_increasing = true;
+  bool non_decreasing = true;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].second > samples[i - 1].second + kTolerance) {
+      non_increasing = false;
+    }
+    if (samples[i].second < samples[i - 1].second - kTolerance) {
+      non_decreasing = false;
+    }
+  }
+  EXPECT_TRUE(non_increasing || non_decreasing)
+      << "FP not monotone in lambda across " << samples.size() << " samples";
+}
+
+TEST(TuneReportTest, EmptyWhenTelemetryOff) {
+  TuneFixture fx;
+  auto trainer = MakeTrainer("lr");
+  Counter* fits = MetricsRegistry::Global().GetCounter("trainer.fits");
+  const long long fits_before = fits->Value();
+
+  OmniFairOptions options;
+  options.telemetry.level = TelemetryLevel::kOff;
+  OmniFair omnifair(options);
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+
+  EXPECT_TRUE(fair->tune_report.empty());
+  EXPECT_GT(fair->models_trained, 0);       // the search itself still ran
+  EXPECT_EQ(fits->Value(), fits_before);    // but no counters moved
+}
+
+TEST(TuneReportTest, JsonRoundTrips) {
+  TuneFixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair = omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+  const std::string json = fair->tune_report.ToJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"algorithm\":\"lambda_tuner\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\""), std::string::npos);
+}
+
+TEST(TuneReportTest, GridSearchRecordsTrajectory) {
+  TuneFixture fx;
+  auto trainer = MakeTrainer("lr");
+  auto problem = FairnessProblem::Create(fx.split.train, fx.split.val, {fx.spec},
+                                         trainer.get());
+  ASSERT_TRUE(problem.ok());
+
+  TuneReport report;
+  report.algorithm = "grid_search";
+  (*problem)->StartTuneReport(&report);
+  GridSearchOptions options;
+  options.points_per_dim = 5;
+  const GridSearchTuner grid(options);
+  MultiTuneResult result = grid.Run(**problem);
+  (*problem)->StartTuneReport(nullptr);
+
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(static_cast<int>(report.points.size()), result.models_trained);
+  // 1 base fit + 5 grid points.
+  EXPECT_EQ(report.points.size(), 6u);
+  EXPECT_EQ(report.points[0].stage, "initial");
+  EXPECT_EQ(report.points.back().stage, "grid");
+}
+
+// ---------------------------------------------------------------------------
+// Bench plumbing (bench_common.h)
+// ---------------------------------------------------------------------------
+
+TEST(BenchCommonTest, EnvRowsRejectsMalformedValues) {
+  ::setenv("OMNIFAIR_BENCH_ROWS", "5k", 1);
+  EXPECT_EQ(bench::EnvRows(1234), 1234u);
+  ::setenv("OMNIFAIR_BENCH_ROWS", "-3", 1);
+  EXPECT_EQ(bench::EnvRows(1234), 1234u);
+  ::setenv("OMNIFAIR_BENCH_ROWS", "", 1);
+  EXPECT_EQ(bench::EnvRows(1234), 1234u);
+  ::setenv("OMNIFAIR_BENCH_ROWS", "250", 1);
+  EXPECT_EQ(bench::EnvRows(1234), 250u);
+  ::unsetenv("OMNIFAIR_BENCH_ROWS");
+  EXPECT_EQ(bench::EnvRows(1234), 1234u);
+
+  ::setenv("OMNIFAIR_BENCH_SEEDS", "2x", 1);
+  EXPECT_EQ(bench::EnvSeeds(7), 7);
+  ::setenv("OMNIFAIR_BENCH_SEEDS", "3", 1);
+  EXPECT_EQ(bench::EnvSeeds(7), 3);
+  ::unsetenv("OMNIFAIR_BENCH_SEEDS");
+}
+
+TEST(BenchCommonTest, ReporterWritesSchemaValidJson) {
+  const std::string dir = ::testing::TempDir() + "omnifair_bench_out";
+  ::setenv("OMNIFAIR_BENCH_OUT", dir.c_str(), 1);
+
+  bench::BenchReporter reporter("unit_test_bench", "Unit test bench");
+  reporter.Config("seeds", 2);
+  reporter.Config("dataset", "compas");
+  reporter.AddRow("section_a")
+      .Label("method", "omnifair")
+      .Value("accuracy", 0.91)
+      .Value("seconds", 1.25);
+  TuneReport trajectory;
+  trajectory.algorithm = "lambda_tuner";
+  trajectory.epsilons = {0.03};
+  TunePoint point;
+  point.lambdas = {0.1};
+  point.stage = "binary";
+  point.models_trained = 1;
+  point.evaluated = true;
+  point.val_accuracy = 0.9;
+  point.val_fairness_parts = {0.01};
+  trajectory.points.push_back(point);
+  trajectory.models_trained = 1;
+  reporter.AddTrajectory("demo", trajectory);
+
+  const Status status = reporter.Write();
+  ASSERT_TRUE(status.ok()) << status;
+  std::ifstream in(reporter.path());
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  ::unsetenv("OMNIFAIR_BENCH_OUT");
+
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"omnifair.bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit_test_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"tune_trajectories\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryEvent compatibility shim
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTest, RecoveryEventsBackedByRegistry) {
+  ResetRecoveryEvents();
+  CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+  CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+  EXPECT_EQ(RecoveryEventCount(RecoveryEvent::kDivergenceBackoff), 2);
+  EXPECT_EQ(MetricsRegistry::Global()
+                .GetCounter("recovery.divergence_backoff")
+                ->Value(),
+            2);
+  // Unconditional: counted even at kOff (robustness guarantee, DESIGN.md §8).
+  {
+    ScopedTelemetryLevel off(TelemetryLevel::kOff);
+    CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+  }
+  EXPECT_EQ(RecoveryEventCount(RecoveryEvent::kDivergenceBackoff), 3);
+  EXPECT_EQ(RecoveryEventSummary(), "divergence_backoff=3");
+  ResetRecoveryEvents();
+  EXPECT_EQ(RecoveryEventSummary(), "none");
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,0 +1,32 @@
+# Smoke-runs one bench binary at tiny settings and validates the JSON it
+# writes against the omnifair.bench schema. Invoked by the bench_json_smoke
+# ctest target (bench/CMakeLists.txt) as:
+#   cmake -D BENCH_BINARY=... -D CHECKER=.../check_bench_json.py
+#         -D PYTHON=... -D OUT_DIR=... -P bench_smoke.cmake
+
+foreach(required BENCH_BINARY CHECKER PYTHON OUT_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "bench_smoke.cmake: missing -D ${required}=...")
+  endif()
+endforeach()
+
+set(ENV{OMNIFAIR_BENCH_ROWS} 400)
+set(ENV{OMNIFAIR_BENCH_SEEDS} 1)
+set(ENV{OMNIFAIR_BENCH_OUT} ${OUT_DIR})
+
+execute_process(COMMAND ${BENCH_BINARY} RESULT_VARIABLE bench_result
+                OUTPUT_QUIET)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench exited with status ${bench_result}")
+endif()
+
+file(GLOB json_files ${OUT_DIR}/*.json)
+if(NOT json_files)
+  message(FATAL_ERROR "bench wrote no JSON files into ${OUT_DIR}")
+endif()
+
+execute_process(COMMAND ${PYTHON} ${CHECKER} ${json_files}
+                RESULT_VARIABLE check_result)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "bench JSON failed schema validation")
+endif()
