@@ -1,0 +1,249 @@
+// Thread-scaling study for the shared pool (DESIGN.md §10): the parallel
+// grid search (COMPAS, SP + FNR, k = 2) and the random forest at 1/2/4/hw
+// worker threads. Every parallel configuration is checked bit-identical to
+// the serial run before its timing is reported — speedup that changes the
+// answer would not count. Also measures the coefficient-cached weight
+// computation (cold build vs warm axpy) and the pool's per-task overhead
+// with telemetry on vs off.
+//
+// Extra knob: OMNIFAIR_BENCH_GRID_POINTS - grid resolution per dimension
+// (default 15, i.e. 225 fits per thread count).
+
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/grid_search.h"
+#include "core/problem.h"
+#include "core/weights.h"
+#include "ml/random_forest.h"
+#include "util/thread_pool.h"
+
+namespace omnifair {
+namespace bench {
+namespace {
+
+struct GridRun {
+  MultiTuneResult result;
+  std::vector<GridPoint> points;
+  TuneReport report;
+  double seconds = 0.0;
+};
+
+GridRun RunGridAt(const TrainValTestSplit& split,
+                  const std::vector<FairnessSpec>& specs, int points_per_dim,
+                  int num_threads) {
+  auto trainer = MakeTrainer("lr");
+  auto problem =
+      FairnessProblem::Create(split.train, split.val, specs, trainer.get());
+  OF_CHECK(problem.ok());
+  GridSearchOptions options;
+  options.points_per_dim = points_per_dim;
+  options.max_lambda = 0.4;
+  options.num_threads = num_threads;
+  const GridSearchTuner tuner(options);
+  GridRun run;
+  run.report.algorithm = "grid_search";
+  (*problem)->StartTuneReport(&run.report);
+  Stopwatch watch;
+  run.result = tuner.RunCollecting(**problem, &run.points);
+  run.seconds = watch.ElapsedSeconds();
+  (*problem)->StartTuneReport(nullptr);
+  run.report.models_trained = run.result.models_trained;
+  run.report.wall_seconds = run.seconds;
+  return run;
+}
+
+bool SameGridOutcome(const GridRun& a, const GridRun& b) {
+  if (a.result.lambdas != b.result.lambdas) return false;
+  if (a.result.satisfied != b.result.satisfied) return false;
+  if (a.result.val_accuracy != b.result.val_accuracy) return false;
+  if (a.points.size() != b.points.size()) return false;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].lambdas != b.points[i].lambdas) return false;
+    if (a.points[i].val_accuracy != b.points[i].val_accuracy) return false;
+    if (a.points[i].val_fairness_parts != b.points[i].val_fairness_parts) {
+      return false;
+    }
+    if (a.points[i].satisfied != b.points[i].satisfied) return false;
+  }
+  return true;
+}
+
+std::vector<int> ThreadCounts() {
+  std::set<int> unique = {1, 2, 4, ThreadPool::DefaultThreadCount()};
+  return {unique.begin(), unique.end()};
+}
+
+void RunGridScaling(BenchReporter& reporter, const TrainValTestSplit& split) {
+  const int points_per_dim = static_cast<int>(
+      EnvPositiveLong("OMNIFAIR_BENCH_GRID_POINTS", 15));
+  reporter.Config("points_per_dim", points_per_dim);
+  const GroupingFunction groups = MainGroups("compas");
+  const std::vector<FairnessSpec> specs = {MakeSpec(groups, "sp", 0.03),
+                                           MakeSpec(groups, "fnr", 0.03)};
+
+  PrintHeader("Grid search scaling (COMPAS, SP + FNR, LR)");
+  std::printf("%8s %10s %9s %7s %10s %10s\n", "threads", "seconds", "speedup",
+              "fits", "identical", "satisfied");
+
+  GridRun serial;
+  for (int threads : ThreadCounts()) {
+    GridRun run = RunGridAt(split, specs, points_per_dim, threads);
+    const bool is_serial = threads == 1;
+    if (is_serial) {
+      reporter.AddTrajectory("grid threads=1", run.report);
+    }
+    const bool identical = is_serial || SameGridOutcome(serial, run);
+    const double speedup =
+        run.seconds > 0.0 && !is_serial ? serial.seconds / run.seconds : 1.0;
+    std::printf("%8d %10.2f %9.2f %7d %10s %10s\n", threads, run.seconds,
+                speedup, run.result.models_trained, identical ? "yes" : "NO",
+                run.result.satisfied ? "yes" : "no");
+    reporter.AddRow("grid_scaling")
+        .Value("threads", threads)
+        .Value("seconds", run.seconds)
+        .Value("speedup", speedup)
+        .Value("models_trained", run.result.models_trained)
+        .Value("identical_to_serial", identical ? 1.0 : 0.0)
+        .Value("satisfied", run.result.satisfied ? 1.0 : 0.0)
+        .Value("val_accuracy", run.result.val_accuracy);
+    if (is_serial) serial = std::move(run);
+  }
+}
+
+void RunForestScaling(BenchReporter& reporter, const TrainValTestSplit& split) {
+  PrintHeader("Random forest scaling (COMPAS, 48 trees)");
+  std::printf("%8s %10s %12s %9s %10s\n", "threads", "fit(s)", "predict(s)",
+              "speedup", "identical");
+
+  // One shared encoding so every thread count trains on identical features.
+  auto trainer_for_encoder = MakeTrainer("lr");
+  auto problem = FairnessProblem::Create(
+      split.train, split.val,
+      {MakeSpec(MainGroups("compas"), "sp", 0.03)}, trainer_for_encoder.get());
+  OF_CHECK(problem.ok());
+  const Matrix& X = (*problem)->train_features();
+  const std::vector<int>& y = (*problem)->train().labels();
+
+  double serial_fit_seconds = 0.0;
+  std::vector<double> serial_proba;
+  for (int threads : ThreadCounts()) {
+    RandomForestOptions options;
+    options.num_trees = 48;
+    options.seed = 9;
+    options.num_threads = threads;
+    RandomForestTrainer trainer(options);
+    Stopwatch fit_watch;
+    const auto model = trainer.Fit(X, y);
+    const double fit_seconds = fit_watch.ElapsedSeconds();
+    Stopwatch predict_watch;
+    const std::vector<double> proba = model->PredictProba(X);
+    const double predict_seconds = predict_watch.ElapsedSeconds();
+
+    const bool is_serial = threads == 1;
+    if (is_serial) {
+      serial_fit_seconds = fit_seconds;
+      serial_proba = proba;
+    }
+    const bool identical = proba == serial_proba;
+    const double speedup =
+        fit_seconds > 0.0 && !is_serial ? serial_fit_seconds / fit_seconds : 1.0;
+    std::printf("%8d %10.3f %12.3f %9.2f %10s\n", threads, fit_seconds,
+                predict_seconds, speedup, identical ? "yes" : "NO");
+    reporter.AddRow("forest_scaling")
+        .Value("threads", threads)
+        .Value("fit_seconds", fit_seconds)
+        .Value("predict_seconds", predict_seconds)
+        .Value("speedup", speedup)
+        .Value("identical_to_serial", identical ? 1.0 : 0.0);
+  }
+}
+
+void RunWeightCacheTiming(BenchReporter& reporter, const TrainValTestSplit& split) {
+  PrintHeader("Coefficient-cached weight computation");
+  auto constraints = InduceConstraints(
+      {MakeSpec(MainGroups("compas"), "sp", 0.03),
+       MakeSpec(MainGroups("compas"), "fnr", 0.03)},
+      split.train);
+  OF_CHECK(constraints.ok());
+  const WeightComputer computer(*constraints, split.train);
+
+  // First call builds the (row, coefficient) terms; the rest are pure axpy
+  // over the cached arrays. Both timings land in the weights.compute_us
+  // histogram of the metrics snapshot as well.
+  Stopwatch cold_watch;
+  (void)computer.Compute({0.1, -0.1}, nullptr);
+  const double cold_us = cold_watch.ElapsedSeconds() * 1e6;
+
+  const int warm_calls = 2000;
+  Stopwatch warm_watch;
+  for (int i = 0; i < warm_calls; ++i) {
+    const double lambda = 0.4 * (i % 17) / 17.0 - 0.2;
+    (void)computer.Compute({lambda, -lambda}, nullptr);
+  }
+  const double warm_us = warm_watch.ElapsedSeconds() * 1e6 / warm_calls;
+
+  std::printf("cold build: %.1f us   warm compute: %.2f us   (n = %zu rows)\n",
+              cold_us, warm_us, split.train.NumRows());
+  reporter.AddRow("weight_cache")
+      .Value("cold_us", cold_us)
+      .Value("warm_us", warm_us)
+      .Value("rows", static_cast<double>(split.train.NumRows()));
+}
+
+void RunPoolOverhead(BenchReporter& reporter) {
+  PrintHeader("Pool per-task overhead, telemetry on vs off");
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t iterations = 200000;
+  std::atomic<size_t> sink{0};
+  const auto body = [&sink](size_t i) {
+    sink.fetch_add(i, std::memory_order_relaxed);
+  };
+
+  Stopwatch on_watch;
+  pool.ParallelFor(iterations, body);
+  const double on_ns = on_watch.ElapsedSeconds() * 1e9 / iterations;
+
+  double off_ns = 0.0;
+  {
+    ScopedTelemetryLevel off(TelemetryLevel::kOff);
+    Stopwatch off_watch;
+    pool.ParallelFor(iterations, body);
+    off_ns = off_watch.ElapsedSeconds() * 1e9 / iterations;
+  }
+  std::printf("telemetry on: %.1f ns/iter   off: %.1f ns/iter\n", on_ns, off_ns);
+  reporter.AddRow("pool_overhead")
+      .Value("telemetry_on_ns_per_iter", on_ns)
+      .Value("telemetry_off_ns_per_iter", off_ns)
+      .Value("pool_threads", static_cast<double>(pool.NumThreads()));
+}
+
+void Run(BenchReporter& reporter) {
+  reporter.Config("dataset", "compas");
+  reporter.Config("constraints", "sp+fnr");
+  reporter.Config("rows", DefaultRows("compas"));
+  reporter.Config("hardware_threads", ThreadPool::DefaultThreadCount());
+
+  const Dataset data = MakeBenchDataset("compas", 700);
+  const TrainValTestSplit split = SplitDefault(data, 800);
+
+  RunGridScaling(reporter, split);
+  RunForestScaling(reporter, split);
+  RunWeightCacheTiming(reporter, split);
+  RunPoolOverhead(reporter);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace omnifair
+
+int main() {
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "thread_scaling",
+      "Shared-pool thread scaling: grid search, random forest, weight cache");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
+}

@@ -7,8 +7,28 @@
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
+#include "util/thread_pool.h"
 
 namespace omnifair {
+
+namespace {
+
+/// The Definition 3 identity over precomputed coefficients — term-for-term
+/// the same summation as FairnessMetric::Evaluate, so cached and uncached
+/// paths produce bit-identical values.
+double EvaluateWithCoefficients(const MetricCoefficients& coef,
+                                const std::vector<size_t>& group,
+                                const std::vector<int>& predictions,
+                                const Dataset& dataset) {
+  double value = coef.c0;
+  for (size_t k = 0; k < group.size(); ++k) {
+    const size_t i = group[k];
+    if (predictions[i] == dataset.Label(i)) value += coef.c[k];
+  }
+  return value;
+}
+
+}  // namespace
 
 ConstraintEvaluator::ConstraintEvaluator(std::vector<ConstraintSpec> constraints,
                                          const Dataset& dataset)
@@ -31,6 +51,31 @@ ConstraintEvaluator::ConstraintEvaluator(std::vector<ConstraintSpec> constraints
     if (g1 != groups->end()) group1_members_[j] = g1->second;
     if (g2 != groups->end()) group2_members_[j] = g2->second;
   }
+  // Pre-resolve coefficients for prediction-independent metrics: they never
+  // change for this split, so FairnessPart can skip the per-call derivation.
+  // A metric that throws or returns misaligned coefficients simply stays
+  // uncached and keeps the legacy per-call path (including its failure mode).
+  cached_coefficients_.resize(constraints_.size());
+  for (size_t j = 0; j < constraints_.size(); ++j) {
+    if (constraints_[j].metric->DependsOnPredictions() || HasEmptyGroup(j)) {
+      continue;
+    }
+    try {
+      MetricCoefficients c1 =
+          constraints_[j].metric->Coefficients(dataset_, group1_members_[j], nullptr);
+      MetricCoefficients c2 =
+          constraints_[j].metric->Coefficients(dataset_, group2_members_[j], nullptr);
+      if (c1.c.size() != group1_members_[j].size() ||
+          c2.c.size() != group2_members_[j].size()) {
+        continue;
+      }
+      cached_coefficients_[j].group1 = std::move(c1);
+      cached_coefficients_[j].group2 = std::move(c2);
+      cached_coefficients_[j].cached = true;
+    } catch (...) {
+      // Leave uncached; the evaluation path will surface the failure.
+    }
+  }
 }
 
 bool ConstraintEvaluator::HasEmptyGroup(size_t j) const {
@@ -45,10 +90,18 @@ double ConstraintEvaluator::FairnessPart(size_t j,
   OF_COUNTER_INC("evaluator.fairness_part_evals");
   if (HasEmptyGroup(j)) return 0.0;
   const FairnessMetric& metric = *constraints_[j].metric;
-  const double part = FaultInjector::CorruptDouble(
-      fault_sites::kFairnessPart,
-      metric.Evaluate(dataset_, group1_members_[j], predictions) -
-          metric.Evaluate(dataset_, group2_members_[j], predictions));
+  double raw;
+  if (cached_coefficients_[j].cached) {
+    raw = EvaluateWithCoefficients(cached_coefficients_[j].group1,
+                                   group1_members_[j], predictions, dataset_) -
+          EvaluateWithCoefficients(cached_coefficients_[j].group2,
+                                   group2_members_[j], predictions, dataset_);
+  } else {
+    raw = metric.Evaluate(dataset_, group1_members_[j], predictions) -
+          metric.Evaluate(dataset_, group2_members_[j], predictions);
+  }
+  const double part =
+      FaultInjector::CorruptDouble(fault_sites::kFairnessPart, raw);
   if (!std::isfinite(part)) {
     // Degenerate slice (e.g. a zero-denominator rate): never leak NaN into
     // the tuner — treat the constraint as trivially satisfied this round.
@@ -67,6 +120,18 @@ std::vector<double> ConstraintEvaluator::FairnessParts(
   for (size_t j = 0; j < constraints_.size(); ++j) {
     parts[j] = FairnessPart(j, predictions);
   }
+  return parts;
+}
+
+std::vector<double> ConstraintEvaluator::FairnessParts(
+    const std::vector<int>& predictions, int num_threads) const {
+  if (num_threads <= 1 || constraints_.size() < 2) {
+    return FairnessParts(predictions);
+  }
+  std::vector<double> parts(constraints_.size());
+  ThreadPool::Global().ParallelFor(
+      constraints_.size(),
+      [&](size_t j) { parts[j] = FairnessPart(j, predictions); }, num_threads);
   return parts;
 }
 
@@ -96,6 +161,37 @@ size_t ConstraintEvaluator::MostViolated(const std::vector<int>& predictions) co
 
 bool ConstraintEvaluator::Satisfied(const std::vector<int>& predictions) const {
   return MaxViolation(predictions) <= 1e-12;
+}
+
+double ConstraintEvaluator::MaxViolationFromParts(
+    const std::vector<double>& parts) const {
+  OF_CHECK_EQ(parts.size(), constraints_.size());
+  double max_violation = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < constraints_.size(); ++j) {
+    max_violation =
+        std::max(max_violation, std::fabs(parts[j]) - constraints_[j].epsilon);
+  }
+  return max_violation;
+}
+
+size_t ConstraintEvaluator::MostViolatedFromParts(
+    const std::vector<double>& parts) const {
+  OF_CHECK_EQ(parts.size(), constraints_.size());
+  size_t best = 0;
+  double best_violation = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < constraints_.size(); ++j) {
+    const double violation = std::fabs(parts[j]) - constraints_[j].epsilon;
+    if (violation > best_violation) {
+      best_violation = violation;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool ConstraintEvaluator::SatisfiedFromParts(
+    const std::vector<double>& parts) const {
+  return MaxViolationFromParts(parts) <= 1e-12;
 }
 
 }  // namespace omnifair

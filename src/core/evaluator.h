@@ -34,6 +34,12 @@ class ConstraintEvaluator {
   /// All fairness parts at once.
   std::vector<double> FairnessParts(const std::vector<int>& predictions) const;
 
+  /// All fairness parts, evaluating constraints concurrently on the shared
+  /// pool when num_threads > 1. Each part lands in its own slot, so the
+  /// result is identical to the serial overload for any thread count.
+  std::vector<double> FairnessParts(const std::vector<int>& predictions,
+                                    int num_threads) const;
+
   /// max_j (|FP_j| - epsilon_j); <= 0 means all constraints satisfied.
   double MaxViolation(const std::vector<int>& predictions) const;
 
@@ -44,6 +50,12 @@ class ConstraintEvaluator {
   /// True when every |FP_j| <= epsilon_j.
   bool Satisfied(const std::vector<int>& predictions) const;
 
+  /// The same derivations over parts already computed by FairnessParts, so
+  /// parallel callers evaluate the metrics once per prediction vector.
+  double MaxViolationFromParts(const std::vector<double>& parts) const;
+  size_t MostViolatedFromParts(const std::vector<double>& parts) const;
+  bool SatisfiedFromParts(const std::vector<double>& parts) const;
+
   /// Group member indices for constraint j on this split.
   const std::vector<size_t>& Group1(size_t j) const { return group1_members_[j]; }
   const std::vector<size_t>& Group2(size_t j) const { return group2_members_[j]; }
@@ -51,10 +63,23 @@ class ConstraintEvaluator {
   const Dataset& dataset() const { return dataset_; }
 
  private:
+  /// λ- and prediction-independent metric coefficients, resolved once at
+  /// construction for metrics with !DependsOnPredictions(). FairnessPart
+  /// then evaluates f(h,g) = c0 + Σ c[k]·1(h=y) over the cached arrays —
+  /// the same arithmetic as FairnessMetric::Evaluate without re-deriving
+  /// the coefficients on every call. Immutable after construction, so
+  /// concurrent FairnessPart calls need no locking.
+  struct SideCoefficients {
+    bool cached = false;
+    MetricCoefficients group1;
+    MetricCoefficients group2;
+  };
+
   std::vector<ConstraintSpec> constraints_;
   const Dataset& dataset_;
   std::vector<std::vector<size_t>> group1_members_;
   std::vector<std::vector<size_t>> group2_members_;
+  std::vector<SideCoefficients> cached_coefficients_;
 };
 
 }  // namespace omnifair

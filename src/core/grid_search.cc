@@ -1,12 +1,33 @@
 #include "core/grid_search.h"
 
-#include <cmath>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/telemetry.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace omnifair {
+
+namespace {
+
+/// points_per_dim^k via checked integer multiplication. Returns false on
+/// overflow (std::pow's double rounding silently truncates large grids).
+bool GridSize(int points_per_dim, size_t k, long long* total) {
+  *total = 1;
+  for (size_t dim = 0; dim < k; ++dim) {
+    if (__builtin_mul_overflow(*total, static_cast<long long>(points_per_dim),
+                               total)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 GridSearchTuner::GridSearchTuner(GridSearchOptions options) : options_(options) {}
 
@@ -21,6 +42,16 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
   OF_CHECK_GE(options_.points_per_dim, 2);
   OF_TRACE_SPAN("grid_search");
   const int models_before = problem.models_trained();
+
+  long long total = 0;
+  if (!GridSize(options_.points_per_dim, k, &total)) {
+    MultiTuneResult result;
+    result.lambdas.assign(k, 0.0);
+    result.status = Status::InvalidArgument(
+        "grid size " + std::to_string(options_.points_per_dim) + "^" +
+        std::to_string(k) + " overflows");
+    return result;
+  }
 
   // Trajectory annotation shared by the base fit and every grid point.
   auto annotate = [&problem](const std::vector<int>& preds) {
@@ -48,49 +79,170 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
   const double lo = -options_.max_lambda;
   const double step =
       2.0 * options_.max_lambda / static_cast<double>(options_.points_per_dim - 1);
-  const long long total = static_cast<long long>(
-      std::pow(static_cast<double>(options_.points_per_dim), static_cast<double>(k)));
-
-  double best_accuracy = -1.0;
-  problem.SetTuneStage("grid");
-  for (long long index = 0; index < total; ++index) {
-    if (problem.BudgetExpired()) {
-      result.status = problem.budget()->ToStatus();
-      break;
-    }
-    OF_TRACE_SPAN("grid_point");
-    OF_COUNTER_INC("tuner.grid_points");
+  auto decode = [&](long long index, std::vector<double>* out) {
     long long rest = index;
     for (size_t dim = 0; dim < k; ++dim) {
-      lambdas[dim] = lo + step * static_cast<double>(rest % options_.points_per_dim);
+      (*out)[dim] =
+          lo + step * static_cast<double>(rest % options_.points_per_dim);
       rest /= options_.points_per_dim;
     }
-    std::unique_ptr<Classifier> model =
-        problem.FitWithLambdas(lambdas, base_model.get());
-    if (model == nullptr) {
-      // Trainer failed mid-grid: keep the best point found so far.
-      result.status = problem.last_fit_status();
-      break;
+  };
+
+  // Parallel fits need per-worker trainer clones; a trainer family without
+  // Clone() support keeps the serial path.
+  std::unique_ptr<Trainer> probe_clone;
+  if (options_.num_threads > 1 && total > 1) {
+    probe_clone = problem.trainer()->Clone();
+  }
+
+  problem.SetTuneStage("grid");
+  if (probe_clone == nullptr) {
+    // Serial path (num_threads == 1, or unclonable trainer): unchanged.
+    double best_accuracy = -1.0;
+    for (long long index = 0; index < total; ++index) {
+      if (problem.BudgetExpired()) {
+        result.status = problem.budget()->ToStatus();
+        break;
+      }
+      OF_TRACE_SPAN("grid_point");
+      OF_COUNTER_INC("tuner.grid_points");
+      decode(index, &lambdas);
+      std::unique_ptr<Classifier> model =
+          problem.FitWithLambdas(lambdas, base_model.get());
+      if (model == nullptr) {
+        // Trainer failed mid-grid: keep the best point found so far.
+        result.status = problem.last_fit_status();
+        break;
+      }
+      const std::vector<int> val_preds = problem.PredictVal(*model);
+      annotate(val_preds);
+      const bool satisfied = problem.val_evaluator().MaxViolation(val_preds) <= 1e-12;
+      const double accuracy = problem.ValAccuracy(val_preds);
+      if (points != nullptr) {
+        GridPoint point;
+        point.lambdas = lambdas;
+        point.val_accuracy = accuracy;
+        point.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+        point.satisfied = satisfied;
+        points->push_back(std::move(point));
+      }
+      if (satisfied && accuracy > best_accuracy) {
+        best_accuracy = accuracy;
+        result.model = std::move(model);
+        result.lambdas = lambdas;
+        result.satisfied = true;
+        result.val_accuracy = accuracy;
+        result.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+      }
     }
-    const std::vector<int> val_preds = problem.PredictVal(*model);
-    annotate(val_preds);
-    const bool satisfied = problem.val_evaluator().MaxViolation(val_preds) <= 1e-12;
-    const double accuracy = problem.ValAccuracy(val_preds);
-    if (points != nullptr) {
-      GridPoint point;
-      point.lambdas = lambdas;
-      point.val_accuracy = accuracy;
-      point.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
-      point.satisfied = satisfied;
-      points->push_back(std::move(point));
+  } else {
+    // Parallel path: every grid point fits on its own trainer clone; the
+    // reduction keeps the min-index argmax among satisfied points (the same
+    // point the serial strict `accuracy > best` keep-first scan selects) and
+    // merges the trajectory in index order, so the outcome is bit-identical
+    // to the serial path.
+    struct SlotResult {
+      bool attempted = false;  // a fit was issued (charged to the budget)
+      bool fit_ok = false;
+      double seconds = 0.0;
+      Status status;
+      double accuracy = 0.0;
+      bool satisfied = false;
+      std::vector<double> parts;
+      std::vector<double> point_lambdas;
+    };
+    std::vector<SlotResult> slots(static_cast<size_t>(total));
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> expired{false};
+
+    // One weight-model prediction pass instead of one per grid point.
+    std::vector<int> weight_predictions;
+    const std::vector<int>* weight_predictions_ptr = nullptr;
+    if (problem.DependsOnPredictions()) {
+      weight_predictions = problem.PredictTrain(*base_model);
+      weight_predictions_ptr = &weight_predictions;
     }
-    if (satisfied && accuracy > best_accuracy) {
-      best_accuracy = accuracy;
-      result.model = std::move(model);
-      result.lambdas = lambdas;
+
+    std::mutex best_mu;
+    std::unique_ptr<Classifier> best_model;
+    double best_accuracy = -1.0;
+    long long best_index = total;
+
+    ThreadPool::Global().ParallelFor(
+        static_cast<size_t>(total),
+        [&](size_t i) {
+          // A firewalled failure on any worker cancels the outstanding grid
+          // tasks; the budget stops exploratory fits the same way it stops
+          // the serial loop.
+          if (cancel.load(std::memory_order_relaxed)) return;
+          if (problem.BudgetExpired()) {
+            expired.store(true, std::memory_order_relaxed);
+            return;
+          }
+          OF_TRACE_SPAN("grid_point");
+          OF_COUNTER_INC("tuner.grid_points");
+          SlotResult& slot = slots[i];
+          slot.point_lambdas.resize(k);
+          decode(static_cast<long long>(i), &slot.point_lambdas);
+          std::unique_ptr<Trainer> clone = problem.trainer()->Clone();
+          FairnessProblem::ParallelFitOutcome outcome = problem.FitWithLambdasOn(
+              *clone, slot.point_lambdas, weight_predictions_ptr);
+          slot.attempted = true;
+          slot.seconds = outcome.seconds;
+          if (outcome.model == nullptr) {
+            slot.status = outcome.status;
+            cancel.store(true, std::memory_order_relaxed);
+            return;
+          }
+          slot.fit_ok = true;
+          const std::vector<int> val_preds = problem.PredictVal(*outcome.model);
+          slot.parts = problem.val_evaluator().FairnessParts(val_preds);
+          slot.satisfied =
+              problem.val_evaluator().MaxViolationFromParts(slot.parts) <= 1e-12;
+          slot.accuracy = problem.ValAccuracy(val_preds);
+          if (!slot.satisfied) return;
+          std::lock_guard<std::mutex> lock(best_mu);
+          const long long index = static_cast<long long>(i);
+          if (slot.accuracy > best_accuracy ||
+              (slot.accuracy == best_accuracy && index < best_index)) {
+            best_accuracy = slot.accuracy;
+            best_index = index;
+            best_model = std::move(outcome.model);
+          }
+        },
+        options_.num_threads);
+
+    // Merge in index order: every issued fit gets its TunePoint (so the
+    // report invariant points[i].models_trained == i + 1 matches the budget
+    // accounting), evaluated points land in `points`, and the status is the
+    // first failure by grid index.
+    for (size_t i = 0; i < slots.size(); ++i) {
+      SlotResult& slot = slots[i];
+      if (!slot.attempted) continue;
+      problem.AppendTunePoint(slot.point_lambdas, slot.fit_ok, slot.seconds);
+      if (!slot.fit_ok) {
+        if (result.status.ok()) result.status = slot.status;
+        continue;
+      }
+      problem.AnnotateLastTunePoint(slot.accuracy, slot.parts);
+      if (points != nullptr) {
+        GridPoint point;
+        point.lambdas = slot.point_lambdas;
+        point.val_accuracy = slot.accuracy;
+        point.val_fairness_parts = slot.parts;
+        point.satisfied = slot.satisfied;
+        points->push_back(std::move(point));
+      }
+    }
+    if (result.status.ok() && expired.load(std::memory_order_relaxed)) {
+      result.status = problem.budget()->ToStatus();
+    }
+    if (best_model != nullptr) {
+      result.model = std::move(best_model);
+      result.lambdas = slots[static_cast<size_t>(best_index)].point_lambdas;
       result.satisfied = true;
-      result.val_accuracy = accuracy;
-      result.val_fairness_parts = problem.val_evaluator().FairnessParts(val_preds);
+      result.val_accuracy = best_accuracy;
+      result.val_fairness_parts = slots[static_cast<size_t>(best_index)].parts;
     }
   }
 

@@ -16,6 +16,13 @@ namespace omnifair {
 struct GridSearchOptions {
   double max_lambda = 1.0;
   int points_per_dim = 9;
+  /// Worker threads for grid-point fits on the shared pool; 1 keeps the
+  /// exact serial code path. Each worker drives its own trainer clone, so
+  /// parallel runs need a Clone()-able trainer (all built-in families are);
+  /// otherwise the tuner silently falls back to serial. Results are
+  /// bit-identical to serial for any thread count: ties are broken by grid
+  /// index and TuneReport points are merged in index order.
+  int num_threads = 1;
 };
 
 /// One evaluated grid point, exposed so benches can plot satisfactory

@@ -37,9 +37,23 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
                                   problem.val_evaluator().FairnessParts(val_preds));
   }
 
+  // With worker threads the k constraint metrics of an iteration evaluate
+  // concurrently and once per prediction vector (MaxViolation / MostViolated
+  // both derive from the same parts); each part lands in its own slot, so
+  // the iteration sequence is identical to the serial path.
+  const int num_threads = options_.tune.num_threads;
+
   int consecutive_failures = 0;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    if (problem.val_evaluator().MaxViolation(val_preds) <= 1e-12) {
+    std::vector<double> parts;
+    double max_violation;
+    if (num_threads > 1) {
+      parts = problem.val_evaluator().FairnessParts(val_preds, num_threads);
+      max_violation = problem.val_evaluator().MaxViolationFromParts(parts);
+    } else {
+      max_violation = problem.val_evaluator().MaxViolation(val_preds);
+    }
+    if (max_violation <= 1e-12) {
       result.satisfied = true;
       break;
     }
@@ -51,7 +65,9 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
     OF_TRACE_SPAN("hill_climb_iteration");
     OF_COUNTER_INC("tuner.hill_climb_iterations");
     // Line 4: most violated constraint.
-    const size_t j = problem.val_evaluator().MostViolated(val_preds);
+    const size_t j = num_threads > 1
+                         ? problem.val_evaluator().MostViolatedFromParts(parts)
+                         : problem.val_evaluator().MostViolated(val_preds);
     // Line 5: Algorithm 1 on coordinate j, other coordinates fixed.
     TuneResult coordinate =
         tuner.TuneCoordinate(problem, j, &result.lambdas, model.get());

@@ -1,9 +1,11 @@
 #include "core/lambda_tuner.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/telemetry.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace omnifair {
@@ -223,11 +225,78 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
     };
     Side sides[2] = {{lemma_direction, 0.0, nullptr, theta0_ptr},
                      {-lemma_direction, 0.0, nullptr, theta0_ptr}};
+    // Concurrent probes need per-worker trainer clones and full-split fits
+    // (the subsample cache is single-threaded); otherwise stay serial.
+    std::unique_ptr<Trainer> probe_clones[2];
+    if (options_.num_threads > 1 && !subsampled_bounding) {
+      probe_clones[0] = problem.trainer()->Clone();
+      probe_clones[1] = problem.trainer()->Clone();
+    }
+    const bool parallel_probes =
+        probe_clones[0] != nullptr && probe_clones[1] != nullptr;
     problem.SetTuneStage("linear");
     for (int step = 0; step < options_.max_linear_steps && !bounded; ++step) {
       if (budget_expired()) break;
       OF_TRACE_SPAN("lambda_step");
       OF_COUNTER_INC("tuner.lambda_steps");
+      if (parallel_probes) {
+        // Fit both directions concurrently, then replay the serial
+        // resolution logic strictly in side order so the search takes the
+        // same bracket the serial walk would.
+        struct Probe {
+          std::vector<double> trial;
+          std::vector<int> weight_preds;
+          double next_magnitude = 0.0;
+          FairnessProblem::ParallelFitOutcome outcome;
+        };
+        Probe probes[2];
+        for (int s = 0; s < 2; ++s) {
+          probes[s].next_magnitude = sides[s].magnitude + options_.delta;
+          probes[s].trial = trial;
+          probes[s].trial[j] = base + sides[s].sign * probes[s].next_magnitude;
+          probes[s].weight_preds = problem.PredictTrain(*sides[s].weight_model);
+        }
+        ThreadPool::Global().ParallelFor(
+            2,
+            [&](size_t s) {
+              probes[s].outcome = problem.FitWithLambdasOn(
+                  *probe_clones[s], probes[s].trial, &probes[s].weight_preds);
+            },
+            2);
+        for (int s = 0; s < 2; ++s) {
+          Side& side = sides[s];
+          Probe& probe = probes[s];
+          const bool fit_ok = probe.outcome.model != nullptr;
+          problem.AppendTunePoint(probe.trial, fit_ok, probe.outcome.seconds);
+          // Once this step aborted or resolved, the remaining side's fit is
+          // already paid — record it, but keep the search state untouched.
+          if (aborted || bounded) continue;
+          if (!fit_ok) {
+            aborted = true;
+            search_status = probe.outcome.status;
+            continue;
+          }
+          double fp = 0.0;
+          std::unique_ptr<Classifier> kept = evaluate_and_consider(
+              std::move(probe.outcome.model), probe.trial[j], &fp);
+          if (resolved(fp)) {
+            direction = side.sign;
+            magnitude_lo = side.magnitude;
+            magnitude_hi = probe.next_magnitude;
+            theta_l = std::move(side.theta_l);
+            weight_model = theta_l != nullptr ? theta_l.get() : theta0_ptr;
+            bounded = true;
+            continue;
+          }
+          side.magnitude = probe.next_magnitude;
+          if (kept != nullptr) {
+            side.theta_l = std::move(kept);
+            side.weight_model = side.theta_l.get();
+          }
+        }
+        if (aborted) break;
+        continue;
+      }
       for (Side& side : sides) {
         const double next_magnitude = side.magnitude + options_.delta;
         trial[j] = base + side.sign * next_magnitude;

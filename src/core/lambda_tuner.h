@@ -32,6 +32,15 @@ struct TuneOptions {
   /// fits are subsampled.
   double bounding_subsample = 1.0;
   uint64_t subsample_seed = 5;
+  /// Worker threads for the linear-search bracket probes (the two direction
+  /// walks of the prediction-parameterized branch are independent within a
+  /// step and fit concurrently on trainer clones). 1 keeps the exact serial
+  /// path; the exponential and binary stages are sequentially dependent and
+  /// always run serially. The chosen model and lambda match the serial
+  /// search; the only divergence is that the step on which one direction
+  /// resolves still pays the other direction's already-started fit (at most
+  /// one extra model per coordinate tune, recorded in the TuneReport).
+  int num_threads = 1;
 };
 
 /// Outcome of one Algorithm 1 run (or one hill-climbing coordinate step).

@@ -63,9 +63,14 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
       EffectiveTelemetryLevel() >= TelemetryLevel::kCounters;
   if (record_trajectory) (*problem)->StartTuneReport(&fair.tune_report);
 
+  // The top-level thread knob flows into the tuner options; the per-field
+  // knob wins only when the top-level one is left at its serial default.
+  HillClimbOptions hill_climb = options_.hill_climb;
+  if (options_.num_threads > 1) hill_climb.tune.num_threads = options_.num_threads;
+
   if ((*problem)->NumConstraints() == 1) {
     fair.tune_report.algorithm = "lambda_tuner";
-    const LambdaTuner tuner(options_.hill_climb.tune);
+    const LambdaTuner tuner(hill_climb.tune);
     TuneResult tuned = tuner.TuneSingle(**problem);
     fair.model = std::move(tuned.model);
     fair.outcome = std::move(tuned.status);
@@ -76,7 +81,7 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
     fair.models_trained = tuned.models_trained;
   } else {
     fair.tune_report.algorithm = "hill_climb";
-    const HillClimber climber(options_.hill_climb);
+    const HillClimber climber(hill_climb);
     MultiTuneResult tuned = climber.Run(**problem);
     fair.model = std::move(tuned.model);
     fair.outcome = std::move(tuned.status);

@@ -32,6 +32,16 @@ struct OmniFairOptions {
   /// returns the best model found, with FairModel::outcome set to
   /// DEADLINE_EXCEEDED (DESIGN.md §8).
   TrainBudgetOptions budget;
+  /// Worker threads for the tuning search (DESIGN.md §10). 1 (the default)
+  /// keeps every code path exactly serial. Values > 1 are copied into the
+  /// embedded TuneOptions (hill_climb.tune.num_threads), running the
+  /// λ-search probe fits and the per-iteration constraint evaluation
+  /// concurrently on the shared process pool; the selected model and λ are
+  /// identical to a serial run. Setting hill_climb.tune.num_threads
+  /// directly works too; this top-level knob only overrides when > 1.
+  /// (The pool itself is sized by OMNIFAIR_THREADS / the hardware, this
+  /// caps how much of it one Train call uses.)
+  int num_threads = 1;
   /// Observability knob (DESIGN.md §9). Unset inherits the process-global
   /// level (default: counters + TuneReport, no spans). Set it to
   /// TelemetryLevel::kOff for an explicit zero-overhead Train — no counters,

@@ -65,13 +65,18 @@ void FairnessProblem::StartTuneReport(TuneReport* report) {
 
 void FairnessProblem::RecordTunePoint(const std::vector<double>& lambdas,
                                       bool fit_ok) {
+  AppendTunePoint(lambdas, fit_ok, tune_stopwatch_.ElapsedSeconds());
+}
+
+void FairnessProblem::AppendTunePoint(const std::vector<double>& lambdas,
+                                      bool fit_ok, double seconds) {
   if (tune_report_ == nullptr) return;
   TunePoint point;
   point.lambdas = lambdas;
   point.stage = tune_stage_;
   point.fit_ok = fit_ok;
   point.models_trained = static_cast<int>(tune_report_->points.size()) + 1;
-  point.seconds = tune_stopwatch_.ElapsedSeconds();
+  point.seconds = seconds;
   tune_report_->points.push_back(std::move(point));
 }
 
@@ -129,6 +134,50 @@ std::unique_ptr<Classifier> FairnessProblem::FirewalledFit(
   }
   fit_status_ = Status::Ok();
   return model;
+}
+
+FairnessProblem::ParallelFitOutcome FairnessProblem::FitWithLambdasOn(
+    Trainer& trainer, const std::vector<double>& lambdas,
+    const std::vector<int>* weight_predictions) {
+  ParallelFitOutcome outcome;
+  std::vector<double> weights =
+      weight_computer_->Compute(lambdas, weight_predictions);
+  size_t clamped = 0;
+  for (double& w : weights) {
+    if (!std::isfinite(w)) {
+      w = 0.0;
+      ++clamped;
+    }
+  }
+  if (clamped > 0) {
+    CountRecoveryEvent(RecoveryEvent::kNonFiniteWeight);
+    OF_LOG(Warning) << "clamped " << clamped << " non-finite example weights to 0";
+  }
+
+  models_trained_.fetch_add(1, std::memory_order_relaxed);
+  if (budget_ != nullptr) budget_->NoteModelTrained();
+  OF_COUNTER_INC("trainer.fits");
+  OF_TRACE_SPAN("trainer_fit");
+  OF_SCOPED_LATENCY_US("trainer.fit_us");
+
+  try {
+    outcome.model = trainer.Fit(X_train_, train_->labels(), weights);
+  } catch (const std::exception& e) {
+    outcome.status = Status::Internal(std::string("trainer threw: ") + e.what());
+  } catch (...) {
+    outcome.status = Status::Internal("trainer threw a non-std exception");
+  }
+  if (!outcome.status.ok()) {
+    CountRecoveryEvent(RecoveryEvent::kTrainerException);
+    OF_COUNTER_INC("trainer.fit_failures");
+    OF_LOG(Warning) << "exception firewall: " << outcome.status.message();
+    outcome.model = nullptr;
+  } else if (outcome.model == nullptr) {
+    OF_COUNTER_INC("trainer.fit_failures");
+    outcome.status = Status::Internal("trainer returned a null model");
+  }
+  outcome.seconds = tune_stopwatch_.ElapsedSeconds();
+  return outcome;
 }
 
 std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(

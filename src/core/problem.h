@@ -1,6 +1,7 @@
 #ifndef OMNIFAIR_CORE_PROBLEM_H_
 #define OMNIFAIR_CORE_PROBLEM_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -58,6 +59,27 @@ class FairnessProblem {
   /// derive their own weights). Counts towards models_trained().
   std::unique_ptr<Classifier> FitWithWeights(const std::vector<double>& weights);
 
+  /// Outcome of one thread-safe exploratory fit (see FitWithLambdasOn).
+  struct ParallelFitOutcome {
+    std::unique_ptr<Classifier> model;
+    /// Why `model` is null; kOk on success.
+    Status status;
+    /// Tune-stopwatch reading when the fit completed (TunePoint::seconds).
+    double seconds = 0.0;
+  };
+
+  /// Thread-safe variant of FitWithLambdas for parallel tuners: drives the
+  /// supplied trainer clone instead of the problem's trainer, runs behind
+  /// the same exception firewall, and charges models_trained() and the
+  /// budget atomically — but never touches the TuneReport or
+  /// last_fit_status() (workers report through the returned outcome; the
+  /// reduction thread merges TunePoints via AppendTunePoint).
+  /// `weight_predictions` are precomputed train-split predictions of the
+  /// weight model; nullptr iff no metric is prediction-parameterized.
+  ParallelFitOutcome FitWithLambdasOn(Trainer& trainer,
+                                      const std::vector<double>& lambdas,
+                                      const std::vector<int>* weight_predictions);
+
   /// Like FitWithLambdas but trains on a deterministic row subsample of the
   /// training split (fraction in (0, 1]; 1.0 falls through to the full
   /// fit). Weights are derived on the full split and then subset. This is
@@ -89,7 +111,9 @@ class FairnessProblem {
 
   /// Number of trainer invocations so far (the efficiency currency of the
   /// paper's Figures 5/6).
-  int models_trained() const { return models_trained_; }
+  int models_trained() const {
+    return models_trained_.load(std::memory_order_relaxed);
+  }
 
   /// Why the most recent Fit* call returned nullptr (kOk after a success).
   const Status& last_fit_status() const { return fit_status_; }
@@ -114,6 +138,11 @@ class FairnessProblem {
   /// Tuners call this right after evaluating a fitted model on validation.
   void AnnotateLastTunePoint(double val_accuracy,
                              std::vector<double> val_fairness_parts);
+  /// Appends one TunePoint with an explicit completion time (no-op unless
+  /// recording). Parallel tuners call this from the reduction thread, in
+  /// grid-index order, with each worker's FitWithLambdasOn outcome.
+  void AppendTunePoint(const std::vector<double>& lambdas, bool fit_ok,
+                       double seconds);
   /// epsilon_j for every induced constraint (TuneReport header data).
   std::vector<double> Epsilons() const;
 
@@ -138,7 +167,7 @@ class FairnessProblem {
   std::unique_ptr<ConstraintEvaluator> val_evaluator_;
   std::vector<ConstraintSpec> constraints_;
   Trainer* trainer_ = nullptr;
-  int models_trained_ = 0;
+  std::atomic<int> models_trained_{0};
   Status fit_status_;
   TrainBudget* budget_ = nullptr;
   TuneReport* tune_report_ = nullptr;  // caller-owned; null = not recording

@@ -20,6 +20,82 @@ bool WeightComputer::DependsOnPredictions() const {
   return false;
 }
 
+std::shared_ptr<const WeightComputer::CoefficientCache> WeightComputer::GetCache(
+    const std::vector<double>& lambdas,
+    const std::vector<int>* predictions) const {
+  const Dataset& train = evaluator_.dataset();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::shared_ptr<const CoefficientCache> current = cache_;
+  // Decide which entries this call needs and whether the snapshot covers
+  // them. Entries for constraints with λ = 0 are never needed (the uncached
+  // loop skipped them too, which is what lets all-zero Λ run without
+  // predictions).
+  bool valid = current != nullptr;
+  for (size_t j = 0; valid && j < lambdas.size(); ++j) {
+    if (lambdas[j] == 0.0 || evaluator_.HasEmptyGroup(j)) continue;
+    const CacheEntry& entry = current->entries[j];
+    if (!entry.built) valid = false;
+    if (entry.depends_on_predictions &&
+        (!current->has_predictions || predictions == nullptr ||
+         current->predictions != *predictions)) {
+      valid = false;
+    }
+  }
+  if (valid) return current;
+
+  auto rebuilt = std::make_shared<CoefficientCache>();
+  if (current != nullptr) {
+    rebuilt->entries = current->entries;
+  } else {
+    rebuilt->entries.resize(lambdas.size());
+  }
+  // The cache holds one predictions snapshot; if it changes, every
+  // prediction-dependent entry is stale — including ones this call does not
+  // need — so drop them all rather than re-keying stale terms.
+  const bool predictions_changed =
+      current == nullptr || !current->has_predictions ||
+      predictions == nullptr || current->predictions != *predictions;
+  if (predictions_changed) {
+    for (size_t j = 0; j < rebuilt->entries.size(); ++j) {
+      if (evaluator_.constraint(j).metric->DependsOnPredictions()) {
+        rebuilt->entries[j].built = false;
+      }
+    }
+  }
+  if (predictions != nullptr) {
+    rebuilt->has_predictions = true;
+    rebuilt->predictions = *predictions;
+  }
+  for (size_t j = 0; j < lambdas.size(); ++j) {
+    if (lambdas[j] == 0.0 || evaluator_.HasEmptyGroup(j)) continue;
+    CacheEntry& entry = rebuilt->entries[j];
+    const ConstraintSpec& constraint = evaluator_.constraint(j);
+    entry.depends_on_predictions = constraint.metric->DependsOnPredictions();
+    if (entry.built) continue;  // still fresh (stale ones were dropped above)
+    const std::vector<size_t>& group1 = evaluator_.Group1(j);
+    const std::vector<size_t>& group2 = evaluator_.Group2(j);
+    const MetricCoefficients coef1 =
+        constraint.metric->Coefficients(train, group1, predictions);
+    const MetricCoefficients coef2 =
+        constraint.metric->Coefficients(train, group2, predictions);
+    entry.terms.clear();
+    entry.terms.reserve(group1.size() + group2.size());
+    // Group1 terms first (+c), then group2 (−c), in member order — the same
+    // accumulation order as the direct loop. (n·λ)·(−c) ≡ −((n·λ)·c) exactly
+    // in IEEE arithmetic, so folding the sign into the cached coefficient
+    // keeps the weights bit-identical.
+    for (size_t k = 0; k < group1.size(); ++k) {
+      entry.terms.emplace_back(group1[k], coef1.c[k]);
+    }
+    for (size_t k = 0; k < group2.size(); ++k) {
+      entry.terms.emplace_back(group2[k], -coef2.c[k]);
+    }
+    entry.built = true;
+  }
+  cache_ = rebuilt;
+  return rebuilt;
+}
+
 std::vector<double> WeightComputer::Compute(const std::vector<double>& lambdas,
                                             const std::vector<int>* predictions) const {
   OF_CHECK_EQ(lambdas.size(), evaluator_.NumConstraints());
@@ -35,27 +111,25 @@ std::vector<double> WeightComputer::Compute(const std::vector<double>& lambdas,
   if (all_zero) return weights;  // w_i(0) = 1 regardless of predictions
 
   for (size_t j = 0; j < lambdas.size(); ++j) {
-    const double lambda = lambdas[j];
-    if (lambda == 0.0 || evaluator_.HasEmptyGroup(j)) continue;
+    if (lambdas[j] == 0.0 || evaluator_.HasEmptyGroup(j)) continue;
     const ConstraintSpec& constraint = evaluator_.constraint(j);
     if (constraint.metric->DependsOnPredictions()) {
       OF_CHECK(predictions != nullptr)
           << "metric " << constraint.metric->Name()
           << " needs predictions to derive weights (linear-search path)";
     }
-    const std::vector<size_t>& group1 = evaluator_.Group1(j);
-    const std::vector<size_t>& group2 = evaluator_.Group2(j);
-    const MetricCoefficients coef1 =
-        constraint.metric->Coefficients(train, group1, predictions);
-    const MetricCoefficients coef2 =
-        constraint.metric->Coefficients(train, group2, predictions);
+  }
+
+  const std::shared_ptr<const CoefficientCache> cache =
+      GetCache(lambdas, predictions);
+  for (size_t j = 0; j < lambdas.size(); ++j) {
+    const double lambda = lambdas[j];
+    if (lambda == 0.0 || evaluator_.HasEmptyGroup(j)) continue;
     // w_i += N * lambda * c_i^{g1}  for i in g1,
     // w_i -= N * lambda * c_i^{g2}  for i in g2 (overlap adds both).
-    for (size_t k = 0; k < group1.size(); ++k) {
-      weights[group1[k]] += n * lambda * coef1.c[k];
-    }
-    for (size_t k = 0; k < group2.size(); ++k) {
-      weights[group2[k]] -= n * lambda * coef2.c[k];
+    const double factor = n * lambda;
+    for (const auto& [row, c] : cache->entries[j].terms) {
+      weights[row] += factor * c;
     }
   }
 

@@ -1,6 +1,9 @@
 #ifndef OMNIFAIR_CORE_WEIGHTS_H_
 #define OMNIFAIR_CORE_WEIGHTS_H_
 
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/evaluator.h"
@@ -47,7 +50,34 @@ class WeightComputer {
   const ConstraintEvaluator& train_evaluator() const { return evaluator_; }
 
  private:
+  /// λ-independent per-constraint axpy terms: (row, signed coefficient)
+  /// pairs, group1 members first (+c), then group2 members (−c), in member
+  /// order. Compute(λ) then reduces to w[row] += (n·λ)·c over the cached
+  /// terms — the same association and summation order as the uncached loop,
+  /// so weights are bit-identical. Entries for prediction-parameterized
+  /// metrics are rebuilt whenever the supplied predictions differ from the
+  /// ones the cache was built with; all other entries are built once.
+  struct CacheEntry {
+    bool built = false;
+    bool depends_on_predictions = false;
+    std::vector<std::pair<size_t, double>> terms;
+  };
+  struct CoefficientCache {
+    bool has_predictions = false;
+    std::vector<int> predictions;  // snapshot backing the dependent entries
+    std::vector<CacheEntry> entries;
+  };
+
+  /// Returns a cache snapshot valid for (lambdas, predictions), building or
+  /// rebuilding entries under the mutex when needed. Thread-safe; returned
+  /// snapshots are immutable.
+  std::shared_ptr<const CoefficientCache> GetCache(
+      const std::vector<double>& lambdas,
+      const std::vector<int>* predictions) const;
+
   ConstraintEvaluator evaluator_;
+  mutable std::mutex cache_mu_;
+  mutable std::shared_ptr<const CoefficientCache> cache_;
 };
 
 }  // namespace omnifair

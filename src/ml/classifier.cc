@@ -2,6 +2,13 @@
 
 namespace omnifair {
 
+void Classifier::AccumulateProba(const Matrix& X, size_t row_begin,
+                                 size_t row_end,
+                                 std::vector<double>& proba) const {
+  const std::vector<double> all = PredictProba(X);
+  for (size_t i = row_begin; i < row_end; ++i) proba[i] += all[i];
+}
+
 std::vector<int> Classifier::Predict(const Matrix& X) const {
   const std::vector<double> proba = PredictProba(X);
   std::vector<int> labels(proba.size());

@@ -20,6 +20,14 @@ class Classifier {
   /// Hard 0/1 predictions; the default thresholds PredictProba at 0.5.
   virtual std::vector<int> Predict(const Matrix& X) const;
 
+  /// Adds P(y = 1 | x) for rows [row_begin, row_end) of X into
+  /// proba[row_begin..row_end). The default computes PredictProba over all of
+  /// X and adds the slice; models with cheap per-row prediction override it
+  /// to skip the temporary (the random forest accumulates every tree straight
+  /// into the caller's buffer).
+  virtual void AccumulateProba(const Matrix& X, size_t row_begin,
+                               size_t row_end, std::vector<double>& proba) const;
+
   /// Model family name ("logistic_regression", "random_forest", ...).
   virtual std::string Name() const = 0;
 };
@@ -46,6 +54,12 @@ class Trainer {
   std::unique_ptr<Classifier> Fit(const Matrix& X, const std::vector<int>& y);
 
   virtual std::string Name() const = 0;
+
+  /// A fresh trainer of the same family with the same hyperparameters and no
+  /// warm-start state, safe to drive from another thread. Returns nullptr
+  /// when the family does not support cloning; parallel tuners then fall
+  /// back to the serial path.
+  virtual std::unique_ptr<Trainer> Clone() const { return nullptr; }
 
   /// Whether this trainer can reuse the previous fit as initialization.
   virtual bool SupportsWarmStart() const { return false; }

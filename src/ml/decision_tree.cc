@@ -170,6 +170,12 @@ std::vector<double> DecisionTreeModel::PredictProba(const Matrix& X) const {
   return proba;
 }
 
+void DecisionTreeModel::AccumulateProba(const Matrix& X, size_t row_begin,
+                                        size_t row_end,
+                                        std::vector<double>& proba) const {
+  for (size_t i = row_begin; i < row_end; ++i) proba[i] += PredictRow(X.Row(i));
+}
+
 int DecisionTreeModel::Depth() const {
   // Iterative depth computation over the flat array.
   std::vector<int> depth(nodes_.size(), 0);

@@ -40,6 +40,9 @@ class DecisionTreeModel : public Classifier {
   explicit DecisionTreeModel(std::vector<Node> nodes);
 
   std::vector<double> PredictProba(const Matrix& X) const override;
+  /// Per-row traversal straight into the output buffer — no temporary.
+  void AccumulateProba(const Matrix& X, size_t row_begin, size_t row_end,
+                       std::vector<double>& proba) const override;
   std::string Name() const override { return "decision_tree"; }
 
   size_t NumNodes() const { return nodes_.size(); }
@@ -66,6 +69,9 @@ class DecisionTreeTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "decision_tree"; }
+  std::unique_ptr<Trainer> Clone() const override {
+    return std::make_unique<DecisionTreeTrainer>(options_);
+  }
 
  private:
   DecisionTreeOptions options_;

@@ -74,6 +74,9 @@ class GbdtTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "gbdt"; }
+  std::unique_ptr<Trainer> Clone() const override {
+    return std::make_unique<GbdtTrainer>(options_);
+  }
 
  private:
   GbdtOptions options_;

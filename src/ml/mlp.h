@@ -59,6 +59,9 @@ class MlpTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "mlp"; }
+  std::unique_ptr<Trainer> Clone() const override {
+    return std::make_unique<MlpTrainer>(options_);
+  }
   bool SupportsWarmStart() const override { return true; }
   void SetWarmStart(bool enabled) override { warm_start_ = enabled; }
   void ResetWarmStart() override { warm_params_.clear(); }

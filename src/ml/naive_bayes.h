@@ -55,6 +55,9 @@ class NaiveBayesTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "naive_bayes"; }
+  std::unique_ptr<Trainer> Clone() const override {
+    return std::make_unique<NaiveBayesTrainer>(options_);
+  }
 
  private:
   NaiveBayesOptions options_;

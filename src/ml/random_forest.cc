@@ -1,26 +1,48 @@
 #include "ml/random_forest.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/telemetry.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace omnifair {
 
-RandomForestModel::RandomForestModel(std::vector<std::unique_ptr<Classifier>> trees)
-    : trees_(std::move(trees)) {
+namespace {
+// Rows per PredictProba task: large enough to amortize scheduling, small
+// enough to load-balance across workers on bench-sized datasets.
+constexpr size_t kPredictChunkRows = 256;
+}  // namespace
+
+RandomForestModel::RandomForestModel(std::vector<std::unique_ptr<Classifier>> trees,
+                                     int num_threads)
+    : trees_(std::move(trees)), num_threads_(std::max(1, num_threads)) {
   OF_CHECK(!trees_.empty());
 }
 
 std::vector<double> RandomForestModel::PredictProba(const Matrix& X) const {
-  std::vector<double> proba(X.rows(), 0.0);
-  for (const auto& tree : trees_) {
-    const std::vector<double> tree_proba = tree->PredictProba(X);
-    for (size_t i = 0; i < proba.size(); ++i) proba[i] += tree_proba[i];
+  const size_t n = X.rows();
+  std::vector<double> proba(n, 0.0);
+  auto accumulate_rows = [&](size_t begin, size_t end) {
+    for (const auto& tree : trees_) tree->AccumulateProba(X, begin, end, proba);
+  };
+  if (num_threads_ <= 1 || n < 2 * kPredictChunkRows) {
+    accumulate_rows(0, n);
+  } else {
+    // Disjoint row chunks: no write overlap, and each row still sums its
+    // trees in index order, so the result matches the serial path bit for
+    // bit.
+    const size_t chunks = (n + kPredictChunkRows - 1) / kPredictChunkRows;
+    ThreadPool::Global().ParallelFor(
+        chunks,
+        [&](size_t c) {
+          const size_t begin = c * kPredictChunkRows;
+          accumulate_rows(begin, std::min(n, begin + kPredictChunkRows));
+        },
+        num_threads_);
   }
   const double inv = 1.0 / static_cast<double>(trees_.size());
   for (double& p : proba) p *= inv;
@@ -79,21 +101,12 @@ std::unique_ptr<Classifier> RandomForestTrainer::Fit(
   if (num_threads == 1) {
     for (int t = 0; t < options_.num_trees; ++t) build_tree(t);
   } else {
-    std::atomic<int> next_tree{0};
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (int w = 0; w < num_threads; ++w) {
-      workers.emplace_back([&] {
-        while (true) {
-          const int t = next_tree.fetch_add(1);
-          if (t >= options_.num_trees) break;
-          build_tree(t);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
+    ThreadPool::Global().ParallelFor(
+        static_cast<size_t>(options_.num_trees),
+        [&](size_t t) { build_tree(static_cast<int>(t)); }, num_threads);
   }
-  return std::make_unique<RandomForestModel>(std::move(trees));
+  return std::make_unique<RandomForestModel>(std::move(trees),
+                                             options_.num_threads);
 }
 
 }  // namespace omnifair

@@ -29,7 +29,12 @@ struct RandomForestOptions {
 /// probability across trees.
 class RandomForestModel : public Classifier {
  public:
-  explicit RandomForestModel(std::vector<std::unique_ptr<Classifier>> trees);
+  /// `num_threads` parallelizes PredictProba over disjoint row chunks on the
+  /// shared pool; 1 keeps prediction fully sequential. Either way every row's
+  /// probability sums the trees in index order, so results are identical for
+  /// any thread count.
+  explicit RandomForestModel(std::vector<std::unique_ptr<Classifier>> trees,
+                             int num_threads = 1);
 
   std::vector<double> PredictProba(const Matrix& X) const override;
   std::string Name() const override { return "random_forest"; }
@@ -39,6 +44,7 @@ class RandomForestModel : public Classifier {
 
  private:
   std::vector<std::unique_ptr<Classifier>> trees_;
+  int num_threads_ = 1;
 };
 
 /// Weighted random forest. Example weights are folded into the bootstrap:
@@ -54,6 +60,9 @@ class RandomForestTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "random_forest"; }
+  std::unique_ptr<Trainer> Clone() const override {
+    return std::make_unique<RandomForestTrainer>(options_);
+  }
 
  private:
   RandomForestOptions options_;

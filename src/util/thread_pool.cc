@@ -1,0 +1,238 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "util/telemetry.h"
+
+namespace omnifair {
+
+namespace {
+
+// Which pool (if any) owns the current thread, and its queue index there.
+// Lets Enqueue push to the worker's own queue and lets nested ParallelFor
+// detect that the caller is already a pool worker.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+// Shared between ParallelFor participants. Iterations are claimed one at a
+// time from `next`; the first exception wins and flips `cancelled` so the
+// remaining unclaimed iterations are abandoned.
+struct ParallelForState {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr exception;  // guarded by mu
+  int active = 0;                // helper tasks still outstanding, guarded by mu
+};
+
+void RunClaimLoop(ParallelForState& state,
+                  const std::function<void(size_t)>& body, size_t n) {
+  while (!state.cancelled.load(std::memory_order_relaxed)) {
+    const size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (!state.exception) state.exception = std::current_exception();
+      state.cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("OMNIFAIR_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<int>(std::min<long>(parsed, 1024));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  // Capture the submitter's effective level so instrumentation inside the
+  // task (including a ScopedTelemetryLevel override active at the call site)
+  // behaves the same as it would inline.
+  const TelemetryLevel level = EffectiveTelemetryLevel();
+  auto wrapped = [level, task = std::move(task)]() {
+    ScopedTelemetryLevel scoped(level);
+    OF_COUNTER_INC("pool.tasks");
+    OF_SCOPED_LATENCY_US("pool.task_us");
+    task();
+  };
+  size_t index;
+  if (tls_pool == this && tls_worker >= 0) {
+    index = static_cast<size_t>(tls_worker);
+  } else {
+    index = round_robin_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    Queue& queue = *queues_[index];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    queue.tasks.push_back(std::move(wrapped));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++queued_;
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_pool = this;
+  tls_worker = worker_index;
+  std::function<void()> task;
+  while (NextTask(worker_index, &task)) {
+    task();
+    task = nullptr;
+  }
+}
+
+bool ThreadPool::NextTask(int worker_index, std::function<void()>* task) {
+  const int n = static_cast<int>(queues_.size());
+  for (;;) {
+    bool found = false;
+    {
+      Queue& queue = *queues_[worker_index];
+      std::lock_guard<std::mutex> lock(queue.mu);
+      if (!queue.tasks.empty()) {
+        *task = std::move(queue.tasks.back());
+        queue.tasks.pop_back();
+        found = true;
+      }
+    }
+    if (!found) {
+      for (int offset = 1; offset < n && !found; ++offset) {
+        Queue& queue = *queues_[(worker_index + offset) % n];
+        std::lock_guard<std::mutex> lock(queue.mu);
+        if (!queue.tasks.empty()) {
+          *task = std::move(queue.tasks.front());
+          queue.tasks.pop_front();
+          found = true;
+        }
+      }
+      if (found) OF_COUNTER_INC("pool.steal");
+    }
+    if (found) {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      --queued_;
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (queued_ == 0) {
+      if (stop_) return false;
+      wake_cv_.wait(lock, [this] { return queued_ > 0 || stop_; });
+      if (queued_ == 0) return false;  // woken by stop with nothing to drain
+    }
+    // queued_ > 0: a push raced our scan; rescan the queues.
+  }
+}
+
+bool ThreadPool::TryRunOneTask() {
+  const size_t n = queues_.size();
+  const size_t start =
+      (tls_pool == this && tls_worker >= 0) ? static_cast<size_t>(tls_worker) : 0;
+  std::function<void()> task;
+  bool found = false;
+  for (size_t offset = 0; offset < n && !found; ++offset) {
+    Queue& queue = *queues_[(start + offset) % n];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (!queue.tasks.empty()) {
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+      found = true;
+    }
+  }
+  if (!found) return false;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    --queued_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                             int max_parallelism) {
+  if (n == 0) return;
+  const size_t limit = max_parallelism <= 0
+                           ? static_cast<size_t>(NumThreads()) + 1
+                           : static_cast<size_t>(max_parallelism);
+  size_t helpers = 0;
+  if (limit > 1 && n > 1) {
+    helpers = std::min({static_cast<size_t>(NumThreads()), n - 1, limit - 1});
+  }
+  if (helpers == 0) {
+    // Serial fast path: no shared state, no synchronization, exceptions
+    // propagate directly.
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>();
+  for (size_t h = 0; h < helpers; ++h) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->active;
+    }
+    // Each helper holds its own copy of `body`'s wrapper; the referenced
+    // callable outlives it because the caller joins below before returning.
+    Enqueue([state, body, n] {
+      RunClaimLoop(*state, body, n);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->active;
+      }
+      state->cv.notify_all();
+    });
+  }
+  RunClaimLoop(*state, body, n);
+  // Help-first join: instead of blocking on queued-but-unstarted helpers
+  // (which deadlocks when every worker is itself joining), run pending pool
+  // tasks on this thread until our helpers have all finished.
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (state->active > 0) {
+    lock.unlock();
+    const bool ran = TryRunOneTask();
+    lock.lock();
+    if (!ran && state->active > 0) {
+      state->cv.wait_for(lock, std::chrono::milliseconds(1),
+                         [&] { return state->active == 0; });
+    }
+  }
+  if (state->exception) std::rethrow_exception(state->exception);
+}
+
+}  // namespace omnifair

@@ -17,9 +17,9 @@ bool TrainBudget::Expired() const {
   if (!limited()) return false;
   const bool deadline_hit =
       options_.deadline_seconds > 0.0 && ElapsedSeconds() >= options_.deadline_seconds;
-  const bool cap_hit = options_.max_models > 0 && models_trained_ >= options_.max_models;
-  if ((deadline_hit || cap_hit) && !expiry_logged_) {
-    expiry_logged_ = true;
+  const bool cap_hit =
+      options_.max_models > 0 && models_trained() >= options_.max_models;
+  if ((deadline_hit || cap_hit) && !expiry_logged_.exchange(true)) {
     CountRecoveryEvent(RecoveryEvent::kBudgetExpired);
     OF_LOG(Warning) << "train budget expired ("
                     << (deadline_hit ? "deadline" : "model cap")
@@ -31,7 +31,7 @@ bool TrainBudget::Expired() const {
 Status TrainBudget::ToStatus() const {
   if (!Expired()) return Status::Ok();
   std::ostringstream message;
-  message << "train budget expired after " << models_trained_ << " models / "
+  message << "train budget expired after " << models_trained() << " models / "
           << ElapsedSeconds() << "s";
   if (options_.deadline_seconds > 0.0) {
     message << " (deadline " << options_.deadline_seconds << "s)";

@@ -1,6 +1,8 @@
 #ifndef OMNIFAIR_UTIL_TRAIN_BUDGET_H_
 #define OMNIFAIR_UTIL_TRAIN_BUDGET_H_
 
+#include <atomic>
+
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -25,15 +27,20 @@ class TrainBudget {
  public:
   explicit TrainBudget(TrainBudgetOptions options = {});
 
-  /// Registers one trainer invocation against the model cap.
-  void NoteModelTrained() { ++models_trained_; }
+  /// Registers one trainer invocation against the model cap. Thread-safe:
+  /// parallel grid workers charge the shared budget concurrently.
+  void NoteModelTrained() {
+    models_trained_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   bool limited() const {
     return options_.deadline_seconds > 0.0 || options_.max_models > 0;
   }
   /// Seconds since construction, including injected clock skew.
   double ElapsedSeconds() const;
-  int models_trained() const { return models_trained_; }
+  int models_trained() const {
+    return models_trained_.load(std::memory_order_relaxed);
+  }
 
   /// True once the deadline has passed or the model cap is reached. The
   /// first expiry is counted as a RecoveryEvent and logged.
@@ -46,8 +53,8 @@ class TrainBudget {
  private:
   TrainBudgetOptions options_;
   Stopwatch stopwatch_;
-  int models_trained_ = 0;
-  mutable bool expiry_logged_ = false;
+  std::atomic<int> models_trained_{0};
+  mutable std::atomic<bool> expiry_logged_{false};
 };
 
 }  // namespace omnifair

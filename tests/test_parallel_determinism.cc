@@ -1,0 +1,331 @@
+// Bit-identity contracts of the parallel tuner paths (DESIGN.md §10): for
+// any thread count, the parallel grid search, random forest, λ-tuner probes
+// and cached weight computation must reproduce the serial results exactly —
+// same doubles, same TuneReport trajectory, same chosen model.
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "core/lambda_tuner.h"
+#include "core/omnifair.h"
+#include "core/problem.h"
+#include "core/weights.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "tests/testing_fairness.h"
+
+namespace omnifair {
+namespace {
+
+using testing_fairness::AlternatingPredictions;
+using testing_fairness::MakeBiasedDataset;
+
+std::vector<FairnessSpec> TwoConstraintSpecs(double epsilon) {
+  return {MakeSpec(GroupByAttribute("grp"), "sp", epsilon),
+          MakeSpec(GroupByAttribute("grp"), "fnr", epsilon)};
+}
+
+struct GridRun {
+  MultiTuneResult result;
+  std::vector<GridPoint> points;
+  TuneReport report;
+};
+
+GridRun RunGrid(const Dataset& train, const Dataset& val,
+                const std::vector<FairnessSpec>& specs, int num_threads,
+                int points_per_dim = 7) {
+  LogisticRegressionTrainer trainer;
+  auto problem = FairnessProblem::Create(train, val, specs, &trainer);
+  EXPECT_TRUE(problem.ok()) << problem.status();
+  GridSearchOptions options;
+  options.points_per_dim = points_per_dim;
+  options.max_lambda = 0.4;
+  options.num_threads = num_threads;
+  const GridSearchTuner tuner(options);
+  GridRun run;
+  run.report.algorithm = "grid_search";
+  (*problem)->StartTuneReport(&run.report);
+  run.result = tuner.RunCollecting(**problem, &run.points);
+  (*problem)->StartTuneReport(nullptr);
+  return run;
+}
+
+void ExpectSameResult(const MultiTuneResult& serial, const MultiTuneResult& parallel) {
+  EXPECT_EQ(serial.satisfied, parallel.satisfied);
+  ASSERT_EQ(serial.lambdas.size(), parallel.lambdas.size());
+  for (size_t j = 0; j < serial.lambdas.size(); ++j) {
+    EXPECT_EQ(serial.lambdas[j], parallel.lambdas[j]) << "lambda " << j;
+  }
+  EXPECT_EQ(serial.val_accuracy, parallel.val_accuracy);
+  ASSERT_EQ(serial.val_fairness_parts.size(), parallel.val_fairness_parts.size());
+  for (size_t j = 0; j < serial.val_fairness_parts.size(); ++j) {
+    EXPECT_EQ(serial.val_fairness_parts[j], parallel.val_fairness_parts[j]);
+  }
+  EXPECT_EQ(serial.models_trained, parallel.models_trained);
+}
+
+TEST(ParallelDeterminism, GridSearchBitIdenticalToSerialAcrossSeeds) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    const Dataset data = MakeBiasedDataset(1200, 0.7, 0.3, seed);
+    const GridRun serial = RunGrid(data, data, TwoConstraintSpecs(0.05), 1);
+    const GridRun parallel = RunGrid(data, data, TwoConstraintSpecs(0.05), 4);
+
+    ExpectSameResult(serial.result, parallel.result);
+
+    // Every evaluated grid point matches, in the same order.
+    ASSERT_EQ(serial.points.size(), parallel.points.size()) << "seed " << seed;
+    for (size_t p = 0; p < serial.points.size(); ++p) {
+      EXPECT_EQ(serial.points[p].lambdas, parallel.points[p].lambdas);
+      EXPECT_EQ(serial.points[p].val_accuracy, parallel.points[p].val_accuracy);
+      EXPECT_EQ(serial.points[p].val_fairness_parts,
+                parallel.points[p].val_fairness_parts);
+      EXPECT_EQ(serial.points[p].satisfied, parallel.points[p].satisfied);
+    }
+
+    // The TuneReport trajectory is merged in grid-index order and keeps the
+    // models_trained invariant (seconds are wall-clock and may differ).
+    ASSERT_EQ(serial.report.points.size(), parallel.report.points.size());
+    for (size_t p = 0; p < serial.report.points.size(); ++p) {
+      const TunePoint& s = serial.report.points[p];
+      const TunePoint& q = parallel.report.points[p];
+      EXPECT_EQ(s.lambdas, q.lambdas) << "point " << p;
+      EXPECT_EQ(s.stage, q.stage);
+      EXPECT_EQ(s.fit_ok, q.fit_ok);
+      EXPECT_EQ(s.evaluated, q.evaluated);
+      EXPECT_EQ(s.val_accuracy, q.val_accuracy);
+      EXPECT_EQ(s.val_fairness_parts, q.val_fairness_parts);
+      EXPECT_EQ(q.models_trained, static_cast<int>(p) + 1);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, RandomForestFitAndPredictMatchSerial) {
+  const Dataset data = MakeBiasedDataset(800, 0.7, 0.3, 21);
+  LogisticRegressionTrainer encoder_helper;  // encoder via a FairnessProblem
+  auto problem = FairnessProblem::Create(
+      data, data, {MakeSpec(GroupByAttribute("grp"), "sp", 0.05)}, &encoder_helper);
+  ASSERT_TRUE(problem.ok());
+  const Matrix& X = (*problem)->train_features();
+  const std::vector<int>& y = (*problem)->train().labels();
+
+  RandomForestOptions serial_options;
+  serial_options.num_trees = 12;
+  serial_options.seed = 5;
+  serial_options.num_threads = 1;
+  RandomForestOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+
+  RandomForestTrainer serial_trainer(serial_options);
+  RandomForestTrainer parallel_trainer(parallel_options);
+  const auto serial_model = serial_trainer.Fit(X, y);
+  const auto parallel_model = parallel_trainer.Fit(X, y);
+
+  const std::vector<double> serial_proba = serial_model->PredictProba(X);
+  const std::vector<double> parallel_proba = parallel_model->PredictProba(X);
+  ASSERT_EQ(serial_proba.size(), parallel_proba.size());
+  for (size_t i = 0; i < serial_proba.size(); ++i) {
+    ASSERT_EQ(serial_proba[i], parallel_proba[i]) << "row " << i;
+  }
+}
+
+TEST(ParallelDeterminism, BudgetExpiryMidGridReturnsBestEffort) {
+  const Dataset data = MakeBiasedDataset(900, 0.7, 0.3, 31);
+  LogisticRegressionTrainer trainer;
+  auto problem =
+      FairnessProblem::Create(data, data, TwoConstraintSpecs(0.05), &trainer);
+  ASSERT_TRUE(problem.ok());
+  TrainBudget budget({/*deadline_seconds=*/0.0, /*max_models=*/3});
+  (*problem)->set_budget(&budget);
+
+  GridSearchOptions options;
+  options.points_per_dim = 7;  // 49 points, far beyond the budget
+  options.num_threads = 4;
+  const GridSearchTuner tuner(options);
+  MultiTuneResult result = tuner.Run(**problem);
+  (*problem)->set_budget(nullptr);
+
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  ASSERT_NE(result.model, nullptr);  // best-effort model always returned
+  // In-flight fits may overshoot the cap by at most the worker count.
+  EXPECT_LE(result.models_trained, 3 + 4 + 1);
+}
+
+/// Clonable trainer that fails deterministically after a shared number of
+/// fits, for exercising the firewall + cancellation path of the parallel
+/// grid. Clones share the countdown, as parallel grid workers share a
+/// training budget.
+class FailAfterTrainer : public Trainer {
+ public:
+  FailAfterTrainer(std::shared_ptr<std::atomic<int>> remaining)
+      : remaining_(std::move(remaining)) {}
+
+  std::unique_ptr<Classifier> Fit(const Matrix& X, const std::vector<int>& y,
+                                  const std::vector<double>& weights) override {
+    if (remaining_->fetch_sub(1) <= 0) throw std::runtime_error("synthetic failure");
+    return inner_.Fit(X, y, weights);
+  }
+  std::string Name() const override { return "fail_after"; }
+  std::unique_ptr<Trainer> Clone() const override {
+    return std::make_unique<FailAfterTrainer>(remaining_);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> remaining_;
+  LogisticRegressionTrainer inner_;
+};
+
+TEST(ParallelDeterminism, FirewalledFailureCancelsGridAndKeepsBestSoFar) {
+  const Dataset data = MakeBiasedDataset(900, 0.7, 0.3, 41);
+  auto remaining = std::make_shared<std::atomic<int>>(6);
+  FailAfterTrainer trainer(remaining);
+  auto problem =
+      FairnessProblem::Create(data, data, TwoConstraintSpecs(0.05), &trainer);
+  ASSERT_TRUE(problem.ok());
+
+  GridSearchOptions options;
+  options.points_per_dim = 7;
+  options.num_threads = 4;
+  const GridSearchTuner tuner(options);
+  TuneReport report;
+  (*problem)->StartTuneReport(&report);
+  MultiTuneResult result = tuner.RunCollecting(**problem, nullptr);
+  (*problem)->StartTuneReport(nullptr);
+
+  // The failure is surfaced, a best-effort model is still returned, and the
+  // cancellation kept the fit count far below the full 49-point grid.
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_LT(result.models_trained, 20);
+  // Every charged fit has its TunePoint, failed ones included.
+  EXPECT_EQ(static_cast<int>(report.points.size()), result.models_trained);
+  bool saw_failure = false;
+  for (const TunePoint& point : report.points) saw_failure |= !point.fit_ok;
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(ParallelDeterminism, LambdaTunerFdrProbesMatchSerial) {
+  const Dataset data = MakeBiasedDataset(2000, 0.7, 0.3, 51);
+  std::vector<size_t> train_idx, val_idx;
+  for (size_t i = 0; i < 1400; ++i) train_idx.push_back(i);
+  for (size_t i = 1400; i < 2000; ++i) val_idx.push_back(i);
+  const Dataset train = data.SelectRows(train_idx);
+  const Dataset val = data.SelectRows(val_idx);
+  const std::vector<FairnessSpec> specs = {
+      MakeSpec(GroupByAttribute("grp"), "fdr", 0.04)};
+
+  auto run = [&](int num_threads) {
+    LogisticRegressionTrainer trainer;
+    auto problem = FairnessProblem::Create(train, val, specs, &trainer);
+    EXPECT_TRUE(problem.ok());
+    TuneOptions options;
+    options.num_threads = num_threads;
+    const LambdaTuner tuner(options);
+    return tuner.TuneSingle(**problem);
+  };
+  const TuneResult serial = run(1);
+  const TuneResult parallel = run(2);
+
+  // Same chosen λ, same model quality; the parallel walk may pay for the
+  // other direction's already-started fit on the resolving step only.
+  EXPECT_EQ(serial.lambda, parallel.lambda);
+  EXPECT_EQ(serial.satisfied, parallel.satisfied);
+  EXPECT_EQ(serial.val_accuracy, parallel.val_accuracy);
+  ASSERT_EQ(serial.val_fairness_parts.size(), parallel.val_fairness_parts.size());
+  for (size_t j = 0; j < serial.val_fairness_parts.size(); ++j) {
+    EXPECT_EQ(serial.val_fairness_parts[j], parallel.val_fairness_parts[j]);
+  }
+  EXPECT_GE(parallel.models_trained, serial.models_trained);
+  EXPECT_LE(parallel.models_trained, serial.models_trained + 2);
+}
+
+TEST(ParallelDeterminism, WeightComputerCacheMatchesFreshComputer) {
+  const Dataset train = MakeBiasedDataset(600, 0.7, 0.3, 61);
+  auto specs = InduceConstraints(
+      {MakeSpec(GroupByAttribute("grp"), "sp", 0.05),
+       MakeSpec(GroupByAttribute("grp"), "fdr", 0.05)},
+      train);
+  ASSERT_TRUE(specs.ok());
+
+  const std::vector<int> preds_a = AlternatingPredictions(train.NumRows());
+  std::vector<int> preds_b = preds_a;
+  for (size_t i = 0; i < preds_b.size(); i += 3) preds_b[i] = 1 - preds_b[i];
+
+  WeightComputer cached(*specs, train);
+  const std::vector<std::vector<double>> lambda_points = {
+      {0.0, 0.0}, {0.1, 0.0}, {0.1, -0.2}, {-0.3, 0.05}, {0.1, -0.2}};
+  for (const std::vector<double>& lambdas : lambda_points) {
+    const std::vector<int>* prediction_sequence[] = {&preds_a, &preds_b, &preds_a};
+    for (const std::vector<int>* preds : prediction_sequence) {
+      // A fresh computer has a cold cache, so this cross-checks every warm
+      // result (including after prediction-snapshot invalidation) against
+      // the from-scratch computation.
+      WeightComputer fresh(*specs, train);
+      const std::vector<double> warm = cached.Compute(lambdas, preds);
+      const std::vector<double> cold = fresh.Compute(lambdas, preds);
+      ASSERT_EQ(warm.size(), cold.size());
+      for (size_t i = 0; i < warm.size(); ++i) {
+        ASSERT_EQ(warm[i], cold[i]) << "row " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, EvaluatorParallelPartsMatchSerial) {
+  const Dataset data = MakeBiasedDataset(700, 0.7, 0.3, 71);
+  auto specs = InduceConstraints(
+      {MakeSpec(GroupByAttribute("grp"), "sp", 0.05),
+       MakeSpec(GroupByAttribute("grp"), "fnr", 0.05),
+       MakeSpec(GroupByAttribute("grp"), "fdr", 0.05)},
+      data);
+  ASSERT_TRUE(specs.ok());
+  const ConstraintEvaluator evaluator(*specs, data);
+  const std::vector<int> preds = AlternatingPredictions(data.NumRows());
+
+  const std::vector<double> serial = evaluator.FairnessParts(preds);
+  const std::vector<double> parallel = evaluator.FairnessParts(preds, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t j = 0; j < serial.size(); ++j) {
+    EXPECT_EQ(serial[j], parallel[j]) << "constraint " << j;
+  }
+  EXPECT_EQ(evaluator.MaxViolation(preds), evaluator.MaxViolationFromParts(serial));
+  EXPECT_EQ(evaluator.MostViolated(preds), evaluator.MostViolatedFromParts(serial));
+  EXPECT_EQ(evaluator.Satisfied(preds), evaluator.SatisfiedFromParts(serial));
+}
+
+TEST(ParallelDeterminism, OmniFairTrainEndToEndMatchesSerial) {
+  const Dataset data = MakeBiasedDataset(1500, 0.7, 0.3, 81);
+  std::vector<size_t> train_idx, val_idx;
+  for (size_t i = 0; i < 1000; ++i) train_idx.push_back(i);
+  for (size_t i = 1000; i < 1500; ++i) val_idx.push_back(i);
+  const Dataset train = data.SelectRows(train_idx);
+  const Dataset val = data.SelectRows(val_idx);
+
+  auto run = [&](int num_threads) {
+    LogisticRegressionTrainer trainer;
+    OmniFairOptions options;
+    options.num_threads = num_threads;
+    OmniFair omnifair(options);
+    return omnifair.Train(train, val, &trainer, TwoConstraintSpecs(0.05));
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  EXPECT_EQ(serial->satisfied, parallel->satisfied);
+  ASSERT_EQ(serial->lambdas.size(), parallel->lambdas.size());
+  for (size_t j = 0; j < serial->lambdas.size(); ++j) {
+    EXPECT_EQ(serial->lambdas[j], parallel->lambdas[j]) << "lambda " << j;
+  }
+  EXPECT_EQ(serial->val_accuracy, parallel->val_accuracy);
+  EXPECT_EQ(serial->val_fairness_parts, parallel->val_fairness_parts);
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -1,22 +1,47 @@
 #!/usr/bin/env bash
-# Builds the test suite with AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs it. Uses a dedicated build tree (build-sanitized/) so the regular
-# build/ stays untouched.
+# Builds the test suite under sanitizers and runs it, in a dedicated build
+# tree so the regular build/ stays untouched.
 #
-# Usage: tools/run_sanitized_tests.sh [extra ctest args...]
+# Modes (selected by the OMNIFAIR_SANITIZE environment variable):
+#   default / unset        AddressSanitizer + UBSan over the full suite
+#                          (build-sanitized/)
+#   OMNIFAIR_SANITIZE=thread
+#                          ThreadSanitizer over the concurrency-labelled
+#                          tests only (build-tsan/): the thread pool, the
+#                          parallel tuner determinism suite, and telemetry.
+#                          TSan is incompatible with ASan, hence the
+#                          separate tree and mode.
+#
+# Usage: [OMNIFAIR_SANITIZE=thread] tools/run_sanitized_tests.sh [extra ctest args...]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${repo_root}/build-sanitized"
+mode="${OMNIFAIR_SANITIZE:-address}"
+
+if [[ "${mode}" == "thread" ]]; then
+  build_dir="${repo_root}/build-tsan"
+  sanitizers="thread"
+  ctest_args=(-L concurrency)
+else
+  build_dir="${repo_root}/build-sanitized"
+  sanitizers="address;undefined"
+  ctest_args=()
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DOMNIFAIR_SANITIZE="address;undefined" \
+  -DOMNIFAIR_SANITIZE="${sanitizers}" \
   -DOMNIFAIR_BUILD_BENCHMARKS=OFF \
   -DOMNIFAIR_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)"
 
-# halt_on_error makes UBSan findings fail the run instead of just logging.
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-export ASAN_OPTIONS="detect_leaks=1"
-ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+if [[ "${mode}" == "thread" ]]; then
+  # second_deadlock_stack gives both lock orders on reported inversions.
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+else
+  # halt_on_error makes UBSan findings fail the run instead of just logging.
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  export ASAN_OPTIONS="detect_leaks=1"
+fi
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  "${ctest_args[@]}" "$@"
