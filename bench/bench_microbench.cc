@@ -8,6 +8,7 @@
 
 #include "bench/bench_common.h"
 #include "core/problem.h"
+#include "linalg/vector_ops.h"
 
 namespace omnifair {
 namespace bench {
@@ -32,6 +33,35 @@ struct MicroFixture {
     problem = std::move(*created);
   }
 };
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = 0.25 + static_cast<double>(i % 31);
+    b[i] = 1.5 - static_cast<double>(i % 17);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Axpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> a(n, 0.0);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = 1.0 + static_cast<double>(i % 13);
+  for (auto _ : state) {
+    Axpy(1e-9, b, &a);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Axpy)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_WeightComputation(benchmark::State& state) {
   MicroFixture fx("lr");

@@ -8,8 +8,25 @@ namespace omnifair {
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   OF_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  const size_t n = a.size();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  // Four independent accumulators break the loop-carried add dependency so
+  // the FP units pipeline; the sum order differs from a single accumulator
+  // by O(eps) — callers treat Dot as an unordered reduction.
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += pa[i] * pb[i];
+    acc1 += pa[i + 1] * pb[i + 1];
+    acc2 += pa[i + 2] * pb[i + 2];
+    acc3 += pa[i + 3] * pb[i + 3];
+  }
+  double acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += pa[i] * pb[i];
   return acc;
 }
 
@@ -17,7 +34,19 @@ double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
 
 void Axpy(double scale, const std::vector<double>& b, std::vector<double>* a) {
   OF_CHECK_EQ(a->size(), b.size());
-  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += scale * b[i];
+  const size_t n = b.size();
+  double* pa = a->data();
+  const double* pb = b.data();
+  // Elementwise, so unrolling only widens the window for the scheduler —
+  // every a[i] gets exactly the same update as the plain loop.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    pa[i] += scale * pb[i];
+    pa[i + 1] += scale * pb[i + 1];
+    pa[i + 2] += scale * pb[i + 2];
+    pa[i + 3] += scale * pb[i + 3];
+  }
+  for (; i < n; ++i) pa[i] += scale * pb[i];
 }
 
 void Scale(double scale, std::vector<double>* v) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/binning.h"
 #include "ml/classifier.h"
 #include "util/random.h"
 
@@ -22,6 +23,16 @@ struct DecisionTreeOptions {
   /// otherwise a random subset (used by RandomForestTrainer).
   size_t max_features = 0;
   uint64_t seed = 7;
+  /// Split search strategy (DESIGN.md §11). kExact is the seed behavior and
+  /// stays bit-identical to it; kHistogram pre-quantizes X once and scans
+  /// bin histograms per node.
+  SplitMethod split_method = SplitMethod::kExact;
+  /// Bins per feature in histogram mode (clamped to [2, 255]).
+  int max_bins = 255;
+  /// Worker threads for histogram builds (binning + per-feature node
+  /// histograms); 1 keeps the exact serial path. Results are bit-identical
+  /// for any value.
+  int num_threads = 1;
 };
 
 /// A fitted CART tree stored as a flat node array.
@@ -56,10 +67,11 @@ class DecisionTreeModel : public Classifier {
   std::vector<Node> nodes_;
 };
 
-/// Weighted CART with exact split search (per-node sort) on the weighted
-/// Gini impurity. Trees optimize accuracy without an explicit loss function,
-/// which is exactly why the paper needs a model-agnostic mechanism — the
-/// only fairness hook available here is the example weights.
+/// Weighted CART on the weighted Gini impurity, with exact (per-node sort)
+/// or histogram (pre-quantized bins) split search. Trees optimize accuracy
+/// without an explicit loss function, which is exactly why the paper needs a
+/// model-agnostic mechanism — the only fairness hook available here is the
+/// example weights.
 class DecisionTreeTrainer : public Trainer {
  public:
   explicit DecisionTreeTrainer(DecisionTreeOptions options = {});
@@ -69,12 +81,21 @@ class DecisionTreeTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "decision_tree"; }
-  std::unique_ptr<Trainer> Clone() const override {
-    return std::make_unique<DecisionTreeTrainer>(options_);
+  /// The clone shares this trainer's BinningCache, so parallel tuners that
+  /// fit every grid point on its own clone still bin X exactly once.
+  std::unique_ptr<Trainer> Clone() const override;
+
+  /// Hands the trainer a pre-built binning for the upcoming Fit (used by
+  /// RandomForestTrainer so all trees of a forest share one BinnedMatrix).
+  /// Ignored in exact mode or when it does not match the fitted X.
+  void SetBinnedMatrix(std::shared_ptr<const BinnedMatrix> binned) {
+    preset_binned_ = std::move(binned);
   }
 
  private:
   DecisionTreeOptions options_;
+  std::shared_ptr<BinningCache> bin_cache_;
+  std::shared_ptr<const BinnedMatrix> preset_binned_;
 };
 
 }  // namespace omnifair

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/binning.h"
 #include "ml/classifier.h"
 
 namespace omnifair {
@@ -26,6 +27,17 @@ struct GbdtOptions {
   /// leaf values damped by another factor of 2, at most this many times
   /// before boosting stops with the ensemble built so far.
   int max_divergence_retries = 3;
+  /// Split search strategy (DESIGN.md §11). kExact is the seed behavior and
+  /// stays bit-identical to it; kHistogram pre-quantizes X once per fit (and
+  /// once per tuning run via the shared BinningCache) and scans bin
+  /// histograms per node.
+  SplitMethod split_method = SplitMethod::kExact;
+  /// Bins per feature in histogram mode (clamped to [2, 255]).
+  int max_bins = 255;
+  /// Worker threads for histogram builds and chunked prediction; 1 keeps
+  /// the exact serial paths. Fitted trees and predictions are bit-identical
+  /// for any value.
+  int num_threads = 1;
 };
 
 /// A regression tree over (gradient, hessian) statistics: internal nodes
@@ -42,10 +54,17 @@ struct GbdtTreeNode {
 /// An XGBoost-style boosted ensemble for binary classification.
 class GbdtModel : public Classifier {
  public:
+  /// `num_threads` parallelizes PredictProba/PredictRaw over disjoint row
+  /// chunks on the shared pool (mirroring RandomForestModel); 1 keeps
+  /// prediction fully sequential. Either way each row sums its trees in
+  /// index order, so results are identical for any thread count.
   GbdtModel(std::vector<std::vector<GbdtTreeNode>> trees, double base_score,
-            double learning_rate);
+            double learning_rate, int num_threads = 1);
 
   std::vector<double> PredictProba(const Matrix& X) const override;
+  /// Per-row traversal straight into the output buffer — no temporary.
+  void AccumulateProba(const Matrix& X, size_t row_begin, size_t row_end,
+                       std::vector<double>& proba) const override;
   std::string Name() const override { return "gbdt"; }
 
   size_t NumTrees() const { return trees_.size(); }
@@ -56,9 +75,12 @@ class GbdtModel : public Classifier {
   std::vector<double> PredictRaw(const Matrix& X) const;
 
  private:
+  double PredictRawRow(const double* row) const;
+
   std::vector<std::vector<GbdtTreeNode>> trees_;
   double base_score_;
   double learning_rate_;
+  int num_threads_ = 1;
 };
 
 /// Gradient-boosted decision trees with the second-order (Newton) logistic
@@ -74,12 +96,20 @@ class GbdtTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "gbdt"; }
-  std::unique_ptr<Trainer> Clone() const override {
-    return std::make_unique<GbdtTrainer>(options_);
+  /// The clone shares this trainer's BinningCache, so parallel tuners that
+  /// fit every grid point on its own clone still bin X exactly once.
+  std::unique_ptr<Trainer> Clone() const override;
+
+  /// Hands the trainer a pre-built binning for upcoming Fits. Ignored in
+  /// exact mode or when it does not match the fitted X.
+  void SetBinnedMatrix(std::shared_ptr<const BinnedMatrix> binned) {
+    preset_binned_ = std::move(binned);
   }
 
  private:
   GbdtOptions options_;
+  std::shared_ptr<BinningCache> bin_cache_;
+  std::shared_ptr<const BinnedMatrix> preset_binned_;
 };
 
 }  // namespace omnifair

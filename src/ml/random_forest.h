@@ -23,6 +23,13 @@ struct RandomForestOptions {
   /// up-front, so the fitted forest is identical for any thread count
   /// (the paper's future-work note on parallel model training).
   int num_threads = 4;
+  /// Split search strategy for every tree (DESIGN.md §11). kExact is the
+  /// seed behavior; kHistogram bins X once per fit (and once per tuning run
+  /// via the shared BinningCache) and every tree reuses the same
+  /// BinnedMatrix.
+  SplitMethod split_method = SplitMethod::kExact;
+  /// Bins per feature in histogram mode (clamped to [2, 255]).
+  int max_bins = 255;
 };
 
 /// Bagged ensemble of weighted CART trees; probability = mean leaf
@@ -60,12 +67,13 @@ class RandomForestTrainer : public Trainer {
   using Trainer::Fit;
 
   std::string Name() const override { return "random_forest"; }
-  std::unique_ptr<Trainer> Clone() const override {
-    return std::make_unique<RandomForestTrainer>(options_);
-  }
+  /// The clone shares this trainer's BinningCache, so parallel tuners that
+  /// fit every grid point on its own clone still bin X exactly once.
+  std::unique_ptr<Trainer> Clone() const override;
 
  private:
   RandomForestOptions options_;
+  std::shared_ptr<BinningCache> bin_cache_;
 };
 
 }  // namespace omnifair

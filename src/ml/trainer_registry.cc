@@ -14,18 +14,22 @@ std::unique_ptr<Trainer> MakeTrainer(const std::string& name, uint64_t seed) {
   if (name == "lr") {
     return std::make_unique<LogisticRegressionTrainer>();
   }
-  if (name == "dt") {
+  if (name == "dt" || name == "dt_hist") {
     DecisionTreeOptions options;
     options.seed = seed;
+    if (name == "dt_hist") options.split_method = SplitMethod::kHistogram;
     return std::make_unique<DecisionTreeTrainer>(options);
   }
-  if (name == "rf") {
+  if (name == "rf" || name == "rf_hist") {
     RandomForestOptions options;
     options.seed = seed;
+    if (name == "rf_hist") options.split_method = SplitMethod::kHistogram;
     return std::make_unique<RandomForestTrainer>(options);
   }
-  if (name == "xgb") {
-    return std::make_unique<GbdtTrainer>();
+  if (name == "xgb" || name == "xgb_hist") {
+    GbdtOptions options;
+    if (name == "xgb_hist") options.split_method = SplitMethod::kHistogram;
+    return std::make_unique<GbdtTrainer>(options);
   }
   if (name == "nb") {
     return std::make_unique<NaiveBayesTrainer>();

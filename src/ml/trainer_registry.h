@@ -16,6 +16,9 @@ namespace omnifair {
 ///   "xgb" -> GbdtTrainer
 ///   "nn"  -> MlpTrainer
 ///   "nb"  -> NaiveBayesTrainer
+/// Tree families also accept a "_hist" suffix ("dt_hist", "rf_hist",
+/// "xgb_hist") selecting SplitMethod::kHistogram (DESIGN.md §11) with the
+/// default bin count; everything else about the family is unchanged.
 /// Aborts on unknown names (programmer error).
 std::unique_ptr<Trainer> MakeTrainer(const std::string& name, uint64_t seed = 42);
 

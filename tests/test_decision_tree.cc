@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/problem.h"
+#include "data/datasets.h"
+#include "ml/logistic_regression.h"
 #include "tests/testing_data.h"
 
 namespace omnifair {
@@ -11,6 +14,28 @@ using testing_data::Blobs;
 using testing_data::MakeBlobs;
 using testing_data::MakeXor;
 using testing_data::TrainAccuracy;
+
+std::vector<DecisionTreeModel::Node> FitNodes(const Blobs& blobs,
+                                              const DecisionTreeOptions& options) {
+  DecisionTreeTrainer trainer(options);
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto* tree = dynamic_cast<const DecisionTreeModel*>(model.get());
+  EXPECT_NE(tree, nullptr);
+  return tree->nodes();
+}
+
+void ExpectSameNodes(const std::vector<DecisionTreeModel::Node>& a,
+                     const std::vector<DecisionTreeModel::Node>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].is_leaf, b[i].is_leaf) << "node " << i;
+    EXPECT_EQ(a[i].feature, b[i].feature) << "node " << i;
+    EXPECT_EQ(a[i].threshold, b[i].threshold) << "node " << i;
+    EXPECT_EQ(a[i].left, b[i].left) << "node " << i;
+    EXPECT_EQ(a[i].right, b[i].right) << "node " << i;
+    EXPECT_EQ(a[i].probability, b[i].probability) << "node " << i;
+  }
+}
 
 TEST(DecisionTreeTest, LearnsXor) {
   const Blobs xor_data = MakeXor(600, 1);
@@ -85,6 +110,62 @@ TEST(DecisionTreeTest, DeterministicWithFullFeatures) {
   const auto ma = a.Fit(xor_data.X, xor_data.y, xor_data.unit_weights);
   const auto mb = b.Fit(xor_data.X, xor_data.y, xor_data.unit_weights);
   EXPECT_EQ(ma->Predict(xor_data.X), mb->Predict(xor_data.X));
+}
+
+TEST(DecisionTreeHistogramTest, LearnsXor) {
+  const Blobs xor_data = MakeXor(600, 1);
+  DecisionTreeOptions options;
+  options.split_method = SplitMethod::kHistogram;
+  DecisionTreeTrainer trainer(options);
+  const auto model = trainer.Fit(xor_data.X, xor_data.y, xor_data.unit_weights);
+  EXPECT_GE(TrainAccuracy(*model, xor_data), 0.95);
+}
+
+TEST(DecisionTreeHistogramTest, ThreadCountDoesNotChangeTree) {
+  // Determinism contract (DESIGN.md §11): same seed => bit-identical nodes
+  // at 1 and N threads, because every per-feature fill is a serial scan.
+  const Blobs blobs = MakeBlobs(4000, 0.8, 9);
+  DecisionTreeOptions serial;
+  serial.split_method = SplitMethod::kHistogram;
+  serial.max_bins = 64;
+  serial.num_threads = 1;
+  DecisionTreeOptions parallel = serial;
+  parallel.num_threads = 4;
+  ExpectSameNodes(FitNodes(blobs, serial), FitNodes(blobs, parallel));
+}
+
+TEST(DecisionTreeHistogramTest, MatchesExactAccuracyOnSyntheticAdult) {
+  SyntheticOptions data_options;
+  data_options.num_rows = 3000;
+  data_options.seed = 19;
+  const Dataset data = MakeAdultDataset(data_options);
+  LogisticRegressionTrainer encoder_helper;  // encoder via a FairnessProblem
+  auto problem = FairnessProblem::Create(
+      data, data,
+      {MakeSpec(GroupByAttributeValues("sex", {"Male", "Female"}), "sp", 0.05)},
+      &encoder_helper);
+  ASSERT_TRUE(problem.ok()) << problem.status();
+  const Matrix& X = (*problem)->train_features();
+  const std::vector<int>& y = (*problem)->train().labels();
+
+  DecisionTreeOptions exact;
+  DecisionTreeOptions hist = exact;
+  hist.split_method = SplitMethod::kHistogram;
+  DecisionTreeTrainer exact_trainer(exact);
+  DecisionTreeTrainer hist_trainer(hist);
+  const double exact_acc = Accuracy(y, exact_trainer.Fit(X, y)->Predict(X));
+  const double hist_acc = Accuracy(y, hist_trainer.Fit(X, y)->Predict(X));
+  EXPECT_NEAR(hist_acc, exact_acc, 0.02);
+}
+
+TEST(DecisionTreeHistogramTest, CoarseBinsStillLearn) {
+  const Blobs blobs = MakeBlobs(800, 2.0, 12);
+  DecisionTreeOptions options;
+  options.split_method = SplitMethod::kHistogram;
+  options.max_bins = 8;
+  DecisionTreeTrainer trainer(options);
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.95);
 }
 
 TEST(DecisionTreeTest, MinWeightLeafPreventsTinySplits) {

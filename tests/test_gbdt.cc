@@ -3,6 +3,9 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "core/problem.h"
+#include "data/datasets.h"
+#include "ml/logistic_regression.h"
 #include "tests/testing_data.h"
 
 namespace omnifair {
@@ -12,6 +15,32 @@ using testing_data::Blobs;
 using testing_data::MakeBlobs;
 using testing_data::MakeXor;
 using testing_data::TrainAccuracy;
+
+std::vector<std::vector<GbdtTreeNode>> FitTrees(const Blobs& blobs,
+                                                const GbdtOptions& options) {
+  GbdtTrainer trainer(options);
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto* gbdt = dynamic_cast<const GbdtModel*>(model.get());
+  EXPECT_NE(gbdt, nullptr);
+  return gbdt->trees();
+}
+
+void ExpectSameTrees(const std::vector<std::vector<GbdtTreeNode>>& a,
+                     const std::vector<std::vector<GbdtTreeNode>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].size(), b[t].size()) << "tree " << t;
+    for (size_t i = 0; i < a[t].size(); ++i) {
+      EXPECT_EQ(a[t][i].is_leaf, b[t][i].is_leaf) << "tree " << t << " node " << i;
+      EXPECT_EQ(a[t][i].feature, b[t][i].feature) << "tree " << t << " node " << i;
+      EXPECT_EQ(a[t][i].threshold, b[t][i].threshold)
+          << "tree " << t << " node " << i;
+      EXPECT_EQ(a[t][i].left, b[t][i].left) << "tree " << t << " node " << i;
+      EXPECT_EQ(a[t][i].right, b[t][i].right) << "tree " << t << " node " << i;
+      EXPECT_EQ(a[t][i].value, b[t][i].value) << "tree " << t << " node " << i;
+    }
+  }
+}
 
 TEST(GbdtTest, LearnsXor) {
   const Blobs xor_data = MakeXor(600, 1);
@@ -85,6 +114,73 @@ TEST(GbdtTest, ZeroWeightExamplesIgnored) {
   GbdtTrainer trainer;
   const auto model = trainer.Fit(corrupted.X, corrupted.y, weights);
   EXPECT_GE(TrainAccuracy(*model, blobs), 0.93);
+}
+
+TEST(GbdtHistogramTest, LearnsXor) {
+  const Blobs xor_data = MakeXor(600, 1);
+  GbdtOptions options;
+  options.split_method = SplitMethod::kHistogram;
+  GbdtTrainer trainer(options);
+  const auto model = trainer.Fit(xor_data.X, xor_data.y, xor_data.unit_weights);
+  EXPECT_GE(TrainAccuracy(*model, xor_data), 0.95);
+}
+
+TEST(GbdtHistogramTest, ThreadCountDoesNotChangeEnsemble) {
+  // Determinism contract (DESIGN.md §11): same seed => bit-identical trees
+  // at 1 and N threads.
+  const Blobs blobs = MakeBlobs(4000, 0.8, 10);
+  GbdtOptions serial;
+  serial.split_method = SplitMethod::kHistogram;
+  serial.max_bins = 64;
+  serial.num_rounds = 10;
+  serial.num_threads = 1;
+  GbdtOptions parallel = serial;
+  parallel.num_threads = 4;
+  ExpectSameTrees(FitTrees(blobs, serial), FitTrees(blobs, parallel));
+}
+
+TEST(GbdtHistogramTest, ParallelPredictMatchesSerial) {
+  const Blobs blobs = MakeBlobs(3000, 1.0, 11);
+  GbdtOptions options;
+  options.num_rounds = 10;
+  GbdtTrainer trainer(options);
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto* serial = dynamic_cast<const GbdtModel*>(model.get());
+  ASSERT_NE(serial, nullptr);
+  // Same trees, prediction chunked over 4 workers: must match bit for bit.
+  GbdtModel parallel(serial->trees(), serial->base_score(),
+                     serial->learning_rate(), /*num_threads=*/4);
+  EXPECT_EQ(serial->PredictProba(blobs.X), parallel.PredictProba(blobs.X));
+  std::vector<double> acc_serial(blobs.X.rows(), 0.0);
+  std::vector<double> acc_parallel(blobs.X.rows(), 0.0);
+  serial->AccumulateProba(blobs.X, 0, blobs.X.rows(), acc_serial);
+  parallel.AccumulateProba(blobs.X, 0, blobs.X.rows(), acc_parallel);
+  EXPECT_EQ(acc_serial, acc_parallel);
+}
+
+TEST(GbdtHistogramTest, MatchesExactAccuracyOnSyntheticCompas) {
+  SyntheticOptions data_options;
+  data_options.num_rows = 3000;
+  data_options.seed = 23;
+  const Dataset data = MakeCompasDataset(data_options);
+  LogisticRegressionTrainer encoder_helper;  // encoder via a FairnessProblem
+  auto problem = FairnessProblem::Create(
+      data, data,
+      {MakeSpec(GroupByAttributeValues("race", {"African-American", "Caucasian"}),
+                "sp", 0.05)},
+      &encoder_helper);
+  ASSERT_TRUE(problem.ok()) << problem.status();
+  const Matrix& X = (*problem)->train_features();
+  const std::vector<int>& y = (*problem)->train().labels();
+
+  GbdtOptions exact;
+  GbdtOptions hist = exact;
+  hist.split_method = SplitMethod::kHistogram;
+  GbdtTrainer exact_trainer(exact);
+  GbdtTrainer hist_trainer(hist);
+  const double exact_acc = Accuracy(y, exact_trainer.Fit(X, y)->Predict(X));
+  const double hist_acc = Accuracy(y, hist_trainer.Fit(X, y)->Predict(X));
+  EXPECT_NEAR(hist_acc, exact_acc, 0.02);
 }
 
 TEST(GbdtTest, UpweightingShiftsPositiveRate) {

@@ -44,8 +44,12 @@ TEST_P(ModelRoundTripTest, PredictionsSurviveRoundTrip) {
   }
 }
 
+// The "_hist" variants train with histogram split search; the fitted trees
+// serialize through the same text format (thresholds are real doubles), so
+// the round-trip property must hold for them unchanged.
 INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelRoundTripTest,
-                         ::testing::Values("lr", "dt", "rf", "xgb", "nn", "nb"));
+                         ::testing::Values("lr", "dt", "rf", "xgb", "nn", "nb",
+                                           "dt_hist", "rf_hist", "xgb_hist"));
 
 TEST(SerializationTest, FileRoundTrip) {
   const Blobs blobs = MakeBlobs(100, 1.5, 8);

@@ -43,6 +43,18 @@ TUNE_POINT_FIELDS = {
     "evaluated": bool,
 }
 
+# Per-bench contracts: sections that must appear in "results", and numeric
+# fields every row of that section must carry. Benches not listed here are
+# only held to the generic schema.
+PER_BENCH_SECTIONS = {
+    "tree_build": {
+        "tree_build": ["rows", "exact_seconds", "hist_seconds", "speedup"],
+        "binning_amortization": ["rows", "cold_seconds", "warm_seconds",
+                                 "bins_reused"],
+        "grid_reuse": ["models_trained", "seconds", "bins_reused"],
+    },
+}
+
 
 def is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
@@ -120,6 +132,30 @@ def check_tune_report(report, where, errors):
             f"{where}: models_trained={declared} but {len(points)} points")
 
 
+def check_bench_sections(doc, errors):
+    """Per-bench required sections/fields (PER_BENCH_SECTIONS)."""
+    required = PER_BENCH_SECTIONS.get(doc.get("bench"))
+    if required is None:
+        return
+    rows_by_section = {}
+    for row in doc.get("results", []):
+        if isinstance(row, dict):
+            rows_by_section.setdefault(row.get("section"), []).append(row)
+    for section, fields in required.items():
+        rows = rows_by_section.get(section)
+        if not rows:
+            errors.append(f"results: missing required section '{section}'")
+            continue
+        for i, row in enumerate(rows):
+            values = row.get("values")
+            if not isinstance(values, dict):
+                continue  # already reported by check_result_row
+            for field in fields:
+                if not is_number(values.get(field)):
+                    errors.append(
+                        f"results[{section}][{i}]: missing numeric '{field}'")
+
+
 def check_metrics(metrics, where, errors):
     for key in ("counters", "gauges", "histograms"):
         if not isinstance(metrics.get(key), dict):
@@ -173,6 +209,7 @@ def check_document(doc, errors):
                      "config", errors)
     for i, row in enumerate(doc["results"]):
         check_result_row(row, f"results[{i}]", errors)
+    check_bench_sections(doc, errors)
     for i, entry in enumerate(doc["tune_trajectories"]):
         where = f"tune_trajectories[{i}]"
         if not isinstance(entry, dict):
