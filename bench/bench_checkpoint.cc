@@ -1,0 +1,112 @@
+// Durability-layer overhead (DESIGN.md §12). Checkpointing a tuning run
+// serializes every fitted model and snapshots the replay log to disk at
+// record barriers. Two policies are timed against a plain run: interval 0
+// (fsync at every barrier, the worst case — dominated by fsync latency on
+// tiny fits) and the production 5s throttle, which must stay under 2%
+// overhead. Also measures resume: replaying a completed log is pure
+// deserialization and should beat retraining by orders of magnitude.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <string>
+
+namespace omnifair {
+namespace bench {
+namespace {
+
+void Run(BenchReporter& reporter) {
+  const int seeds = EnvSeeds(3);
+  reporter.Config("seeds", seeds);
+  reporter.Config("metric", "sp");
+  reporter.Config("epsilon", 0.03);
+  PrintHeader("Checkpoint overhead under LR (SP epsilon = 0.03)");
+  std::printf("%-10s %-8s %12s %14s %10s %14s %10s %12s\n", "dataset",
+              "trainer", "plain (s)", "ckpt@0 (s)", "overhead", "ckpt@5s (s)",
+              "overhead", "resume (s)");
+
+  const std::string ckpt_path =
+      BenchReporter::OutputDirectory() + "/bench_checkpoint.ckpt";
+
+  for (const std::string& dataset : {"compas", "adult"}) {
+    for (const std::string& trainer_name : {"lr", "dt"}) {
+      double plain_seconds = 0.0;
+      double eager_seconds = 0.0;
+      double throttled_seconds = 0.0;
+      double resume_seconds = 0.0;
+      long long ckpt_bytes = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const Dataset data = MakeBenchDataset(dataset, 300 + s);
+        const TrainValTestSplit split = SplitDefault(data, 400 + s);
+        const FairnessSpec spec = MakeSpec(MainGroups(dataset), "sp", 0.03);
+
+        // Plain run, then the identical search under the two checkpoint
+        // policies: interval 0 fsyncs at every record barrier (worst-case
+        // IO), interval 5s is the production throttle (first + final write
+        // at these run lengths).
+        for (int config = 0; config < 3; ++config) {
+          auto trainer = MakeTrainer(trainer_name, 500 + s);
+          OmniFairOptions options;
+          if (config > 0) options.checkpoint.path = ckpt_path;
+          if (config == 2) options.checkpoint.interval_s = 5.0;
+          Stopwatch stopwatch;
+          auto fair =
+              OmniFair(options).Train(split.train, split.val, trainer.get(), {spec});
+          const double elapsed = stopwatch.ElapsedSeconds();
+          if (!fair.ok()) continue;
+          (config == 0 ? plain_seconds
+                       : config == 1 ? eager_seconds : throttled_seconds) +=
+              elapsed;
+        }
+
+        // Resume the *finished* checkpoint: every fit replays from the log,
+        // so this is the upper bound on recovered work per second.
+        {
+          auto trainer = MakeTrainer(trainer_name, 500 + s);
+          OmniFairOptions options;
+          options.checkpoint.resume_from = ckpt_path;
+          Stopwatch stopwatch;
+          auto fair =
+              OmniFair(options).Train(split.train, split.val, trainer.get(), {spec});
+          if (fair.ok()) resume_seconds += stopwatch.ElapsedSeconds();
+        }
+        const auto* bytes_counter =
+            MetricsRegistry::Global().GetCounter("checkpoint.bytes");
+        ckpt_bytes = bytes_counter->Value();
+      }
+      const double eager_overhead =
+          plain_seconds > 0.0 ? eager_seconds / plain_seconds - 1.0 : 0.0;
+      const double throttled_overhead =
+          plain_seconds > 0.0 ? throttled_seconds / plain_seconds - 1.0 : 0.0;
+      std::printf("%-10s %-8s %12.3f %14.3f %9.1f%% %14.3f %9.1f%% %12.3f\n",
+                  dataset.c_str(), trainer_name.c_str(), plain_seconds / seeds,
+                  eager_seconds / seeds, 100.0 * eager_overhead,
+                  throttled_seconds / seeds, 100.0 * throttled_overhead,
+                  resume_seconds / seeds);
+      reporter.AddRow("checkpoint_overhead")
+          .Label("dataset", dataset)
+          .Label("trainer", trainer_name)
+          .Value("plain_seconds", plain_seconds / seeds)
+          .Value("checkpoint_seconds", eager_seconds / seeds)
+          .Value("throttled_seconds", throttled_seconds / seeds)
+          .Value("overhead_fraction", eager_overhead)
+          .Value("throttled_overhead_fraction", throttled_overhead)
+          .Value("resume_seconds", resume_seconds / seeds)
+          .Value("checkpoint_bytes", static_cast<double>(ckpt_bytes));
+    }
+  }
+  std::printf("(ckpt@0 snapshots at every fit barrier; production runs use "
+              "--checkpoint-interval to throttle)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace omnifair
+
+int main() {
+  omnifair::InitTelemetryFromEnv();
+  omnifair::bench::BenchReporter reporter(
+      "checkpoint", "Checkpoint/resume durability overhead (DESIGN.md §12)");
+  omnifair::bench::Run(reporter);
+  return omnifair::bench::FinishBench(reporter);
+}

@@ -397,9 +397,10 @@ class BenchReporter {
     }
     path_ = (dir / (bench_name_ + ".json")).string();
     std::ofstream out(path_);
-    if (!out) return Status::Internal("cannot open " + path_ + " for write");
+    if (!out) return IoError(path_, "open");
     out << ToJson() << "\n";
-    if (!out) return Status::Internal("write failed for " + path_);
+    out.flush();
+    if (!out) return IoError(path_, "write");
     return Status::Ok();
   }
 

@@ -1,10 +1,12 @@
 #include "core/grid_search.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <string>
 #include <utility>
 
+#include "ml/serialization.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
@@ -60,6 +62,22 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
                                   problem.val_evaluator().FairnessParts(preds));
   };
 
+  // Crash-safe checkpointing: the base fit and every grid point replay from
+  // the log on resume, then the run continues live.
+  Result<std::unique_ptr<CheckpointManager>> checkpoint =
+      AttachCheckpoint(problem, options_.checkpoint, "grid_search");
+  if (!checkpoint.ok()) {
+    MultiTuneResult result;
+    result.lambdas.assign(k, 0.0);
+    result.status = checkpoint.status();
+    return result;
+  }
+  struct CheckpointGuard {
+    FairnessProblem& problem;
+    CheckpointManager* manager;
+    ~CheckpointGuard() { FinishCheckpoint(problem, manager); }
+  } checkpoint_guard{problem, checkpoint->get()};
+
   // The weight model for prediction-parameterized metrics: the
   // unconstrained fit.
   std::vector<double> lambdas(k, 0.0);
@@ -100,8 +118,8 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
     // Serial path (num_threads == 1, or unclonable trainer): unchanged.
     double best_accuracy = -1.0;
     for (long long index = 0; index < total; ++index) {
-      if (problem.BudgetExpired()) {
-        result.status = problem.budget()->ToStatus();
+      if (problem.Interrupted()) {
+        result.status = problem.InterruptStatus();
         break;
       }
       OF_TRACE_SPAN("grid_point");
@@ -143,6 +161,7 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
     // to the serial path.
     struct SlotResult {
       bool attempted = false;  // a fit was issued (charged to the budget)
+      bool replayed = false;   // outcome came from the checkpoint log
       bool fit_ok = false;
       double seconds = 0.0;
       Status status;
@@ -150,6 +169,7 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
       bool satisfied = false;
       std::vector<double> parts;
       std::vector<double> point_lambdas;
+      std::vector<uint8_t> model_blob;  // live fits on checkpointing runs
     };
     std::vector<SlotResult> slots(static_cast<size_t>(total));
     std::atomic<bool> cancel{false};
@@ -167,50 +187,141 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
     std::unique_ptr<Classifier> best_model;
     double best_accuracy = -1.0;
     long long best_index = total;
+    // Same selection the serial strict `accuracy > best` keep-first scan
+    // makes; callers on worker threads hold best_mu.
+    auto consider_best = [&](std::unique_ptr<Classifier> model,
+                             long long index, double accuracy) {
+      if (accuracy > best_accuracy ||
+          (accuracy == best_accuracy && index < best_index)) {
+        best_accuracy = accuracy;
+        best_index = index;
+        best_model = std::move(model);
+      }
+    };
 
-    ThreadPool::Global().ParallelFor(
-        static_cast<size_t>(total),
-        [&](size_t i) {
-          // A firewalled failure on any worker cancels the outstanding grid
-          // tasks; the budget stops exploratory fits the same way it stops
-          // the serial loop.
-          if (cancel.load(std::memory_order_relaxed)) return;
-          if (problem.BudgetExpired()) {
-            expired.store(true, std::memory_order_relaxed);
-            return;
-          }
-          OF_TRACE_SPAN("grid_point");
-          OF_COUNTER_INC("tuner.grid_points");
-          SlotResult& slot = slots[i];
-          slot.point_lambdas.resize(k);
-          decode(static_cast<long long>(i), &slot.point_lambdas);
-          std::unique_ptr<Trainer> clone = problem.trainer()->Clone();
-          FairnessProblem::ParallelFitOutcome outcome = problem.FitWithLambdasOn(
-              *clone, slot.point_lambdas, weight_predictions_ptr);
-          slot.attempted = true;
-          slot.seconds = outcome.seconds;
-          if (outcome.model == nullptr) {
-            slot.status = outcome.status;
-            cancel.store(true, std::memory_order_relaxed);
-            return;
-          }
-          slot.fit_ok = true;
-          const std::vector<int> val_preds = problem.PredictVal(*outcome.model);
-          slot.parts = problem.val_evaluator().FairnessParts(val_preds);
-          slot.satisfied =
-              problem.val_evaluator().MaxViolationFromParts(slot.parts) <= 1e-12;
-          slot.accuracy = problem.ValAccuracy(val_preds);
-          if (!slot.satisfied) return;
-          std::lock_guard<std::mutex> lock(best_mu);
-          const long long index = static_cast<long long>(i);
-          if (slot.accuracy > best_accuracy ||
-              (slot.accuracy == best_accuracy && index < best_index)) {
-            best_accuracy = slot.accuracy;
-            best_index = index;
-            best_model = std::move(outcome.model);
-          }
-        },
-        options_.num_threads);
+    // Without checkpointing the whole grid is a single ParallelFor. With it
+    // the grid runs in index blocks so fit records land at deterministic
+    // index-ordered barriers and the snapshot is always a prefix of the
+    // serial fit order.
+    CheckpointManager* cp = problem.checkpoint();
+    const long long block_size =
+        cp != nullptr ? std::max<long long>(16, 4LL * options_.num_threads)
+                      : total;
+    bool replay_broken = false;
+
+    for (long long begin = 0; begin < total && !replay_broken;
+         begin += block_size) {
+      const long long end = std::min(total, begin + block_size);
+      if (cancel.load(std::memory_order_relaxed)) break;
+      if (problem.Interrupted()) {
+        expired.store(true, std::memory_order_relaxed);
+        break;
+      }
+
+      // Replay prologue: logged fits come back serially, in index order.
+      long long live_begin = begin;
+      while (cp != nullptr && cp->HasPendingReplay() && live_begin < end) {
+        const long long index = live_begin;
+        SlotResult& slot = slots[static_cast<size_t>(index)];
+        slot.point_lambdas.resize(k);
+        decode(index, &slot.point_lambdas);
+        bool replay_failed = false;
+        FairnessProblem::ParallelFitOutcome outcome =
+            problem.ReplayFitOn(slot.point_lambdas, &replay_failed);
+        if (replay_failed) {
+          // Broken replay (diverged options / damaged blob): no fit
+          // happened, so no TunePoint — stop with the typed cause.
+          if (result.status.ok()) result.status = outcome.status;
+          replay_broken = true;
+          break;
+        }
+        ++live_begin;
+        slot.attempted = true;
+        slot.replayed = true;
+        slot.seconds = outcome.seconds;
+        if (outcome.model == nullptr) {
+          slot.status = outcome.status;
+          cancel.store(true, std::memory_order_relaxed);
+          break;
+        }
+        slot.fit_ok = true;
+        const std::vector<int> val_preds = problem.PredictVal(*outcome.model);
+        slot.parts = problem.val_evaluator().FairnessParts(val_preds);
+        slot.satisfied =
+            problem.val_evaluator().MaxViolationFromParts(slot.parts) <= 1e-12;
+        slot.accuracy = problem.ValAccuracy(val_preds);
+        if (slot.satisfied) {
+          consider_best(std::move(outcome.model), index, slot.accuracy);
+        }
+      }
+
+      if (live_begin < end && !replay_broken &&
+          !cancel.load(std::memory_order_relaxed)) {
+        ThreadPool::Global().ParallelFor(
+            static_cast<size_t>(end - live_begin),
+            [&](size_t offset) {
+              // A firewalled failure on any worker cancels the outstanding
+              // grid tasks; the budget stops exploratory fits the same way
+              // it stops the serial loop.
+              if (cancel.load(std::memory_order_relaxed)) return;
+              if (problem.BudgetExpired()) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
+              OF_TRACE_SPAN("grid_point");
+              OF_COUNTER_INC("tuner.grid_points");
+              const size_t i = static_cast<size_t>(live_begin) + offset;
+              SlotResult& slot = slots[i];
+              slot.point_lambdas.resize(k);
+              decode(static_cast<long long>(i), &slot.point_lambdas);
+              std::unique_ptr<Trainer> clone = problem.trainer()->Clone();
+              FairnessProblem::ParallelFitOutcome outcome =
+                  problem.FitWithLambdasOn(*clone, slot.point_lambdas,
+                                           weight_predictions_ptr);
+              slot.attempted = true;
+              slot.seconds = outcome.seconds;
+              if (outcome.model == nullptr) {
+                slot.status = outcome.status;
+                cancel.store(true, std::memory_order_relaxed);
+                return;
+              }
+              slot.fit_ok = true;
+              if (cp != nullptr) {
+                // Serialize off-thread, before best-selection can move the
+                // model away; the barrier below logs the blob.
+                Result<std::vector<uint8_t>> serialized =
+                    SerializeModelBinary(*outcome.model);
+                if (serialized.ok()) slot.model_blob = std::move(*serialized);
+              }
+              const std::vector<int> val_preds =
+                  problem.PredictVal(*outcome.model);
+              slot.parts = problem.val_evaluator().FairnessParts(val_preds);
+              slot.satisfied =
+                  problem.val_evaluator().MaxViolationFromParts(slot.parts) <=
+                  1e-12;
+              slot.accuracy = problem.ValAccuracy(val_preds);
+              if (!slot.satisfied) return;
+              std::lock_guard<std::mutex> lock(best_mu);
+              consider_best(std::move(outcome.model),
+                            static_cast<long long>(i), slot.accuracy);
+            },
+            options_.num_threads);
+      }
+
+      // Block barrier: log the block's live fits in index order (only the
+      // contiguous attempted prefix — a cancelled or expired block leaves
+      // gaps, and the replay log must stay a prefix of the serial order) and
+      // give the snapshot a chance to hit disk.
+      if (cp != nullptr) {
+        for (long long index = live_begin; index < end; ++index) {
+          SlotResult& slot = slots[static_cast<size_t>(index)];
+          if (!slot.attempted) break;
+          cp->RecordFitBlob(slot.point_lambdas, slot.fit_ok, slot.status,
+                            slot.seconds, std::move(slot.model_blob));
+        }
+        cp->MaybeWrite();
+      }
+    }
 
     // Merge in index order: every issued fit gets its TunePoint (so the
     // report invariant points[i].models_trained == i + 1 matches the budget
@@ -235,7 +346,7 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
       }
     }
     if (result.status.ok() && expired.load(std::memory_order_relaxed)) {
-      result.status = problem.budget()->ToStatus();
+      result.status = problem.InterruptStatus();
     }
     if (best_model != nullptr) {
       result.model = std::move(best_model);

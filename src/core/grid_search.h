@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/hill_climbing.h"
 #include "core/problem.h"
 
@@ -23,6 +24,8 @@ struct GridSearchOptions {
   /// bit-identical to serial for any thread count: ties are broken by grid
   /// index and TuneReport points are merged in index order.
   int num_threads = 1;
+  /// Crash-safe checkpoint/resume for this run (DESIGN.md §12).
+  CheckpointOptions checkpoint;
 };
 
 /// One evaluated grid point, exposed so benches can plot satisfactory

@@ -21,6 +21,20 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
   MultiTuneResult result;
   result.lambdas.assign(k, 0.0);
 
+  // One checkpoint session spans the whole climb, including the inner
+  // coordinate tunes (TuneCoordinate reuses the attached manager).
+  Result<std::unique_ptr<CheckpointManager>> checkpoint =
+      AttachCheckpoint(problem, options_.tune.checkpoint, "hill_climb");
+  if (!checkpoint.ok()) {
+    result.status = checkpoint.status();
+    return result;
+  }
+  struct CheckpointGuard {
+    FairnessProblem& problem;
+    CheckpointManager* manager;
+    ~CheckpointGuard() { FinishCheckpoint(problem, manager); }
+  } checkpoint_guard{problem, checkpoint->get()};
+
   // Line 1-2: Lambda = 0, fit the unconstrained model.
   problem.SetTuneStage("initial");
   std::unique_ptr<Classifier> model =
@@ -57,8 +71,8 @@ MultiTuneResult HillClimber::Run(FairnessProblem& problem) const {
       result.satisfied = true;
       break;
     }
-    if (problem.BudgetExpired()) {
-      result.status = problem.budget()->ToStatus();
+    if (problem.Interrupted()) {
+      result.status = problem.InterruptStatus();
       break;
     }
     ++result.iterations;

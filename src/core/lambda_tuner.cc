@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "ml/serialization.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
@@ -36,8 +37,18 @@ LambdaTuner::LambdaTuner(TuneOptions options) : options_(options) {}
 TuneResult LambdaTuner::TuneSingle(FairnessProblem& problem) const {
   OF_CHECK_EQ(problem.NumConstraints(), 1u)
       << "TuneSingle expects a single-constraint problem; use HillClimber";
+  Result<std::unique_ptr<CheckpointManager>> checkpoint =
+      AttachCheckpoint(problem, options_.checkpoint, "lambda_tuner");
+  if (!checkpoint.ok()) {
+    TuneResult result;
+    result.status = checkpoint.status();
+    return result;
+  }
   std::vector<double> lambdas = {0.0};
-  return TuneCoordinate(problem, 0, &lambdas, /*initial_model=*/nullptr);
+  TuneResult result =
+      TuneCoordinate(problem, 0, &lambdas, /*initial_model=*/nullptr);
+  FinishCheckpoint(problem, checkpoint->get());
+  return result;
 }
 
 TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
@@ -61,8 +72,9 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   };
 
   // Search-interruption state: `aborted` when the trainer failed behind the
-  // exception firewall, `expired` when the TrainBudget ran out. Either way
-  // the tune stops early and returns the best model reached so far, with
+  // exception firewall, `expired` when the TrainBudget ran out or a
+  // (simulated) crash fired after a checkpoint write. Either way the tune
+  // stops early and returns the best model reached so far, with
   // `search_status` carrying the cause.
   Status search_status;
   bool aborted = false;
@@ -75,9 +87,9 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
   };
   auto budget_expired = [&]() {
     if (expired) return true;
-    if (!problem.BudgetExpired()) return false;
+    if (!problem.Interrupted()) return false;
     expired = true;
-    search_status = problem.budget()->ToStatus();
+    search_status = problem.InterruptStatus();
     return true;
   };
 
@@ -247,6 +259,8 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
           std::vector<double> trial;
           std::vector<int> weight_preds;
           double next_magnitude = 0.0;
+          bool replayed = false;
+          bool replay_failed = false;
           FairnessProblem::ParallelFitOutcome outcome;
         };
         Probe probes[2];
@@ -254,20 +268,54 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
           probes[s].next_magnitude = sides[s].magnitude + options_.delta;
           probes[s].trial = trial;
           probes[s].trial[j] = base + sides[s].sign * probes[s].next_magnitude;
-          probes[s].weight_preds = problem.PredictTrain(*sides[s].weight_model);
         }
-        ThreadPool::Global().ParallelFor(
-            2,
-            [&](size_t s) {
-              probes[s].outcome = problem.FitWithLambdasOn(
-                  *probe_clones[s], probes[s].trial, &probes[s].weight_preds);
-            },
-            2);
+        // On resume, checkpointed steps come from the log in side order
+        // (the log holds whole pairs: MaybeWrite only runs between steps).
+        // Live sides fit concurrently on the clones.
+        CheckpointManager* cp = problem.checkpoint();
+        std::vector<size_t> live;
+        for (size_t s = 0; s < 2; ++s) {
+          if (cp != nullptr && cp->HasPendingReplay()) {
+            probes[s].replayed = true;
+            probes[s].outcome =
+                problem.ReplayFitOn(probes[s].trial, &probes[s].replay_failed);
+          } else {
+            probes[s].weight_preds =
+                problem.PredictTrain(*sides[s].weight_model);
+            live.push_back(s);
+          }
+        }
+        auto live_fit = [&](size_t s) {
+          probes[s].outcome = problem.FitWithLambdasOn(
+              *probe_clones[s], probes[s].trial, &probes[s].weight_preds);
+        };
+        if (live.size() == 2) {
+          ThreadPool::Global().ParallelFor(2, live_fit, 2);
+        } else {
+          for (size_t s : live) live_fit(s);
+        }
         for (int s = 0; s < 2; ++s) {
           Side& side = sides[s];
           Probe& probe = probes[s];
+          if (probe.replay_failed) {
+            // Broken replay (diverged options / damaged blob): no fit
+            // happened, so no TunePoint — stop with the typed cause.
+            aborted = true;
+            search_status = probe.outcome.status;
+            continue;
+          }
           const bool fit_ok = probe.outcome.model != nullptr;
           problem.AppendTunePoint(probe.trial, fit_ok, probe.outcome.seconds);
+          if (cp != nullptr && !probe.replayed) {
+            std::vector<uint8_t> blob;
+            if (fit_ok) {
+              Result<std::vector<uint8_t>> serialized =
+                  SerializeModelBinary(*probe.outcome.model);
+              if (serialized.ok()) blob = std::move(*serialized);
+            }
+            cp->RecordFitBlob(probe.trial, fit_ok, probe.outcome.status,
+                              probe.outcome.seconds, std::move(blob));
+          }
           // Once this step aborted or resolved, the remaining side's fit is
           // already paid — record it, but keep the search state untouched.
           if (aborted || bounded) continue;
@@ -294,6 +342,7 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
             side.weight_model = side.theta_l.get();
           }
         }
+        if (cp != nullptr) cp->MaybeWrite();
         if (aborted) break;
         continue;
       }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/problem.h"
 #include "ml/classifier.h"
 #include "util/status.h"
@@ -41,6 +42,9 @@ struct TuneOptions {
   /// resolves still pays the other direction's already-started fit (at most
   /// one extra model per coordinate tune, recorded in the TuneReport).
   int num_threads = 1;
+  /// Crash-safe checkpoint/resume for this run (DESIGN.md §12). Not
+  /// supported together with warm-start trainers.
+  CheckpointOptions checkpoint;
 };
 
 /// Outcome of one Algorithm 1 run (or one hill-climbing coordinate step).

@@ -42,6 +42,14 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
   OF_TRACE_SPAN("omnifair_train");
   OF_COUNTER_INC("omnifair.train_calls");
 
+  const bool checkpointing = !options_.checkpoint.path.empty() ||
+                             !options_.checkpoint.resume_from.empty();
+  if (checkpointing && options_.warm_start) {
+    return Status::InvalidArgument(
+        "checkpoint/resume is not supported with warm_start: warm starts "
+        "carry optimizer state across fits that a resumed process lacks");
+  }
+
   Stopwatch stopwatch;
   Result<std::unique_ptr<FairnessProblem>> problem =
       FairnessProblem::Create(train, val, specs, trainer, options_.encoder);
@@ -67,6 +75,7 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
   // knob wins only when the top-level one is left at its serial default.
   HillClimbOptions hill_climb = options_.hill_climb;
   if (options_.num_threads > 1) hill_climb.tune.num_threads = options_.num_threads;
+  if (checkpointing) hill_climb.tune.checkpoint = options_.checkpoint;
 
   if ((*problem)->NumConstraints() == 1) {
     fair.tune_report.algorithm = "lambda_tuner";
@@ -126,7 +135,7 @@ Result<FairModel> OmniFair::TrainWithSplit(const Dataset& dataset, Trainer* trai
 Status SaveFairModel(const FairModel& fair, const std::string& path) {
   if (fair.model == nullptr) return Status::InvalidArgument("FairModel has no model");
   std::ofstream out(path);
-  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+  if (!out) return IoError(path, "open");
   out.precision(17);
   out << "omnifair_fairmodel 1\n";
   out << "lambdas";
@@ -137,13 +146,14 @@ Status SaveFairModel(const FairModel& fair, const std::string& path) {
   fair.encoder.SerializeTo(out);
   Status status = SerializeModel(*fair.model, out);
   if (!status.ok()) return status;
-  if (!out) return Status::Internal("write failed for " + path);
+  out.flush();
+  if (!out) return IoError(path, "write");
   return Status::Ok();
 }
 
 Result<FairModel> LoadFairModel(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::InvalidArgument("cannot open " + path);
+  if (!in) return IoError(path, "open");
   std::string tag;
   int version = 0;
   if (!(in >> tag >> version) || tag != "omnifair_fairmodel" || version != 1) {
@@ -159,6 +169,14 @@ Result<FairModel> LoadFairModel(const std::string& path) {
     std::istringstream lambda_stream(rest);
     double lambda = 0.0;
     while (lambda_stream >> lambda) fair.lambdas.push_back(lambda);
+    // The old parser silently dropped trailing junk; a lambdas line that is
+    // not purely numbers means the file is damaged.
+    lambda_stream.clear();
+    std::string leftover;
+    if (lambda_stream >> leftover) {
+      return Status::InvalidArgument("malformed lambdas line: unexpected '" +
+                                     leftover + "'");
+    }
   }
   int satisfied = 0;
   if (!(in >> tag >> satisfied) || tag != "satisfied") {

@@ -48,6 +48,14 @@ struct OmniFairOptions {
   /// no spans, and an empty FairModel::tune_report — or to kFullTrace to
   /// capture chrome://tracing spans for this call only.
   TelemetryOptions telemetry;
+  /// Crash-safe checkpoint/resume for the tuning search (DESIGN.md §12):
+  /// set `checkpoint.path` to persist resumable state and
+  /// `checkpoint.resume_from` to continue a killed run; the resumed run's
+  /// final model is bit-identical to an uninterrupted one. Copied into the
+  /// embedded TuneOptions. Not supported together with warm_start (warm
+  /// starts carry optimizer state across fits that a resumed process lacks)
+  /// — Train fails with kInvalidArgument on that combination.
+  CheckpointOptions checkpoint;
 };
 
 /// A fairness-constrained model plus everything needed to use and audit it.

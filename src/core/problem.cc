@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.h"
 #include "ml/metrics.h"
+#include "ml/serialization.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/telemetry.h"
@@ -65,7 +67,76 @@ void FairnessProblem::StartTuneReport(TuneReport* report) {
 
 void FairnessProblem::RecordTunePoint(const std::vector<double>& lambdas,
                                       bool fit_ok) {
-  AppendTunePoint(lambdas, fit_ok, tune_stopwatch_.ElapsedSeconds());
+  AppendTunePoint(lambdas, fit_ok, TuneElapsedSeconds());
+}
+
+bool FairnessProblem::Interrupted() const {
+  return BudgetExpired() || (checkpoint_ != nullptr && checkpoint_->crashed());
+}
+
+Status FairnessProblem::InterruptStatus() const {
+  if (BudgetExpired()) return budget_->ToStatus();
+  if (checkpoint_ != nullptr && checkpoint_->crashed()) {
+    return checkpoint_->CrashStatus();
+  }
+  return Status::Ok();
+}
+
+FairnessProblem::ParallelFitOutcome FairnessProblem::ReplayFitOn(
+    const std::vector<double>& lambdas, bool* replay_failed) {
+  ParallelFitOutcome outcome;
+  if (replay_failed != nullptr) *replay_failed = false;
+  Result<const FitRecord*> replay = checkpoint_->NextReplay(lambdas);
+  if (!replay.ok()) {
+    if (replay_failed != nullptr) *replay_failed = true;
+    outcome.status = replay.status();
+    outcome.seconds = TuneElapsedSeconds();
+    return outcome;
+  }
+  const FitRecord& record = **replay;
+  if (record.fit_ok) {
+    Result<std::unique_ptr<Classifier>> model =
+        DeserializeModelBinary(record.model_blob);
+    if (!model.ok()) {
+      // A damaged blob that survived the CRC is still data loss; do not
+      // charge the budget for a fit the resumed run never received.
+      OF_COUNTER_INC("checkpoint.corrupt_detected");
+      if (replay_failed != nullptr) *replay_failed = true;
+      outcome.status = model.status();
+      outcome.seconds = TuneElapsedSeconds();
+      return outcome;
+    }
+    outcome.model = std::move(*model);
+  } else {
+    outcome.status = Status(static_cast<StatusCode>(record.status_code),
+                            record.status_message);
+  }
+  // Charge exactly like the original fit so model caps hold across resume.
+  models_trained_.fetch_add(1, std::memory_order_relaxed);
+  if (budget_ != nullptr) budget_->NoteModelTrained();
+  outcome.seconds = record.seconds;
+  return outcome;
+}
+
+std::unique_ptr<Classifier> FairnessProblem::ReplaySerialFit(
+    const std::vector<double>& lambdas) {
+  bool replay_failed = false;
+  ParallelFitOutcome outcome = ReplayFitOn(lambdas, &replay_failed);
+  if (!replay_failed) {
+    AppendTunePoint(lambdas, outcome.model != nullptr, outcome.seconds);
+  }
+  fit_status_ = outcome.model != nullptr ? Status::Ok() : outcome.status;
+  return std::move(outcome.model);
+}
+
+void FairnessProblem::FinishSerialFit(const std::vector<double>& lambdas,
+                                      const Classifier* model) {
+  RecordTunePoint(lambdas, model != nullptr);
+  if (checkpoint_ != nullptr) {
+    checkpoint_->RecordFit(lambdas, model != nullptr, fit_status_,
+                           TuneElapsedSeconds(), model);
+    checkpoint_->MaybeWrite();
+  }
 }
 
 void FairnessProblem::AppendTunePoint(const std::vector<double>& lambdas,
@@ -176,12 +247,15 @@ FairnessProblem::ParallelFitOutcome FairnessProblem::FitWithLambdasOn(
     OF_COUNTER_INC("trainer.fit_failures");
     outcome.status = Status::Internal("trainer returned a null model");
   }
-  outcome.seconds = tune_stopwatch_.ElapsedSeconds();
+  outcome.seconds = TuneElapsedSeconds();
   return outcome;
 }
 
 std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(
     const std::vector<double>& lambdas, const Classifier* weight_model) {
+  if (checkpoint_ != nullptr && checkpoint_->HasPendingReplay()) {
+    return ReplaySerialFit(lambdas);
+  }
   std::vector<int> predictions;
   const std::vector<int>* predictions_ptr = nullptr;
   if (weight_model != nullptr && DependsOnPredictions()) {
@@ -191,7 +265,7 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(
   std::unique_ptr<Classifier> model =
       FirewalledFit(X_train_, train_->labels(),
                     weight_computer_->Compute(lambdas, predictions_ptr));
-  RecordTunePoint(lambdas, model != nullptr);
+  FinishSerialFit(lambdas, model.get());
   return model;
 }
 
@@ -200,6 +274,9 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
     double fraction, uint64_t seed) {
   OF_CHECK_GT(fraction, 0.0);
   if (fraction >= 1.0) return FitWithLambdas(lambdas, weight_model);
+  if (checkpoint_ != nullptr && checkpoint_->HasPendingReplay()) {
+    return ReplaySerialFit(lambdas);
+  }
 
   if (subsample_fraction_ != fraction || subsample_seed_ != seed ||
       subsample_rows_.empty()) {
@@ -230,7 +307,7 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
   for (size_t i : subsample_rows_) weights.push_back(full_weights[i]);
   std::unique_ptr<Classifier> model =
       FirewalledFit(subsample_features_, subsample_labels_, std::move(weights));
-  RecordTunePoint(lambdas, model != nullptr);
+  FinishSerialFit(lambdas, model.get());
   return model;
 }
 

@@ -18,6 +18,8 @@
 
 namespace omnifair {
 
+class CheckpointManager;
+
 /// A constrained fairness optimization instance (Equation 9/18): one
 /// training split, one validation split, one black-box trainer, and the
 /// pairwise constraints induced by the user's fairness specifications.
@@ -124,6 +126,43 @@ class FairnessProblem {
   TrainBudget* budget() const { return budget_; }
   bool BudgetExpired() const { return budget_ != nullptr && budget_->Expired(); }
 
+  /// --- crash-safe checkpointing (DESIGN.md §12) ---
+  /// Attaches a (caller-owned) checkpoint session. While it has pending
+  /// replay records, FitWithLambdas / FitWithLambdasSubsampled return the
+  /// logged models instead of training; afterwards every serial fit is
+  /// recorded and the snapshot rewritten per the manager's interval policy
+  /// (parallel tuners record at their own index-ordered barriers). Attached
+  /// by the tuners' top-level entry points via AttachCheckpoint; pass
+  /// nullptr to detach.
+  void SetCheckpoint(CheckpointManager* checkpoint) { checkpoint_ = checkpoint; }
+  CheckpointManager* checkpoint() const { return checkpoint_; }
+
+  /// Unified stop poll for the tuners: budget expiry or a (simulated)
+  /// post-checkpoint crash. Either way the search stops with the best model
+  /// reached so far and InterruptStatus() as the cause.
+  bool Interrupted() const;
+  Status InterruptStatus() const;
+
+  /// Tune-clock origin for a resumed run: recorded TunePoint seconds
+  /// continue the original run's timeline instead of restarting at zero.
+  void SetTuneSecondsBase(double seconds) { tune_seconds_base_ = seconds; }
+  /// Seconds on the tune clock (base + stopwatch); the `seconds` stamped on
+  /// TunePoints and checkpoint records.
+  double TuneElapsedSeconds() const {
+    return tune_seconds_base_ + tune_stopwatch_.ElapsedSeconds();
+  }
+
+  /// Replay counterpart of FitWithLambdasOn: consumes the next checkpointed
+  /// fit instead of training. Charges the budget and model count exactly
+  /// like the original fit (so model caps hold across resume) and returns
+  /// the recorded outcome with its original completion seconds. A broken
+  /// replay — lambda mismatch (tuner options changed between runs) or a
+  /// corrupt model blob — returns a typed error WITHOUT charging and sets
+  /// `*replay_failed` so callers can tell it from a replayed trainer
+  /// failure. Never touches the TuneReport; callers append.
+  ParallelFitOutcome ReplayFitOn(const std::vector<double>& lambdas,
+                                 bool* replay_failed = nullptr);
+
   /// --- tune-trajectory recording (DESIGN.md §9) ---
   /// Attaches a caller-owned TuneReport; from here on every FitWithLambdas /
   /// FitWithLambdasSubsampled appends one TunePoint (including failed fits,
@@ -158,6 +197,14 @@ class FairnessProblem {
   /// recording).
   void RecordTunePoint(const std::vector<double>& lambdas, bool fit_ok);
 
+  /// Shared tail of the serial Fit* paths: appends the TunePoint and logs
+  /// the fit to the attached checkpoint (which may write a snapshot).
+  void FinishSerialFit(const std::vector<double>& lambdas,
+                       const Classifier* model);
+
+  /// Serial replay wrapper: ReplayFitOn + TuneReport append + fit_status_.
+  std::unique_ptr<Classifier> ReplaySerialFit(const std::vector<double>& lambdas);
+
   std::unique_ptr<Dataset> train_;  // owned copies with stable addresses
   std::unique_ptr<Dataset> val_;
   FeatureEncoder encoder_;
@@ -170,9 +217,11 @@ class FairnessProblem {
   std::atomic<int> models_trained_{0};
   Status fit_status_;
   TrainBudget* budget_ = nullptr;
+  CheckpointManager* checkpoint_ = nullptr;  // caller-owned; null = disabled
   TuneReport* tune_report_ = nullptr;  // caller-owned; null = not recording
   const char* tune_stage_ = "";
   Stopwatch tune_stopwatch_;
+  double tune_seconds_base_ = 0.0;  // resumed runs continue the old clock
 
   // Cached subsample (rebuilt when fraction/seed change).
   double subsample_fraction_ = 0.0;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/status.h"
 #include "util/string_utils.h"
 
 namespace omnifair {
@@ -47,7 +48,7 @@ bool SplitCsvRecord(std::string_view record, char delimiter,
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) {
   std::ifstream in(path);
-  if (!in) return Status::InvalidArgument("cannot open " + path);
+  if (!in) return IoError(path, "open");
 
   std::string line;
   if (!std::getline(in, line)) {
@@ -184,7 +185,7 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+  if (!out) return IoError(path, "open");
 
   for (size_t c = 0; c < dataset.NumColumns(); ++c) {
     out << dataset.ColumnAt(c).name() << ",";
@@ -203,7 +204,7 @@ Status WriteCsv(const Dataset& dataset, const std::string& path) {
     }
     out << dataset.Label(r) << "\n";
   }
-  if (!out) return Status::Internal("write failed for " + path);
+  if (!out) return IoError(path, "write");
   return Status::Ok();
 }
 

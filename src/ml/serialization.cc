@@ -15,20 +15,91 @@ namespace {
 constexpr char kMagic[] = "omnifair_model";
 constexpr int kVersion = 1;
 
+/// Upper bound on any element count read from a model file. Far beyond any
+/// model this library trains; a larger prefix is corruption, not a model,
+/// and must fail before the resize() allocates.
+constexpr size_t kMaxCount = size_t{1} << 26;
+
+/// Byte-position context for error messages, e.g. " near byte 132". The
+/// stream's failbit is cleared to make tellg usable; callers are bailing out
+/// anyway.
+std::string AtByte(std::istream& is) {
+  is.clear();
+  const auto pos = is.tellg();
+  if (pos < 0) return "";
+  return " near byte " + std::to_string(static_cast<long long>(pos));
+}
+
+/// Typed parse failure: truncation (EOF) is data loss, anything else is
+/// malformed content.
+Status TextError(std::istream& is, const std::string& what) {
+  if (is.eof()) {
+    return Status::DataLoss("truncated " + what + AtByte(is));
+  }
+  return Status::InvalidArgument("malformed " + what + AtByte(is));
+}
+
 void WriteVector(std::ostream& os, const std::vector<double>& values) {
   os << values.size();
   for (double v : values) os << " " << v;
   os << "\n";
 }
 
-bool ReadVector(std::istream& is, std::vector<double>* values) {
+Status ReadVector(std::istream& is, const std::string& what,
+                  std::vector<double>* values) {
   size_t count = 0;
-  if (!(is >> count)) return false;
+  if (!(is >> count)) return TextError(is, what + " length");
+  if (count > kMaxCount) {
+    return Status::InvalidArgument(what + " claims " + std::to_string(count) +
+                                   " elements (limit " +
+                                   std::to_string(kMaxCount) + ")" + AtByte(is));
+  }
   values->resize(count);
   for (double& v : *values) {
-    if (!(is >> v)) return false;
+    if (!(is >> v)) return TextError(is, what + " values");
   }
-  return true;
+  return Status::Ok();
+}
+
+// --- Tree-structure validation ----------------------------------------------
+//
+// Both tree builders append child nodes after their parent, so in any file
+// this library wrote every split satisfies left > i && right > i. Enforcing
+// that on load (plus range and feature checks) guarantees Predict terminates
+// and never indexes out of bounds, whatever bytes were in the file.
+
+Status ValidateDtNodes(const std::vector<DecisionTreeModel::Node>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  for (int i = 0; i < n; ++i) {
+    const auto& node = nodes[i];
+    if (node.is_leaf) continue;
+    if (node.feature < 0 || node.left <= i || node.right <= i ||
+        node.left >= n || node.right >= n) {
+      return Status::InvalidArgument(
+          "tree node " + std::to_string(i) + " has invalid children/feature (" +
+          std::to_string(node.left) + ", " + std::to_string(node.right) +
+          ", feature " + std::to_string(node.feature) + ") in a " +
+          std::to_string(n) + "-node tree");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateGbdtNodes(const std::vector<GbdtTreeNode>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  for (int i = 0; i < n; ++i) {
+    const auto& node = nodes[i];
+    if (node.is_leaf) continue;
+    if (node.feature < 0 || node.left <= i || node.right <= i ||
+        node.left >= n || node.right >= n) {
+      return Status::InvalidArgument(
+          "gbdt node " + std::to_string(i) + " has invalid children/feature (" +
+          std::to_string(node.left) + ", " + std::to_string(node.right) +
+          ", feature " + std::to_string(node.feature) + ") in a " +
+          std::to_string(n) + "-node tree");
+    }
+  }
+  return Status::Ok();
 }
 
 // --- Decision-tree node arrays (shared by dt / rf) ---------------------------
@@ -45,26 +116,33 @@ void WriteTreeNodes(std::ostream& os, const std::vector<DecisionTreeModel::Node>
   }
 }
 
-bool ReadTreeNodes(std::istream& is, std::vector<DecisionTreeModel::Node>* nodes) {
+Status ReadTreeNodes(std::istream& is, const std::string& what,
+                     std::vector<DecisionTreeModel::Node>* nodes) {
   size_t count = 0;
-  if (!(is >> count)) return false;
+  if (!(is >> count)) return TextError(is, what + " node count");
+  if (count > kMaxCount) {
+    return Status::InvalidArgument(what + " claims " + std::to_string(count) +
+                                   " nodes (limit " + std::to_string(kMaxCount) +
+                                   ")" + AtByte(is));
+  }
   nodes->resize(count);
   for (auto& node : *nodes) {
     std::string kind;
-    if (!(is >> kind)) return false;
+    if (!(is >> kind)) return TextError(is, what + " node kind");
     if (kind == "leaf") {
       node.is_leaf = true;
-      if (!(is >> node.probability)) return false;
+      if (!(is >> node.probability)) return TextError(is, what + " leaf");
     } else if (kind == "split") {
       node.is_leaf = false;
       if (!(is >> node.feature >> node.threshold >> node.left >> node.right)) {
-        return false;
+        return TextError(is, what + " split");
       }
     } else {
-      return false;
+      return Status::InvalidArgument("unknown node kind '" + kind + "' in " +
+                                     what + AtByte(is));
     }
   }
-  return true;
+  return ValidateDtNodes(*nodes);
 }
 
 void WriteGbdtNodes(std::ostream& os, const std::vector<GbdtTreeNode>& nodes) {
@@ -79,26 +157,33 @@ void WriteGbdtNodes(std::ostream& os, const std::vector<GbdtTreeNode>& nodes) {
   }
 }
 
-bool ReadGbdtNodes(std::istream& is, std::vector<GbdtTreeNode>* nodes) {
+Status ReadGbdtNodes(std::istream& is, const std::string& what,
+                     std::vector<GbdtTreeNode>* nodes) {
   size_t count = 0;
-  if (!(is >> count)) return false;
+  if (!(is >> count)) return TextError(is, what + " node count");
+  if (count > kMaxCount) {
+    return Status::InvalidArgument(what + " claims " + std::to_string(count) +
+                                   " nodes (limit " + std::to_string(kMaxCount) +
+                                   ")" + AtByte(is));
+  }
   nodes->resize(count);
   for (auto& node : *nodes) {
     std::string kind;
-    if (!(is >> kind)) return false;
+    if (!(is >> kind)) return TextError(is, what + " node kind");
     if (kind == "leaf") {
       node.is_leaf = true;
-      if (!(is >> node.value)) return false;
+      if (!(is >> node.value)) return TextError(is, what + " leaf");
     } else if (kind == "split") {
       node.is_leaf = false;
       if (!(is >> node.feature >> node.threshold >> node.left >> node.right)) {
-        return false;
+        return TextError(is, what + " split");
       }
     } else {
-      return false;
+      return Status::InvalidArgument("unknown node kind '" + kind + "' in " +
+                                     what + AtByte(is));
     }
   }
-  return true;
+  return ValidateGbdtNodes(*nodes);
 }
 
 // --- Per-family loaders -------------------------------------------------------
@@ -106,8 +191,10 @@ bool ReadGbdtNodes(std::istream& is, std::vector<GbdtTreeNode>* nodes) {
 Result<std::unique_ptr<Classifier>> LoadLogisticRegression(std::istream& is) {
   std::vector<double> coefficients;
   double intercept = 0.0;
-  if (!ReadVector(is, &coefficients) || !(is >> intercept)) {
-    return Status::InvalidArgument("truncated logistic_regression payload");
+  Status status = ReadVector(is, "logistic_regression coefficients", &coefficients);
+  if (!status.ok()) return status;
+  if (!(is >> intercept)) {
+    return TextError(is, "logistic_regression intercept");
   }
   return std::unique_ptr<Classifier>(
       std::make_unique<LogisticRegressionModel>(std::move(coefficients), intercept));
@@ -119,10 +206,12 @@ Result<std::unique_ptr<Classifier>> LoadNaiveBayes(std::istream& is) {
   std::vector<double> mean1;
   std::vector<double> var0;
   std::vector<double> var1;
-  if (!(is >> log_prior_ratio) || !ReadVector(is, &mean0) || !ReadVector(is, &mean1) ||
-      !ReadVector(is, &var0) || !ReadVector(is, &var1)) {
-    return Status::InvalidArgument("truncated naive_bayes payload");
-  }
+  if (!(is >> log_prior_ratio)) return TextError(is, "naive_bayes prior");
+  Status status = ReadVector(is, "naive_bayes mean0", &mean0);
+  if (status.ok()) status = ReadVector(is, "naive_bayes mean1", &mean1);
+  if (status.ok()) status = ReadVector(is, "naive_bayes var0", &var0);
+  if (status.ok()) status = ReadVector(is, "naive_bayes var1", &var1);
+  if (!status.ok()) return status;
   return std::unique_ptr<Classifier>(std::make_unique<NaiveBayesModel>(
       log_prior_ratio, std::move(mean0), std::move(mean1), std::move(var0),
       std::move(var1)));
@@ -130,25 +219,27 @@ Result<std::unique_ptr<Classifier>> LoadNaiveBayes(std::istream& is) {
 
 Result<std::unique_ptr<Classifier>> LoadDecisionTree(std::istream& is) {
   std::vector<DecisionTreeModel::Node> nodes;
-  if (!ReadTreeNodes(is, &nodes)) {
-    return Status::InvalidArgument("truncated decision_tree payload");
-  }
+  Status status = ReadTreeNodes(is, "decision_tree", &nodes);
+  if (!status.ok()) return status;
   return std::unique_ptr<Classifier>(
       std::make_unique<DecisionTreeModel>(std::move(nodes)));
 }
 
 Result<std::unique_ptr<Classifier>> LoadRandomForest(std::istream& is) {
   size_t num_trees = 0;
-  if (!(is >> num_trees)) {
-    return Status::InvalidArgument("truncated random_forest payload");
+  if (!(is >> num_trees)) return TextError(is, "random_forest tree count");
+  if (num_trees > kMaxCount) {
+    return Status::InvalidArgument("random_forest claims " +
+                                   std::to_string(num_trees) + " trees" +
+                                   AtByte(is));
   }
   std::vector<std::unique_ptr<Classifier>> trees;
   trees.reserve(num_trees);
   for (size_t t = 0; t < num_trees; ++t) {
     std::vector<DecisionTreeModel::Node> nodes;
-    if (!ReadTreeNodes(is, &nodes)) {
-      return Status::InvalidArgument("truncated forest tree payload");
-    }
+    Status status =
+        ReadTreeNodes(is, "forest tree " + std::to_string(t), &nodes);
+    if (!status.ok()) return status;
     trees.push_back(std::make_unique<DecisionTreeModel>(std::move(nodes)));
   }
   return std::unique_ptr<Classifier>(
@@ -160,13 +251,17 @@ Result<std::unique_ptr<Classifier>> LoadGbdt(std::istream& is) {
   double learning_rate = 0.0;
   size_t num_trees = 0;
   if (!(is >> base_score >> learning_rate >> num_trees)) {
-    return Status::InvalidArgument("truncated gbdt payload");
+    return TextError(is, "gbdt header");
+  }
+  if (num_trees > kMaxCount) {
+    return Status::InvalidArgument("gbdt claims " + std::to_string(num_trees) +
+                                   " trees" + AtByte(is));
   }
   std::vector<std::vector<GbdtTreeNode>> trees(num_trees);
-  for (auto& tree : trees) {
-    if (!ReadGbdtNodes(is, &tree)) {
-      return Status::InvalidArgument("truncated gbdt tree payload");
-    }
+  for (size_t t = 0; t < num_trees; ++t) {
+    Status status =
+        ReadGbdtNodes(is, "gbdt tree " + std::to_string(t), &trees[t]);
+    if (!status.ok()) return status;
   }
   return std::unique_ptr<Classifier>(
       std::make_unique<GbdtModel>(std::move(trees), base_score, learning_rate));
@@ -175,21 +270,26 @@ Result<std::unique_ptr<Classifier>> LoadGbdt(std::istream& is) {
 Result<std::unique_ptr<Classifier>> LoadMlp(std::istream& is) {
   size_t hidden = 0;
   size_t inputs = 0;
-  if (!(is >> hidden >> inputs)) {
-    return Status::InvalidArgument("truncated mlp payload");
+  if (!(is >> hidden >> inputs)) return TextError(is, "mlp dimensions");
+  if (hidden > kMaxCount || inputs > kMaxCount ||
+      (inputs != 0 && hidden > kMaxCount / inputs)) {
+    return Status::InvalidArgument("mlp claims a " + std::to_string(hidden) +
+                                   "x" + std::to_string(inputs) +
+                                   " hidden layer" + AtByte(is));
   }
   Matrix W1(hidden, inputs);
   for (size_t r = 0; r < hidden; ++r) {
     for (size_t c = 0; c < inputs; ++c) {
-      if (!(is >> W1(r, c))) return Status::InvalidArgument("truncated mlp W1");
+      if (!(is >> W1(r, c))) return TextError(is, "mlp W1");
     }
   }
   std::vector<double> b1;
   std::vector<double> w2;
   double b2 = 0.0;
-  if (!ReadVector(is, &b1) || !ReadVector(is, &w2) || !(is >> b2)) {
-    return Status::InvalidArgument("truncated mlp payload");
-  }
+  Status status = ReadVector(is, "mlp b1", &b1);
+  if (status.ok()) status = ReadVector(is, "mlp w2", &w2);
+  if (!status.ok()) return status;
+  if (!(is >> b2)) return TextError(is, "mlp b2");
   return std::unique_ptr<Classifier>(std::make_unique<MlpModel>(
       std::move(W1), std::move(b1), std::move(w2), b2));
 }
@@ -250,10 +350,11 @@ Status SerializeModel(const Classifier& model, std::ostream& os) {
 
 Status SaveModel(const Classifier& model, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+  if (!out) return IoError(path, "open");
   Status status = SerializeModel(model, out);
   if (!status.ok()) return status;
-  if (!out) return Status::Internal("write failed for " + path);
+  out.flush();
+  if (!out) return IoError(path, "write");
   return Status::Ok();
 }
 
@@ -279,8 +380,302 @@ Result<std::unique_ptr<Classifier>> DeserializeModel(std::istream& is) {
 
 Result<std::unique_ptr<Classifier>> LoadModel(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::InvalidArgument("cannot open " + path);
+  if (!in) return IoError(path, "open");
   return DeserializeModel(in);
+}
+
+// --- Binary codec ------------------------------------------------------------
+
+namespace {
+
+enum BinaryFamilyTag : uint8_t {
+  kTagLr = 1,
+  kTagNb = 2,
+  kTagDt = 3,
+  kTagRf = 4,
+  kTagGbdt = 5,
+  kTagMlp = 6,
+};
+
+void WriteDtNodesBinary(BinaryWriter& writer,
+                        const std::vector<DecisionTreeModel::Node>& nodes) {
+  writer.U64(nodes.size());
+  for (const auto& node : nodes) {
+    writer.U8(node.is_leaf ? 1 : 0);
+    if (node.is_leaf) {
+      writer.F64(node.probability);
+    } else {
+      writer.I32(node.feature);
+      writer.F64(node.threshold);
+      writer.I32(node.left);
+      writer.I32(node.right);
+    }
+  }
+}
+
+Status ReadDtNodesBinary(BinaryReader& reader,
+                         std::vector<DecisionTreeModel::Node>* nodes) {
+  uint64_t count = 0;
+  if (!reader.U64(&count)) return reader.status();
+  // Each node is at least 9 bytes; a bigger count cannot fit what remains.
+  if (count > reader.remaining()) {
+    return Status::DataLoss("tree node count " + std::to_string(count) +
+                            " exceeds payload at byte " +
+                            std::to_string(reader.offset()));
+  }
+  nodes->resize(static_cast<size_t>(count));
+  for (auto& node : *nodes) {
+    uint8_t is_leaf = 0;
+    if (!reader.U8(&is_leaf)) return reader.status();
+    node.is_leaf = is_leaf != 0;
+    if (node.is_leaf) {
+      if (!reader.F64(&node.probability)) return reader.status();
+    } else {
+      int32_t feature = 0;
+      int32_t left = 0;
+      int32_t right = 0;
+      if (!reader.I32(&feature) || !reader.F64(&node.threshold) ||
+          !reader.I32(&left) || !reader.I32(&right)) {
+        return reader.status();
+      }
+      node.feature = feature;
+      node.left = left;
+      node.right = right;
+    }
+  }
+  return ValidateDtNodes(*nodes);
+}
+
+void WriteGbdtNodesBinary(BinaryWriter& writer,
+                          const std::vector<GbdtTreeNode>& nodes) {
+  writer.U64(nodes.size());
+  for (const auto& node : nodes) {
+    writer.U8(node.is_leaf ? 1 : 0);
+    if (node.is_leaf) {
+      writer.F64(node.value);
+    } else {
+      writer.I32(node.feature);
+      writer.F64(node.threshold);
+      writer.I32(node.left);
+      writer.I32(node.right);
+    }
+  }
+}
+
+Status ReadGbdtNodesBinary(BinaryReader& reader,
+                           std::vector<GbdtTreeNode>* nodes) {
+  uint64_t count = 0;
+  if (!reader.U64(&count)) return reader.status();
+  if (count > reader.remaining()) {
+    return Status::DataLoss("gbdt node count " + std::to_string(count) +
+                            " exceeds payload at byte " +
+                            std::to_string(reader.offset()));
+  }
+  nodes->resize(static_cast<size_t>(count));
+  for (auto& node : *nodes) {
+    uint8_t is_leaf = 0;
+    if (!reader.U8(&is_leaf)) return reader.status();
+    node.is_leaf = is_leaf != 0;
+    if (node.is_leaf) {
+      if (!reader.F64(&node.value)) return reader.status();
+    } else {
+      int32_t feature = 0;
+      int32_t left = 0;
+      int32_t right = 0;
+      if (!reader.I32(&feature) || !reader.F64(&node.threshold) ||
+          !reader.I32(&left) || !reader.I32(&right)) {
+        return reader.status();
+      }
+      node.feature = feature;
+      node.left = left;
+      node.right = right;
+    }
+  }
+  return ValidateGbdtNodes(*nodes);
+}
+
+}  // namespace
+
+Status SerializeModelBinary(const Classifier& model, BinaryWriter& writer) {
+  if (const auto* lr = dynamic_cast<const LogisticRegressionModel*>(&model)) {
+    writer.U8(kTagLr);
+    writer.F64Vector(lr->coefficients());
+    writer.F64(lr->intercept());
+    return Status::Ok();
+  }
+  if (const auto* nb = dynamic_cast<const NaiveBayesModel*>(&model)) {
+    writer.U8(kTagNb);
+    writer.F64(nb->log_prior_ratio());
+    writer.F64Vector(nb->mean0());
+    writer.F64Vector(nb->mean1());
+    writer.F64Vector(nb->var0());
+    writer.F64Vector(nb->var1());
+    return Status::Ok();
+  }
+  if (const auto* dt = dynamic_cast<const DecisionTreeModel*>(&model)) {
+    writer.U8(kTagDt);
+    WriteDtNodesBinary(writer, dt->nodes());
+    return Status::Ok();
+  }
+  if (const auto* rf = dynamic_cast<const RandomForestModel*>(&model)) {
+    writer.U8(kTagRf);
+    writer.U64(rf->trees().size());
+    for (const auto& tree : rf->trees()) {
+      const auto* tree_model = dynamic_cast<const DecisionTreeModel*>(tree.get());
+      if (tree_model == nullptr) {
+        return Status::Unsupported("forest contains a non-CART member");
+      }
+      WriteDtNodesBinary(writer, tree_model->nodes());
+    }
+    return Status::Ok();
+  }
+  if (const auto* gbdt = dynamic_cast<const GbdtModel*>(&model)) {
+    writer.U8(kTagGbdt);
+    writer.F64(gbdt->base_score());
+    writer.F64(gbdt->learning_rate());
+    writer.U64(gbdt->trees().size());
+    for (const auto& tree : gbdt->trees()) WriteGbdtNodesBinary(writer, tree);
+    return Status::Ok();
+  }
+  if (const auto* mlp = dynamic_cast<const MlpModel*>(&model)) {
+    writer.U8(kTagMlp);
+    writer.U64(mlp->W1().rows());
+    writer.U64(mlp->W1().cols());
+    for (size_t r = 0; r < mlp->W1().rows(); ++r) {
+      for (size_t c = 0; c < mlp->W1().cols(); ++c) {
+        writer.F64(mlp->W1()(r, c));
+      }
+    }
+    writer.F64Vector(mlp->b1());
+    writer.F64Vector(mlp->w2());
+    writer.F64(mlp->b2());
+    return Status::Ok();
+  }
+  return Status::Unsupported("no binary serializer for model family " +
+                             model.Name());
+}
+
+Result<std::unique_ptr<Classifier>> DeserializeModelBinary(BinaryReader& reader) {
+  uint8_t tag = 0;
+  if (!reader.U8(&tag)) return reader.status();
+  switch (tag) {
+    case kTagLr: {
+      std::vector<double> coefficients;
+      double intercept = 0.0;
+      if (!reader.F64Vector(&coefficients) || !reader.F64(&intercept)) {
+        return reader.status();
+      }
+      return std::unique_ptr<Classifier>(std::make_unique<LogisticRegressionModel>(
+          std::move(coefficients), intercept));
+    }
+    case kTagNb: {
+      double log_prior_ratio = 0.0;
+      std::vector<double> mean0;
+      std::vector<double> mean1;
+      std::vector<double> var0;
+      std::vector<double> var1;
+      if (!reader.F64(&log_prior_ratio) || !reader.F64Vector(&mean0) ||
+          !reader.F64Vector(&mean1) || !reader.F64Vector(&var0) ||
+          !reader.F64Vector(&var1)) {
+        return reader.status();
+      }
+      return std::unique_ptr<Classifier>(std::make_unique<NaiveBayesModel>(
+          log_prior_ratio, std::move(mean0), std::move(mean1), std::move(var0),
+          std::move(var1)));
+    }
+    case kTagDt: {
+      std::vector<DecisionTreeModel::Node> nodes;
+      Status status = ReadDtNodesBinary(reader, &nodes);
+      if (!status.ok()) return status;
+      return std::unique_ptr<Classifier>(
+          std::make_unique<DecisionTreeModel>(std::move(nodes)));
+    }
+    case kTagRf: {
+      uint64_t num_trees = 0;
+      if (!reader.U64(&num_trees)) return reader.status();
+      if (num_trees > reader.remaining()) {
+        return Status::DataLoss("forest tree count " +
+                                std::to_string(num_trees) +
+                                " exceeds payload at byte " +
+                                std::to_string(reader.offset()));
+      }
+      std::vector<std::unique_ptr<Classifier>> trees;
+      trees.reserve(static_cast<size_t>(num_trees));
+      for (uint64_t t = 0; t < num_trees; ++t) {
+        std::vector<DecisionTreeModel::Node> nodes;
+        Status status = ReadDtNodesBinary(reader, &nodes);
+        if (!status.ok()) return status;
+        trees.push_back(std::make_unique<DecisionTreeModel>(std::move(nodes)));
+      }
+      return std::unique_ptr<Classifier>(
+          std::make_unique<RandomForestModel>(std::move(trees)));
+    }
+    case kTagGbdt: {
+      double base_score = 0.0;
+      double learning_rate = 0.0;
+      uint64_t num_trees = 0;
+      if (!reader.F64(&base_score) || !reader.F64(&learning_rate) ||
+          !reader.U64(&num_trees)) {
+        return reader.status();
+      }
+      if (num_trees > reader.remaining()) {
+        return Status::DataLoss("gbdt tree count " + std::to_string(num_trees) +
+                                " exceeds payload at byte " +
+                                std::to_string(reader.offset()));
+      }
+      std::vector<std::vector<GbdtTreeNode>> trees(
+          static_cast<size_t>(num_trees));
+      for (auto& tree : trees) {
+        Status status = ReadGbdtNodesBinary(reader, &tree);
+        if (!status.ok()) return status;
+      }
+      return std::unique_ptr<Classifier>(std::make_unique<GbdtModel>(
+          std::move(trees), base_score, learning_rate));
+    }
+    case kTagMlp: {
+      uint64_t hidden = 0;
+      uint64_t inputs = 0;
+      if (!reader.U64(&hidden) || !reader.U64(&inputs)) return reader.status();
+      if (hidden * 8 > reader.remaining() || inputs * 8 > reader.remaining() ||
+          (inputs != 0 && hidden > reader.remaining() / 8 / inputs)) {
+        return Status::DataLoss("mlp claims a " + std::to_string(hidden) + "x" +
+                                std::to_string(inputs) +
+                                " hidden layer exceeding payload at byte " +
+                                std::to_string(reader.offset()));
+      }
+      Matrix W1(static_cast<size_t>(hidden), static_cast<size_t>(inputs));
+      for (size_t r = 0; r < W1.rows(); ++r) {
+        for (size_t c = 0; c < W1.cols(); ++c) {
+          if (!reader.F64(&W1(r, c))) return reader.status();
+        }
+      }
+      std::vector<double> b1;
+      std::vector<double> w2;
+      double b2 = 0.0;
+      if (!reader.F64Vector(&b1) || !reader.F64Vector(&w2) || !reader.F64(&b2)) {
+        return reader.status();
+      }
+      return std::unique_ptr<Classifier>(std::make_unique<MlpModel>(
+          std::move(W1), std::move(b1), std::move(w2), b2));
+    }
+    default:
+      return Status::DataLoss("unknown binary model family tag " +
+                              std::to_string(tag) + " at byte " +
+                              std::to_string(reader.offset()));
+  }
+}
+
+Result<std::vector<uint8_t>> SerializeModelBinary(const Classifier& model) {
+  BinaryWriter writer;
+  Status status = SerializeModelBinary(model, writer);
+  if (!status.ok()) return status;
+  return writer.TakeBuffer();
+}
+
+Result<std::unique_ptr<Classifier>> DeserializeModelBinary(
+    const std::vector<uint8_t>& bytes) {
+  BinaryReader reader(bytes);
+  return DeserializeModelBinary(reader);
 }
 
 }  // namespace omnifair

@@ -1,12 +1,15 @@
 #ifndef OMNIFAIR_ML_SERIALIZATION_H_
 #define OMNIFAIR_ML_SERIALIZATION_H_
 
+#include <cstdint>
 #include <istream>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "ml/classifier.h"
+#include "util/snapshot_io.h"
 #include "util/status.h"
 
 namespace omnifair {
@@ -18,9 +21,29 @@ namespace omnifair {
 Status SerializeModel(const Classifier& model, std::ostream& os);
 Status SaveModel(const Classifier& model, const std::string& path);
 
-/// Loads a model written by SerializeModel/SaveModel.
+/// Loads a model written by SerializeModel/SaveModel. Malformed input yields
+/// typed statuses with byte context: kDataLoss for truncation, and
+/// kInvalidArgument for content that parses but cannot describe a valid
+/// model (unknown node kinds, out-of-range tree child indices, absurd
+/// counts). Tree payloads are validated so a hostile file can never make
+/// Predict read out of bounds or loop forever.
 Result<std::unique_ptr<Classifier>> DeserializeModel(std::istream& is);
 Result<std::unique_ptr<Classifier>> LoadModel(const std::string& path);
+
+/// Compact binary model codec over the snapshot byte layer (util/snapshot_io).
+/// Doubles are stored as raw IEEE-754 bits, so a deserialized model is
+/// bit-identical to the original — the property the checkpoint/resume layer
+/// depends on. Same families as the text format; other classifiers return
+/// kUnsupported.
+Status SerializeModelBinary(const Classifier& model, BinaryWriter& writer);
+/// Consumes one model from `reader` (as written by SerializeModelBinary).
+/// Corrupt payloads yield kDataLoss with the failing byte offset.
+Result<std::unique_ptr<Classifier>> DeserializeModelBinary(BinaryReader& reader);
+
+/// Whole-buffer conveniences around the streaming codec.
+Result<std::vector<uint8_t>> SerializeModelBinary(const Classifier& model);
+Result<std::unique_ptr<Classifier>> DeserializeModelBinary(
+    const std::vector<uint8_t>& bytes);
 
 }  // namespace omnifair
 

@@ -17,6 +17,18 @@ inline constexpr char kMlpEpoch[] = "mlp.epoch";
 inline constexpr char kGbdtRound[] = "gbdt.round";
 /// Corrupts one FP_j evaluation in ConstraintEvaluator::FairnessPart to NaN.
 inline constexpr char kFairnessPart[] = "evaluator.fairness_part";
+/// Forces one short write(2) reported as EINTR in WriteSnapshotFile
+/// (transient; exercises RetryIo).
+inline constexpr char kIoShortWrite[] = "io.short_write";
+/// Forces ENOSPC in WriteSnapshotFile (permanent; retries must give up).
+inline constexpr char kIoEnospc[] = "io.enospc";
+/// Flips one payload byte after ReadSnapshotFile reads a file (exercises the
+/// CRC32 guard).
+inline constexpr char kIoCorruptRead[] = "io.corrupt_read";
+/// Simulates a crash immediately after a checkpoint write completes: the
+/// tuner observes an interrupt and stops, leaving a durable snapshot behind.
+inline constexpr char kCheckpointCrashAfterWrite[] =
+    "checkpoint.crash_after_write";
 }  // namespace fault_sites
 
 /// Deterministic, process-global fault injector. Disarmed by default (the

@@ -1,0 +1,357 @@
+#include "util/snapshot_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/fault_injector.h"
+#include "util/logging.h"
+
+namespace omnifair {
+namespace {
+
+/// "OFSN" little-endian: the first four bytes of every snapshot file.
+constexpr uint32_t kMagic = 0x4E53464Fu;
+/// Header: magic, version, flags, section count (4 x u32).
+constexpr size_t kHeaderBytes = 16;
+/// CRC32 trailer.
+constexpr size_t kTrailerBytes = 4;
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc) {
+  const uint32_t* table = Crc32Table();
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// --- BinaryWriter -----------------------------------------------------------
+
+void BinaryWriter::U32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void BinaryWriter::U64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void BinaryWriter::F64(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  U64(bits);
+}
+
+void BinaryWriter::String(const std::string& value) {
+  U32(static_cast<uint32_t>(value.size()));
+  RawBytes(reinterpret_cast<const uint8_t*>(value.data()), value.size());
+}
+
+void BinaryWriter::F64Vector(const std::vector<double>& values) {
+  U64(values.size());
+  for (double v : values) F64(v);
+}
+
+void BinaryWriter::Bytes(const std::vector<uint8_t>& bytes) {
+  U64(bytes.size());
+  RawBytes(bytes.data(), bytes.size());
+}
+
+void BinaryWriter::RawBytes(const uint8_t* data, size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+// --- BinaryReader -----------------------------------------------------------
+
+bool BinaryReader::Fail(const std::string& what) {
+  if (status_.ok()) {
+    status_ = Status::DataLoss("truncated snapshot: " + what + " at byte " +
+                               std::to_string(offset_) + " of " +
+                               std::to_string(size_));
+  }
+  return false;
+}
+
+bool BinaryReader::Take(size_t count, const uint8_t** out) {
+  if (!status_.ok()) return false;
+  if (count > size_ - offset_) return false;
+  *out = data_ + offset_;
+  offset_ += count;
+  return true;
+}
+
+bool BinaryReader::U8(uint8_t* value) {
+  const uint8_t* p = nullptr;
+  if (!Take(1, &p)) return Fail("u8");
+  *value = *p;
+  return true;
+}
+
+bool BinaryReader::U32(uint32_t* value) {
+  const uint8_t* p = nullptr;
+  if (!Take(4, &p)) return Fail("u32");
+  *value = 0;
+  for (int i = 0; i < 4; ++i) *value |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return true;
+}
+
+bool BinaryReader::U64(uint64_t* value) {
+  const uint8_t* p = nullptr;
+  if (!Take(8, &p)) return Fail("u64");
+  *value = 0;
+  for (int i = 0; i < 8; ++i) *value |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return true;
+}
+
+bool BinaryReader::I32(int32_t* value) {
+  uint32_t bits = 0;
+  if (!U32(&bits)) return false;
+  *value = static_cast<int32_t>(bits);
+  return true;
+}
+
+bool BinaryReader::I64(int64_t* value) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) return false;
+  *value = static_cast<int64_t>(bits);
+  return true;
+}
+
+bool BinaryReader::F64(double* value) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) return false;
+  std::memcpy(value, &bits, sizeof(*value));
+  return true;
+}
+
+bool BinaryReader::String(std::string* value) {
+  uint32_t length = 0;
+  if (!U32(&length)) return false;
+  // A length prefix larger than the bytes left is corruption, not an
+  // allocation request.
+  if (length > remaining()) return Fail("string of " + std::to_string(length));
+  const uint8_t* p = nullptr;
+  if (!Take(length, &p)) return Fail("string bytes");
+  value->assign(reinterpret_cast<const char*>(p), length);
+  return true;
+}
+
+bool BinaryReader::F64Vector(std::vector<double>* values) {
+  uint64_t count = 0;
+  if (!U64(&count)) return false;
+  if (count > remaining() / 8) return Fail("f64[" + std::to_string(count) + "]");
+  values->resize(static_cast<size_t>(count));
+  for (double& v : *values) {
+    if (!F64(&v)) return false;
+  }
+  return true;
+}
+
+bool BinaryReader::Bytes(std::vector<uint8_t>* bytes) {
+  uint64_t length = 0;
+  if (!U64(&length)) return false;
+  if (length > remaining()) return Fail("bytes of " + std::to_string(length));
+  const uint8_t* p = nullptr;
+  if (!Take(static_cast<size_t>(length), &p)) return Fail("byte payload");
+  bytes->assign(p, p + length);
+  return true;
+}
+
+// --- Snapshot container -----------------------------------------------------
+
+const SnapshotSection* Snapshot::Find(const std::string& name) const {
+  for (const SnapshotSection& section : sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+Status RetryIo(const RetryOptions& options, const std::function<Status()>& op) {
+  const int attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  double backoff_ms = options.initial_backoff_ms;
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = op();
+    if (status.code() != StatusCode::kUnavailable) return status;
+    if (attempt == attempts) break;
+    OF_LOG(Warning) << "transient IO error (attempt " << attempt << "/"
+                    << attempts << "): " << status.message() << "; backing off "
+                    << backoff_ms << "ms";
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms *= 2.0;
+  }
+  return status;
+}
+
+namespace {
+
+/// write(2) loop with fault injection. `io.short_write` makes one call stop
+/// after half the bytes and report EINTR (transient, retried by RetryIo);
+/// `io.enospc` reports ENOSPC (permanent).
+Status WriteAll(int fd, const std::string& path, const uint8_t* data,
+                size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    if (FaultInjector::ShouldFail(fault_sites::kIoEnospc)) {
+      return IoError(path, "write", ENOSPC);
+    }
+    size_t chunk = size - written;
+    bool injected_short = false;
+    if (FaultInjector::ShouldFail(fault_sites::kIoShortWrite)) {
+      chunk = chunk / 2;
+      injected_short = true;
+      if (chunk == 0) return IoError(path, "write", EINTR);
+    }
+    const ssize_t n = ::write(fd, data + written, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(path, "write");
+    }
+    written += static_cast<size_t>(n);
+    if (injected_short) return IoError(path, "write", EINTR);
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> SerializeSnapshot(const Snapshot& snapshot) {
+  BinaryWriter writer;
+  writer.U32(kMagic);
+  writer.U32(snapshot.version);
+  writer.U32(snapshot.flags);
+  writer.U32(static_cast<uint32_t>(snapshot.sections.size()));
+  for (const SnapshotSection& section : snapshot.sections) {
+    writer.String(section.name);
+    writer.Bytes(section.payload);
+  }
+  std::vector<uint8_t> bytes = writer.TakeBuffer();
+  const uint32_t crc = Crc32(bytes.data(), bytes.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes.push_back(static_cast<uint8_t>(crc >> shift));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot,
+                         const RetryOptions& retry) {
+  const std::vector<uint8_t> bytes = SerializeSnapshot(snapshot);
+  const std::string temp_path = path + ".tmp";
+  Status status = RetryIo(retry, [&]() -> Status {
+    const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return IoError(temp_path, "open");
+    Status write_status = WriteAll(fd, temp_path, bytes.data(), bytes.size());
+    if (write_status.ok() && ::fsync(fd) != 0) {
+      write_status = IoError(temp_path, "fsync");
+    }
+    if (::close(fd) != 0 && write_status.ok()) {
+      write_status = IoError(temp_path, "close");
+    }
+    if (!write_status.ok()) {
+      ::unlink(temp_path.c_str());
+      return write_status;
+    }
+    if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+      Status rename_status = IoError(path, "rename");
+      ::unlink(temp_path.c_str());
+      return rename_status;
+    }
+    return Status::Ok();
+  });
+  return status;
+}
+
+Result<Snapshot> ReadSnapshotFile(const std::string& path, uint32_t max_version) {
+  std::vector<uint8_t> bytes;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return IoError(path, "open");
+    std::vector<uint8_t> chunk(1 << 16);
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status status = IoError(path, "read");
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + n);
+    }
+    ::close(fd);
+  }
+  if (FaultInjector::ShouldFail(fault_sites::kIoCorruptRead) && !bytes.empty()) {
+    bytes[bytes.size() * 2 / 3] ^= 0x40;  // simulated bit flip
+  }
+
+  if (bytes.size() < kHeaderBytes + kTrailerBytes) {
+    return Status::DataLoss("snapshot " + path + " is " +
+                            std::to_string(bytes.size()) +
+                            " bytes; too short for header + CRC trailer");
+  }
+  const size_t body = bytes.size() - kTrailerBytes;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(bytes[body + i]) << (8 * i);
+  }
+  const uint32_t actual_crc = Crc32(bytes.data(), body);
+
+  BinaryReader reader(bytes.data(), body);
+  uint32_t magic = 0;
+  Snapshot snapshot;
+  uint32_t section_count = 0;
+  if (!reader.U32(&magic) || !reader.U32(&snapshot.version) ||
+      !reader.U32(&snapshot.flags) || !reader.U32(&section_count)) {
+    return reader.status();
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not an omnifair snapshot: " + path +
+                                   " (bad magic)");
+  }
+  if (snapshot.version > max_version) {
+    return Status::InvalidArgument(
+        "snapshot " + path + " has version " +
+        std::to_string(snapshot.version) + "; this build reads up to " +
+        std::to_string(max_version));
+  }
+  if (actual_crc != stored_crc) {
+    return Status::DataLoss("snapshot " + path +
+                            " failed CRC32 validation (corrupt or truncated)");
+  }
+  snapshot.sections.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    SnapshotSection section;
+    if (!reader.String(&section.name) || !reader.Bytes(&section.payload)) {
+      return reader.status();
+    }
+    snapshot.sections.push_back(std::move(section));
+  }
+  return snapshot;
+}
+
+}  // namespace omnifair

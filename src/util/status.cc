@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace omnifair {
 
 std::string StatusCodeToString(StatusCode code) {
@@ -16,6 +19,10 @@ std::string StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -27,6 +34,75 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
+}
+
+std::string ErrnoName(int err) {
+  switch (err) {
+    case 0: return "OK";
+    case EACCES: return "EACCES";
+    case EAGAIN: return "EAGAIN";
+    case EBADF: return "EBADF";
+    case EBUSY: return "EBUSY";
+    case EEXIST: return "EEXIST";
+    case EFBIG: return "EFBIG";
+    case EINTR: return "EINTR";
+    case EINVAL: return "EINVAL";
+    case EIO: return "EIO";
+    case EISDIR: return "EISDIR";
+    case EMFILE: return "EMFILE";
+    case ENAMETOOLONG: return "ENAMETOOLONG";
+    case ENFILE: return "ENFILE";
+    case ENOENT: return "ENOENT";
+    case ENOMEM: return "ENOMEM";
+    case ENOSPC: return "ENOSPC";
+    case ENOTDIR: return "ENOTDIR";
+    case EPERM: return "EPERM";
+    case EROFS: return "EROFS";
+    case ETIMEDOUT: return "ETIMEDOUT";
+    case EXDEV: return "EXDEV";
+    default: return "errno " + std::to_string(err);
+  }
+}
+
+namespace {
+
+StatusCode IoErrorCode(int err) {
+  switch (err) {
+    case 0:
+      // A stream went bad without an errno (e.g. a failed ostream with no OS
+      // detail); there is nothing actionable in the path, so report internal.
+      return StatusCode::kInternal;
+    case ENOENT:
+    case ENOTDIR:
+    case EISDIR:
+    case EACCES:
+    case EPERM:
+    case ENAMETOOLONG:
+    case EINVAL:
+      return StatusCode::kInvalidArgument;
+    case EINTR:
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ETIMEDOUT:
+      return StatusCode::kUnavailable;
+    default:
+      return StatusCode::kDataLoss;
+  }
+}
+
+}  // namespace
+
+Status IoError(const std::string& path, const std::string& op, int err) {
+  std::string message = op + " " + path + ": " + ErrnoName(err);
+  if (err != 0) message += std::string(" (") + std::strerror(err) + ")";
+  return Status(IoErrorCode(err), std::move(message));
+}
+
+Status IoError(const std::string& path, const std::string& op) {
+  return IoError(path, op, errno);
 }
 
 }  // namespace omnifair

@@ -24,6 +24,12 @@ enum class StatusCode {
   /// A TrainBudget (wall-clock deadline or model cap) expired before the
   /// search finished; any model returned alongside is best-effort.
   kDeadlineExceeded = 5,
+  /// Persisted bytes are unrecoverable: a truncated or bit-flipped snapshot
+  /// (CRC mismatch), a malformed model file, or a failed durable write.
+  kDataLoss = 6,
+  /// A transient IO condition (EINTR, EAGAIN, EBUSY...); the operation is
+  /// safe to retry — see RetryIo in util/snapshot_io.h.
+  kUnavailable = 7,
 };
 
 /// Human-readable name of a status code, e.g. "INFEASIBLE".
@@ -55,6 +61,12 @@ class Status {
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -69,6 +81,20 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Symbolic errno name ("ENOENT", "ENOSPC", ...); "errno <n>" for values
+/// outside the common set.
+std::string ErrnoName(int err);
+
+/// Uniform IO failure: "<op> <path>: <ERRNO_NAME> (<strerror>)". Captures
+/// `errno` at call time unless `err` is passed explicitly. The status code is
+/// derived from the errno class: bad-path errnos (ENOENT, EACCES...) map to
+/// kInvalidArgument, transient ones (EINTR, EAGAIN...) to kUnavailable, a
+/// zero errno (stream failure with no OS detail) to kInternal, and everything
+/// else (EIO, ENOSPC...) to kDataLoss. Every file-touching Status in the
+/// library is built through this helper so messages stay grep-able.
+Status IoError(const std::string& path, const std::string& op);
+Status IoError(const std::string& path, const std::string& op, int err);
 
 /// Minimal StatusOr-like holder: either a value or a non-OK status.
 template <typename T>

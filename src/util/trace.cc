@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/json_writer.h"
+#include "util/status.h"
 
 namespace omnifair {
 namespace {
@@ -116,9 +117,10 @@ std::string TraceCollector::ToChromeJson() const {
 
 Status TraceCollector::WriteChromeJson(const std::string& path) const {
   std::ofstream out(path);
-  if (!out) return Status::InvalidArgument("cannot open " + path + " for write");
+  if (!out) return IoError(path, "open");
   out << ToChromeJson();
-  if (!out) return Status::Internal("write failed for " + path);
+  out.flush();
+  if (!out) return IoError(path, "write");
   return Status::Ok();
 }
 

@@ -10,7 +10,8 @@ namespace omnifair {
 TrainBudget::TrainBudget(TrainBudgetOptions options) : options_(options) {}
 
 double TrainBudget::ElapsedSeconds() const {
-  return stopwatch_.ElapsedSeconds() + FaultInjector::ClockSkewSeconds();
+  return consumed_base_ + stopwatch_.ElapsedSeconds() +
+         FaultInjector::ClockSkewSeconds();
 }
 
 bool TrainBudget::Expired() const {

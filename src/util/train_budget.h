@@ -36,8 +36,18 @@ class TrainBudget {
   bool limited() const {
     return options_.deadline_seconds > 0.0 || options_.max_models > 0;
   }
-  /// Seconds since construction, including injected clock skew.
+  /// Seconds since construction, including injected clock skew and any
+  /// restored pre-crash time.
   double ElapsedSeconds() const;
+
+  /// Credits `seconds` of wall-clock already spent by an interrupted run
+  /// (checkpoint resume): the deadline continues from where the original run
+  /// stopped instead of granting the resumed process a fresh allowance.
+  /// Model-cap accounting needs no counterpart — replayed fits charge
+  /// NoteModelTrained naturally.
+  void RestoreConsumed(double seconds) {
+    if (seconds > 0.0) consumed_base_ += seconds;
+  }
   int models_trained() const {
     return models_trained_.load(std::memory_order_relaxed);
   }
@@ -53,6 +63,7 @@ class TrainBudget {
  private:
   TrainBudgetOptions options_;
   Stopwatch stopwatch_;
+  double consumed_base_ = 0.0;
   std::atomic<int> models_trained_{0};
   mutable std::atomic<bool> expiry_logged_{false};
 };

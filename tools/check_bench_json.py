@@ -53,6 +53,12 @@ PER_BENCH_SECTIONS = {
                                  "bins_reused"],
         "grid_reuse": ["models_trained", "seconds", "bins_reused"],
     },
+    "checkpoint": {
+        "checkpoint_overhead": ["plain_seconds", "checkpoint_seconds",
+                                "throttled_seconds", "overhead_fraction",
+                                "throttled_overhead_fraction",
+                                "resume_seconds", "checkpoint_bytes"],
+    },
 }
 
 

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Aggregate omnifair.bench JSON documents into one BENCH_SUMMARY.json.
+
+Usage:
+    tools/collect_bench.py [BENCH_DIR] [-o OUTPUT]
+
+BENCH_DIR defaults to bench/out (where the bench binaries write when
+OMNIFAIR_BENCH_OUT is unset); OUTPUT defaults to BENCH_DIR/BENCH_SUMMARY.json.
+
+Each input document is validated against the omnifair.bench schema with
+check_bench_json.py before inclusion; invalid documents are reported and
+skipped so a single corrupt file does not poison the summary. The summary
+carries, per bench: title, config, wall_seconds, row/trajectory counts, a
+per-section numeric-field mean/min/max digest, and any recovery events.
+Exit status is 1 when any input failed validation, 2 when no inputs exist.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_json  # noqa: E402
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def digest_sections(results):
+    """Per-section mean/min/max over every numeric value field."""
+    sections = {}
+    for row in results:
+        stats = sections.setdefault(row["section"], {"rows": 0, "values": {}})
+        stats["rows"] += 1
+        for field, value in row.get("values", {}).items():
+            if not is_number(value):
+                continue
+            agg = stats["values"].setdefault(
+                field, {"sum": 0.0, "min": value, "max": value, "count": 0})
+            agg["sum"] += value
+            agg["min"] = min(agg["min"], value)
+            agg["max"] = max(agg["max"], value)
+            agg["count"] += 1
+    out = {}
+    for name, stats in sorted(sections.items()):
+        fields = {}
+        for field, agg in sorted(stats["values"].items()):
+            fields[field] = {
+                "mean": agg["sum"] / agg["count"],
+                "min": agg["min"],
+                "max": agg["max"],
+            }
+        out[name] = {"rows": stats["rows"], "fields": fields}
+    return out
+
+
+def summarize(path, doc):
+    summary = {
+        "file": os.path.basename(path),
+        "title": doc.get("title", ""),
+        "config": doc.get("config", {}),
+        "wall_seconds": doc.get("wall_seconds"),
+        "result_rows": len(doc.get("results", [])),
+        "trajectories": len(doc.get("tune_trajectories", [])),
+        "sections": digest_sections(doc.get("results", [])),
+    }
+    if doc.get("recovery_events"):
+        summary["recovery_events"] = doc["recovery_events"]
+    return summary
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Aggregate bench/out/*.json into BENCH_SUMMARY.json")
+    parser.add_argument("bench_dir", nargs="?", default="bench/out",
+                        help="directory of omnifair.bench JSON files")
+    parser.add_argument("-o", "--output", default=None,
+                        help="summary path (default: BENCH_DIR/BENCH_SUMMARY.json)")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.bench_dir):
+        print(f"collect_bench: no such directory: {args.bench_dir}",
+              file=sys.stderr)
+        return 2
+    output = args.output or os.path.join(args.bench_dir, "BENCH_SUMMARY.json")
+
+    benches = {}
+    failures = []
+    names = sorted(n for n in os.listdir(args.bench_dir) if n.endswith(".json"))
+    names = [n for n in names
+             if os.path.join(args.bench_dir, n) != os.path.abspath(output)
+             and n != os.path.basename(output)]
+    for name in names:
+        path = os.path.join(args.bench_dir, name)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            failures.append((name, [str(error)]))
+            continue
+        if not isinstance(doc, dict):
+            failures.append((name, ["top level is not an object"]))
+            continue
+        errors = []
+        check_bench_json.check_document(doc, errors)
+        if errors:
+            failures.append((name, errors))
+            continue
+        benches[doc["bench"]] = summarize(path, doc)
+
+    for name, errors in failures:
+        print(f"collect_bench: skipping {name}:", file=sys.stderr)
+        for error in errors[:5]:
+            print(f"  {error}", file=sys.stderr)
+
+    if not benches and not failures:
+        print(f"collect_bench: no bench JSON in {args.bench_dir}",
+              file=sys.stderr)
+        return 2
+
+    summary = {
+        "schema": "omnifair.bench_summary",
+        "schema_version": 1,
+        "bench_count": len(benches),
+        "skipped": [name for name, _ in failures],
+        "benches": {name: benches[name] for name in sorted(benches)},
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {output}: {len(benches)} benches"
+          + (f", {len(failures)} skipped" if failures else ""))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,8 @@ int Usage() {
                "  train --data data.csv --label COLUMN --sensitive COLUMN\n"
                "        [--metric sp] [--epsilon 0.05] [--model lr] [--seed S]\n"
                "        [--positive-label VALUE] [--out model.txt]\n"
+               "        [--checkpoint ckpt.bin] [--checkpoint-interval SECONDS]\n"
+               "        [--resume [ckpt.bin]]   (resume a killed tuning run)\n"
                "  profile --data data.csv --label COLUMN [--sensitive COLUMN]\n"
                "  audit --data data.csv --label COLUMN --sensitive COLUMN\n"
                "        [--metric sp] [--epsilon 0.05] [--positive-label VALUE]\n"
@@ -116,7 +118,21 @@ int RunTrain(const Args& args) {
                                args.Get("metric", "sp"),
                                args.GetDouble("epsilon", 0.05));
   auto trainer = MakeTrainer(args.Get("model", "lr"), seed);
-  OmniFair omnifair;
+  OmniFairOptions options;
+  options.checkpoint.path = args.Get("checkpoint");
+  options.checkpoint.interval_s = args.GetDouble("checkpoint-interval", 0.0);
+  if (args.Has("resume")) {
+    // Bare --resume reuses the --checkpoint file; --resume FILE overrides.
+    const std::string resume = args.Get("resume");
+    options.checkpoint.resume_from =
+        resume == "1" ? options.checkpoint.path : resume;
+    if (options.checkpoint.resume_from.empty()) {
+      std::fprintf(stderr,
+                   "error: --resume needs --checkpoint PATH or --resume FILE\n");
+      return 2;
+    }
+  }
+  OmniFair omnifair(options);
   auto fair = omnifair.Train(split.train, split.val, trainer.get(), {spec});
   if (!fair.ok()) {
     std::fprintf(stderr, "error: %s\n", fair.status().ToString().c_str());
@@ -195,10 +211,15 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) return Usage();
-    args.flags[key.substr(2)] = argv[i + 1];
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.flags[key.substr(2)] = argv[++i];
+    } else {
+      // Valueless switch (e.g. a bare --resume): stored as "1".
+      args.flags[key.substr(2)] = "1";
+    }
   }
   if (args.command == "synth") return RunSynth(args);
   if (args.command == "profile") return RunProfile(args);

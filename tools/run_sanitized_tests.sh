@@ -4,13 +4,17 @@
 #
 # Modes (selected by the OMNIFAIR_SANITIZE environment variable):
 #   default / unset        AddressSanitizer + UBSan over the full suite
-#                          (build-sanitized/)
+#                          (build-sanitized/), which includes the chaos-
+#                          labelled durability tests (fault-injected IO,
+#                          crash/resume).
 #   OMNIFAIR_SANITIZE=thread
-#                          ThreadSanitizer over the concurrency-labelled
-#                          tests only (build-tsan/): the thread pool, the
-#                          parallel tuner determinism suite, and telemetry.
-#                          TSan is incompatible with ASan, hence the
-#                          separate tree and mode.
+#                          ThreadSanitizer over the concurrency- and
+#                          chaos-labelled tests only (build-tsan/): the
+#                          thread pool, the parallel tuner determinism
+#                          suite, telemetry, and checkpoint/resume (whose
+#                          parallel-grid resume exercises record barriers
+#                          across workers). TSan is incompatible with
+#                          ASan, hence the separate tree and mode.
 #
 # Usage: [OMNIFAIR_SANITIZE=thread] tools/run_sanitized_tests.sh [extra ctest args...]
 set -euo pipefail
@@ -21,7 +25,7 @@ mode="${OMNIFAIR_SANITIZE:-address}"
 if [[ "${mode}" == "thread" ]]; then
   build_dir="${repo_root}/build-tsan"
   sanitizers="thread"
-  ctest_args=(-L concurrency)
+  ctest_args=(-L 'concurrency|chaos')
 else
   build_dir="${repo_root}/build-sanitized"
   sanitizers="address;undefined"
