@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/run_profile.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -88,6 +89,8 @@ double ConstraintEvaluator::FairnessPart(size_t j,
   OF_CHECK_LT(j, constraints_.size());
   OF_CHECK_EQ(predictions.size(), dataset_.NumRows());
   OF_COUNTER_INC("evaluator.fairness_part_evals");
+  RunStageTimer stage_timer(profiler_.load(std::memory_order_relaxed),
+                            RunStage::kConstraintEval);
   if (HasEmptyGroup(j)) return 0.0;
   const FairnessMetric& metric = *constraints_[j].metric;
   double raw;

@@ -1,6 +1,7 @@
 #ifndef OMNIFAIR_CORE_EVALUATOR_H_
 #define OMNIFAIR_CORE_EVALUATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "ml/classifier.h"
 
 namespace omnifair {
+
+class RunProfiler;
 
 /// Materializes a set of pairwise constraints on one dataset split and
 /// evaluates the fairness parts FP_j(theta) = f(h, g1_j) - f(h, g2_j) and
@@ -62,6 +65,14 @@ class ConstraintEvaluator {
 
   const Dataset& dataset() const { return dataset_; }
 
+  /// Attaches a (caller-owned) run profiler; FairnessPart — the leaf every
+  /// parts/violation derivation funnels through — then charges its time to
+  /// RunStage::kConstraintEval. Pass nullptr to detach. Relaxed atomic so
+  /// parallel FairnessParts workers need no locking.
+  void SetProfiler(RunProfiler* profiler) {
+    profiler_.store(profiler, std::memory_order_relaxed);
+  }
+
  private:
   /// λ- and prediction-independent metric coefficients, resolved once at
   /// construction for metrics with !DependsOnPredictions(). FairnessPart
@@ -80,6 +91,7 @@ class ConstraintEvaluator {
   std::vector<std::vector<size_t>> group1_members_;
   std::vector<std::vector<size_t>> group2_members_;
   std::vector<SideCoefficients> cached_coefficients_;
+  std::atomic<RunProfiler*> profiler_{nullptr};  // caller-owned; null = off
 };
 
 }  // namespace omnifair

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "core/run_profile.h"
 #include "ml/serialization.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -289,6 +290,8 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
               if (cp != nullptr) {
                 // Serialize off-thread, before best-selection can move the
                 // model away; the barrier below logs the blob.
+                RunStageTimer checkpoint_timer(problem.profiler(),
+                                               RunStage::kCheckpoint);
                 Result<std::vector<uint8_t>> serialized =
                     SerializeModelBinary(*outcome.model);
                 if (serialized.ok()) slot.model_blob = std::move(*serialized);
@@ -313,6 +316,8 @@ MultiTuneResult GridSearchTuner::RunCollecting(FairnessProblem& problem,
       // gaps, and the replay log must stay a prefix of the serial order) and
       // give the snapshot a chance to hit disk.
       if (cp != nullptr) {
+        RunStageTimer checkpoint_timer(problem.profiler(),
+                                       RunStage::kCheckpoint);
         for (long long index = live_begin; index < end; ++index) {
           SlotResult& slot = slots[static_cast<size_t>(index)];
           if (!slot.attempted) break;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/run_profile.h"
 #include "ml/serialization.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -307,6 +308,8 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
           const bool fit_ok = probe.outcome.model != nullptr;
           problem.AppendTunePoint(probe.trial, fit_ok, probe.outcome.seconds);
           if (cp != nullptr && !probe.replayed) {
+            RunStageTimer checkpoint_timer(problem.profiler(),
+                                           RunStage::kCheckpoint);
             std::vector<uint8_t> blob;
             if (fit_ok) {
               Result<std::vector<uint8_t>> serialized =
@@ -342,7 +345,11 @@ TuneResult LambdaTuner::TuneCoordinate(FairnessProblem& problem, size_t j,
             side.weight_model = side.theta_l.get();
           }
         }
-        if (cp != nullptr) cp->MaybeWrite();
+        if (cp != nullptr) {
+          RunStageTimer checkpoint_timer(problem.profiler(),
+                                         RunStage::kCheckpoint);
+          cp->MaybeWrite();
+        }
         if (aborted) break;
         continue;
       }

@@ -50,10 +50,30 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
         "carry optimizer state across fits that a resumed process lacks");
   }
 
+  // Profiling rides on the counters level: stage timers, bracketed registry
+  // snapshots for cache/pool attribution, and the process CPU clock. kOff
+  // keeps the documented zero-overhead path (no clocks, no snapshots).
+  const bool profiling =
+      EffectiveTelemetryLevel() >= TelemetryLevel::kCounters;
+  RunProfiler profiler;
+  MetricsSnapshot metrics_before;
+  long long cpu_start_ns = -1;
+  if (profiling) {
+    metrics_before = MetricsRegistry::Global().Snapshot();
+    cpu_start_ns = ProcessCpuNowNs();
+  }
+
   Stopwatch stopwatch;
   Result<std::unique_ptr<FairnessProblem>> problem =
-      FairnessProblem::Create(train, val, specs, trainer, options_.encoder);
+      Status::Internal("uninitialized");
+  {
+    RunStageTimer setup_timer(profiling ? &profiler : nullptr,
+                              RunStage::kSetup);
+    problem =
+        FairnessProblem::Create(train, val, specs, trainer, options_.encoder);
+  }
   if (!problem.ok()) return problem.status();
+  if (profiling) (*problem)->SetProfiler(&profiler);
 
   // The budget starts ticking here; every Fit* inside the tuners is charged
   // to it, and on expiry the search returns the best model reached so far.
@@ -102,7 +122,21 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
   }
   (*problem)->StartTuneReport(nullptr);
   (*problem)->set_budget(nullptr);
+  (*problem)->SetProfiler(nullptr);
   fair.tune_report.models_trained = fair.models_trained;
+
+  if (profiling) {
+    const double total_wall_us = stopwatch.ElapsedSeconds() * 1e6;
+    const long long cpu_now_ns = ProcessCpuNowNs();
+    const double total_cpu_us =
+        (cpu_start_ns >= 0 && cpu_now_ns >= 0)
+            ? static_cast<double>(cpu_now_ns - cpu_start_ns) / 1e3
+            : 0.0;
+    fair.run_profile = BuildRunProfile(
+        profiler, metrics_before, MetricsRegistry::Global().Snapshot(),
+        fair.tune_report.algorithm, hill_climb.tune.num_threads, total_wall_us,
+        total_cpu_us);
+  }
 
   if (warm) trainer->SetWarmStart(false);
   if (fair.model == nullptr) {

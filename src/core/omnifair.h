@@ -9,6 +9,7 @@
 #include "core/hill_climbing.h"
 #include "core/lambda_tuner.h"
 #include "core/problem.h"
+#include "core/run_profile.h"
 #include "core/spec.h"
 #include "core/tune_report.h"
 #include "data/dataset.h"
@@ -84,6 +85,12 @@ struct FairModel {
   /// paper's Figure 2 data, recorded for free on every Train call). Empty
   /// when telemetry is off (DESIGN.md §9).
   TuneReport tune_report;
+  /// Where the run spent its time: per-stage wall/CPU totals (setup, trainer
+  /// fits, weight computation, predictions, constraint evaluation,
+  /// checkpointing), fit counts, cache hit rates, and pool utilization
+  /// (DESIGN.md §13). Rendered by `omnifair_cli explain` / --profile-out.
+  /// Empty when telemetry is off.
+  RunProfile run_profile;
 
   /// Hard predictions for a raw (un-encoded) dataset.
   std::vector<int> Predict(const Dataset& dataset) const;

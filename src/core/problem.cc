@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/checkpoint.h"
+#include "core/run_profile.h"
 #include "ml/metrics.h"
 #include "ml/serialization.h"
 #include "util/logging.h"
@@ -56,6 +57,14 @@ std::vector<double> FairnessProblem::Epsilons() const {
   return epsilons;
 }
 
+void FairnessProblem::SetProfiler(RunProfiler* profiler) {
+  profiler_.store(profiler, std::memory_order_relaxed);
+  // Constraint evaluation funnels through the validation evaluator's
+  // FairnessPart; the train-split evaluator only feeds weight derivation,
+  // which is already charged to kWeightCompute.
+  val_evaluator_->SetProfiler(profiler);
+}
+
 void FairnessProblem::StartTuneReport(TuneReport* report) {
   tune_report_ = report;
   tune_stage_ = "";
@@ -86,6 +95,7 @@ FairnessProblem::ParallelFitOutcome FairnessProblem::ReplayFitOn(
     const std::vector<double>& lambdas, bool* replay_failed) {
   ParallelFitOutcome outcome;
   if (replay_failed != nullptr) *replay_failed = false;
+  RunStageTimer stage_timer(profiler(), RunStage::kCheckpoint);
   Result<const FitRecord*> replay = checkpoint_->NextReplay(lambdas);
   if (!replay.ok()) {
     if (replay_failed != nullptr) *replay_failed = true;
@@ -133,6 +143,7 @@ void FairnessProblem::FinishSerialFit(const std::vector<double>& lambdas,
                                       const Classifier* model) {
   RecordTunePoint(lambdas, model != nullptr);
   if (checkpoint_ != nullptr) {
+    RunStageTimer stage_timer(profiler(), RunStage::kCheckpoint);
     checkpoint_->RecordFit(lambdas, model != nullptr, fit_status_,
                            TuneElapsedSeconds(), model);
     checkpoint_->MaybeWrite();
@@ -181,6 +192,7 @@ std::unique_ptr<Classifier> FairnessProblem::FirewalledFit(
   OF_COUNTER_INC("trainer.fits");
   OF_TRACE_SPAN("trainer_fit");
   OF_SCOPED_LATENCY_US("trainer.fit_us");
+  RunStageTimer stage_timer(profiler(), RunStage::kTrainerFit);
 
   std::unique_ptr<Classifier> model;
   Status caught;
@@ -211,8 +223,11 @@ FairnessProblem::ParallelFitOutcome FairnessProblem::FitWithLambdasOn(
     Trainer& trainer, const std::vector<double>& lambdas,
     const std::vector<int>* weight_predictions) {
   ParallelFitOutcome outcome;
-  std::vector<double> weights =
-      weight_computer_->Compute(lambdas, weight_predictions);
+  std::vector<double> weights;
+  {
+    RunStageTimer stage_timer(profiler(), RunStage::kWeightCompute);
+    weights = weight_computer_->Compute(lambdas, weight_predictions);
+  }
   size_t clamped = 0;
   for (double& w : weights) {
     if (!std::isfinite(w)) {
@@ -230,6 +245,7 @@ FairnessProblem::ParallelFitOutcome FairnessProblem::FitWithLambdasOn(
   OF_COUNTER_INC("trainer.fits");
   OF_TRACE_SPAN("trainer_fit");
   OF_SCOPED_LATENCY_US("trainer.fit_us");
+  RunStageTimer stage_timer(profiler(), RunStage::kTrainerFit);
 
   try {
     outcome.model = trainer.Fit(X_train_, train_->labels(), weights);
@@ -259,12 +275,17 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdas(
   std::vector<int> predictions;
   const std::vector<int>* predictions_ptr = nullptr;
   if (weight_model != nullptr && DependsOnPredictions()) {
+    RunStageTimer predict_timer(profiler(), RunStage::kPredict);
     predictions = weight_model->Predict(X_train_);
     predictions_ptr = &predictions;
   }
+  std::vector<double> weights;
+  {
+    RunStageTimer stage_timer(profiler(), RunStage::kWeightCompute);
+    weights = weight_computer_->Compute(lambdas, predictions_ptr);
+  }
   std::unique_ptr<Classifier> model =
-      FirewalledFit(X_train_, train_->labels(),
-                    weight_computer_->Compute(lambdas, predictions_ptr));
+      FirewalledFit(X_train_, train_->labels(), std::move(weights));
   FinishSerialFit(lambdas, model.get());
   return model;
 }
@@ -297,11 +318,15 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithLambdasSubsampled(
   std::vector<int> predictions;
   const std::vector<int>* predictions_ptr = nullptr;
   if (weight_model != nullptr && DependsOnPredictions()) {
+    RunStageTimer predict_timer(profiler(), RunStage::kPredict);
     predictions = weight_model->Predict(X_train_);
     predictions_ptr = &predictions;
   }
-  const std::vector<double> full_weights =
-      weight_computer_->Compute(lambdas, predictions_ptr);
+  std::vector<double> full_weights;
+  {
+    RunStageTimer stage_timer(profiler(), RunStage::kWeightCompute);
+    full_weights = weight_computer_->Compute(lambdas, predictions_ptr);
+  }
   std::vector<double> weights;
   weights.reserve(subsample_rows_.size());
   for (size_t i : subsample_rows_) weights.push_back(full_weights[i]);
@@ -318,10 +343,12 @@ std::unique_ptr<Classifier> FairnessProblem::FitWithWeights(
 }
 
 std::vector<int> FairnessProblem::PredictTrain(const Classifier& model) const {
+  RunStageTimer stage_timer(profiler(), RunStage::kPredict);
   return model.Predict(X_train_);
 }
 
 std::vector<int> FairnessProblem::PredictVal(const Classifier& model) const {
+  RunStageTimer stage_timer(profiler(), RunStage::kPredict);
   return model.Predict(X_val_);
 }
 

@@ -19,6 +19,7 @@
 namespace omnifair {
 
 class CheckpointManager;
+class RunProfiler;
 
 /// A constrained fairness optimization instance (Equation 9/18): one
 /// training split, one validation split, one black-box trainer, and the
@@ -185,6 +186,18 @@ class FairnessProblem {
   /// epsilon_j for every induced constraint (TuneReport header data).
   std::vector<double> Epsilons() const;
 
+  /// --- run profiling (DESIGN.md §13) ---
+  /// Attaches a (caller-owned) stage profiler: every fit path then charges
+  /// weight computation, trainer fits, predictions, and checkpoint IO to
+  /// their RunStage, and the validation evaluator charges constraint
+  /// evaluation. OmniFair::Train attaches one when telemetry >= kCounters;
+  /// pass nullptr to detach. Relaxed atomic so parallel tuner workers read
+  /// it without locking.
+  void SetProfiler(RunProfiler* profiler);
+  RunProfiler* profiler() const {
+    return profiler_.load(std::memory_order_relaxed);
+  }
+
  private:
   FairnessProblem() = default;
 
@@ -218,6 +231,7 @@ class FairnessProblem {
   Status fit_status_;
   TrainBudget* budget_ = nullptr;
   CheckpointManager* checkpoint_ = nullptr;  // caller-owned; null = disabled
+  std::atomic<RunProfiler*> profiler_{nullptr};  // caller-owned; null = off
   TuneReport* tune_report_ = nullptr;  // caller-owned; null = not recording
   const char* tune_stage_ = "";
   Stopwatch tune_stopwatch_;

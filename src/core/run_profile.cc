@@ -1,0 +1,297 @@
+#include "core/run_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace omnifair {
+
+const char* RunStageName(RunStage stage) {
+  switch (stage) {
+    case RunStage::kSetup:
+      return "setup";
+    case RunStage::kTrainerFit:
+      return "trainer_fit";
+    case RunStage::kWeightCompute:
+      return "weight_compute";
+    case RunStage::kPredict:
+      return "predict";
+    case RunStage::kConstraintEval:
+      return "constraint_eval";
+    case RunStage::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RunProfiler / RunStageTimer
+// ---------------------------------------------------------------------------
+
+void RunProfiler::Record(RunStage stage, long long wall_ns, long long cpu_ns) {
+  Cell& cell = cells_[static_cast<size_t>(stage)];
+  cell.wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+  if (cpu_ns >= 0) cell.cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  cell.calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+long long RunProfiler::Calls(RunStage stage) const {
+  return cells_[static_cast<size_t>(stage)].calls.load(std::memory_order_relaxed);
+}
+
+double RunProfiler::WallUs(RunStage stage) const {
+  return static_cast<double>(cells_[static_cast<size_t>(stage)].wall_ns.load(
+             std::memory_order_relaxed)) /
+         1e3;
+}
+
+double RunProfiler::CpuUs(RunStage stage) const {
+  return static_cast<double>(cells_[static_cast<size_t>(stage)].cpu_ns.load(
+             std::memory_order_relaxed)) /
+         1e3;
+}
+
+namespace {
+
+/// Current thread's CPU clock in ns, -1 when the platform has none.
+long long ThreadCpuNowNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return -1;
+  return static_cast<long long>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+#else
+  return -1;
+#endif
+}
+
+}  // namespace
+
+long long ProcessCpuNowNs() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return -1;
+  return static_cast<long long>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+#else
+  return -1;
+#endif
+}
+
+RunStageTimer::RunStageTimer(RunProfiler* profiler, RunStage stage)
+    : profiler_(profiler), stage_(stage) {
+  if (profiler_ == nullptr) return;
+  wall_start_ = std::chrono::steady_clock::now();
+  cpu_start_ns_ = ThreadCpuNowNs();
+}
+
+RunStageTimer::~RunStageTimer() {
+  if (profiler_ == nullptr) return;
+  const long long wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  long long cpu_ns = -1;
+  if (cpu_start_ns_ >= 0) {
+    const long long cpu_now = ThreadCpuNowNs();
+    if (cpu_now >= 0) cpu_ns = cpu_now - cpu_start_ns_;
+  }
+  profiler_->Record(stage_, wall_ns, cpu_ns);
+}
+
+// ---------------------------------------------------------------------------
+// BuildRunProfile
+// ---------------------------------------------------------------------------
+
+namespace {
+
+long long CounterValue(const MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+long long CounterDelta(const MetricsSnapshot& before, const MetricsSnapshot& after,
+                       const std::string& name) {
+  return CounterValue(after, name) - CounterValue(before, name);
+}
+
+const MetricsSnapshot::HistogramSnapshot* FindHistogram(
+    const MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double HistogramSumDelta(const MetricsSnapshot& before, const MetricsSnapshot& after,
+                         const std::string& name) {
+  const auto* b = FindHistogram(before, name);
+  const auto* a = FindHistogram(after, name);
+  return (a != nullptr ? a->sum : 0.0) - (b != nullptr ? b->sum : 0.0);
+}
+
+}  // namespace
+
+RunProfile BuildRunProfile(const RunProfiler& profiler,
+                           const MetricsSnapshot& before,
+                           const MetricsSnapshot& after,
+                           const std::string& algorithm, int threads,
+                           double total_wall_us, double total_cpu_us) {
+  RunProfile profile;
+  profile.algorithm = algorithm;
+  profile.threads = std::max(threads, 1);
+  profile.total_wall_us = total_wall_us;
+  profile.total_cpu_us = std::max(total_cpu_us, 0.0);
+
+  double attributed_wall_us = 0.0;
+  for (int s = 0; s < kNumRunStages; ++s) {
+    const RunStage stage = static_cast<RunStage>(s);
+    RunProfile::Stage row;
+    row.name = RunStageName(stage);
+    row.calls = profiler.Calls(stage);
+    row.wall_us = profiler.WallUs(stage);
+    row.cpu_us = profiler.CpuUs(stage);
+    attributed_wall_us += row.wall_us;
+    profile.stages.push_back(std::move(row));
+  }
+  RunProfile::Stage other;
+  other.name = "other";
+  other.calls = 0;
+  other.wall_us = std::max(total_wall_us - attributed_wall_us, 0.0);
+  other.cpu_us = 0.0;
+  profile.stages.push_back(std::move(other));
+
+  profile.trainer_fits = CounterDelta(before, after, "trainer.fits");
+  profile.trainer_fit_failures =
+      CounterDelta(before, after, "trainer.fit_failures");
+  profile.weight_cache_hits = CounterDelta(before, after, "weights.cache_hits");
+  profile.weight_cache_misses =
+      CounterDelta(before, after, "weights.cache_misses");
+  profile.bins_reused = CounterDelta(before, after, "tree.bins_reused");
+  profile.hist_build_us = HistogramSumDelta(before, after, "tree.hist_build_us");
+  profile.pool_tasks = CounterDelta(before, after, "pool.tasks");
+  profile.pool_busy_us = HistogramSumDelta(before, after, "pool.task_us");
+  profile.checkpoint_writes = CounterDelta(before, after, "checkpoint.writes");
+  profile.checkpoint_bytes = CounterDelta(before, after, "checkpoint.bytes");
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// RunProfile rendering
+// ---------------------------------------------------------------------------
+
+double RunProfile::WeightCacheHitRate() const {
+  const long long consulted = weight_cache_hits + weight_cache_misses;
+  if (consulted <= 0) return 0.0;
+  return static_cast<double>(weight_cache_hits) /
+         static_cast<double>(consulted);
+}
+
+double RunProfile::PoolUtilization() const {
+  if (pool_tasks <= 0 || total_wall_us <= 0.0 || threads <= 0) return 0.0;
+  const double utilization =
+      pool_busy_us / (total_wall_us * static_cast<double>(threads));
+  return std::min(std::max(utilization, 0.0), 1.0);
+}
+
+std::string RunProfile::ToText() const {
+  std::ostringstream os;
+  char line[200];
+  if (empty()) return "run profile: empty (telemetry off)\n";
+  std::snprintf(line, sizeof(line),
+                "run profile: algorithm=%s threads=%d wall=%.1fms cpu=%.1fms\n",
+                algorithm.empty() ? "?" : algorithm.c_str(), threads,
+                total_wall_us / 1e3, total_cpu_us / 1e3);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-16s %8s %12s %7s %12s\n", "stage",
+                "calls", "wall_ms", "wall%", "cpu_ms");
+  os << line;
+  for (const Stage& stage : stages) {
+    const double pct =
+        total_wall_us > 0.0 ? 100.0 * stage.wall_us / total_wall_us : 0.0;
+    std::snprintf(line, sizeof(line), "  %-16s %8lld %12.2f %7.1f %12.2f\n",
+                  stage.name.c_str(), stage.calls, stage.wall_us / 1e3, pct,
+                  stage.cpu_us / 1e3);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "  %-16s %8s %12.2f %7.1f %12.2f\n",
+                "total", "-", total_wall_us / 1e3, 100.0, total_cpu_us / 1e3);
+  os << line;
+  std::snprintf(line, sizeof(line), "  fits: %lld (%lld failed)\n",
+                trainer_fits, trainer_fit_failures);
+  os << line;
+  if (weight_cache_hits + weight_cache_misses > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  weight cache: %lld/%lld hits (%.1f%%)\n",
+                  weight_cache_hits, weight_cache_hits + weight_cache_misses,
+                  100.0 * WeightCacheHitRate());
+    os << line;
+  }
+  if (bins_reused > 0 || hist_build_us > 0.0) {
+    std::snprintf(line, sizeof(line),
+                  "  binning: %lld bins reused, %.2fms building histograms\n",
+                  bins_reused, hist_build_us / 1e3);
+    os << line;
+  }
+  if (pool_tasks > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  pool: %lld tasks, busy %.2fms, utilization %.1f%%\n",
+                  pool_tasks, pool_busy_us / 1e3, 100.0 * PoolUtilization());
+    os << line;
+  }
+  if (checkpoint_writes > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  checkpoint: %lld snapshot writes, %lld bytes\n",
+                  checkpoint_writes, checkpoint_bytes);
+    os << line;
+  }
+  return os.str();
+}
+
+void RunProfile::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.KV("algorithm", algorithm);
+  writer.KV("threads", threads);
+  writer.KV("total_wall_us", total_wall_us);
+  writer.KV("total_cpu_us", total_cpu_us);
+  writer.Key("stages");
+  writer.BeginArray();
+  for (const Stage& stage : stages) {
+    writer.BeginObject();
+    writer.KV("name", stage.name);
+    writer.KV("calls", stage.calls);
+    writer.KV("wall_us", stage.wall_us);
+    writer.KV("cpu_us", stage.cpu_us);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("counters");
+  writer.BeginObject();
+  writer.KV("trainer_fits", trainer_fits);
+  writer.KV("trainer_fit_failures", trainer_fit_failures);
+  writer.KV("weight_cache_hits", weight_cache_hits);
+  writer.KV("weight_cache_misses", weight_cache_misses);
+  writer.KV("bins_reused", bins_reused);
+  writer.KV("hist_build_us", hist_build_us);
+  writer.KV("pool_tasks", pool_tasks);
+  writer.KV("pool_busy_us", pool_busy_us);
+  writer.KV("checkpoint_writes", checkpoint_writes);
+  writer.KV("checkpoint_bytes", checkpoint_bytes);
+  writer.EndObject();
+  writer.KV("weight_cache_hit_rate", WeightCacheHitRate());
+  writer.KV("pool_utilization", PoolUtilization());
+  writer.EndObject();
+}
+
+std::string RunProfile::ToJson() const {
+  std::ostringstream os;
+  JsonWriter writer(os);
+  WriteJson(writer);
+  return os.str();
+}
+
+}  // namespace omnifair

@@ -1,0 +1,148 @@
+#ifndef OMNIFAIR_CORE_RUN_PROFILE_H_
+#define OMNIFAIR_CORE_RUN_PROFILE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "util/telemetry.h"
+
+namespace omnifair {
+
+class JsonWriter;
+
+// ---------------------------------------------------------------------------
+// Per-Train run profiling (DESIGN.md §13): where did the tuning search spend
+// its time? Scoped stage timers are threaded through the FairnessProblem fit
+// paths, the evaluator, and the tuners' checkpoint barriers; OmniFair::Train
+// aggregates them (plus registry counter deltas for cache hit rates, binning
+// reuse, and pool utilization) into FairModel::run_profile.
+// ---------------------------------------------------------------------------
+
+/// The instrumented stages of a tuning run. Stage timers never nest across
+/// stages on one thread (weight computation finishes before the trainer fit
+/// starts, predictions and constraint evaluation happen between fits), so
+/// per-stage wall times are additive on a serial run.
+enum class RunStage : int {
+  kSetup = 0,       ///< FairnessProblem::Create: ingest, encode, induce groups
+  kTrainerFit,      ///< black-box trainer Fit calls (includes tree binning)
+  kWeightCompute,   ///< Eq. 12/21 example-weight derivation
+  kPredict,         ///< train/val predictions of candidate models
+  kConstraintEval,  ///< FP_j fairness-part evaluation
+  kCheckpoint,      ///< checkpoint record serialization + snapshot writes
+};
+inline constexpr int kNumRunStages = 6;
+
+/// Stable snake_case name, e.g. "trainer_fit".
+const char* RunStageName(RunStage stage);
+
+/// Thread-safe per-run stage accumulator. One instance lives on the stack of
+/// OmniFair::Train (or a bench harness); worker threads record through a
+/// plain pointer with relaxed atomics, so profiling a parallel tuner needs
+/// no locking. Stage wall time is summed across threads — on a run with
+/// num_threads > 1 the busy stages can legitimately sum past elapsed wall.
+class RunProfiler {
+ public:
+  /// Adds one timed call to `stage`. cpu_ns < 0 means "no CPU clock
+  /// available" and leaves the CPU total untouched.
+  void Record(RunStage stage, long long wall_ns, long long cpu_ns);
+
+  long long Calls(RunStage stage) const;
+  double WallUs(RunStage stage) const;
+  /// Thread-CPU time spent inside the stage (0 when unavailable).
+  double CpuUs(RunStage stage) const;
+
+ private:
+  struct Cell {
+    std::atomic<long long> wall_ns{0};
+    std::atomic<long long> cpu_ns{0};
+    std::atomic<long long> calls{0};
+  };
+  std::array<Cell, kNumRunStages> cells_;
+};
+
+/// RAII stage timer: wall via steady_clock, CPU via the per-thread CPU clock
+/// where the platform has one. A null profiler disables the timer entirely
+/// (no clock calls) — pass the profiler pointer only when profiling is on.
+class RunStageTimer {
+ public:
+  RunStageTimer(RunProfiler* profiler, RunStage stage);
+  ~RunStageTimer();
+
+  RunStageTimer(const RunStageTimer&) = delete;
+  RunStageTimer& operator=(const RunStageTimer&) = delete;
+
+ private:
+  RunProfiler* profiler_;
+  RunStage stage_;
+  std::chrono::steady_clock::time_point wall_start_;
+  long long cpu_start_ns_ = -1;
+};
+
+/// The aggregated profile of one tuning run, attached to
+/// FairModel::run_profile (empty when telemetry is off). Rendered as a
+/// fixed-width text table by `omnifair_cli explain` and as JSON via
+/// --profile-out.
+struct RunProfile {
+  struct Stage {
+    std::string name;
+    long long calls = 0;
+    double wall_us = 0.0;
+    double cpu_us = 0.0;
+  };
+
+  std::string algorithm;  ///< "lambda_tuner" | "hill_climb" | "grid_search"
+  int threads = 1;
+  double total_wall_us = 0.0;
+  /// Process CPU time over the run (all threads; 0 when unavailable).
+  double total_cpu_us = 0.0;
+  /// The instrumented stages plus a final "other" row holding the
+  /// unattributed remainder, so the rows sum to total_wall_us on a serial
+  /// run (the explain contract: within 10% of total wall).
+  std::vector<Stage> stages;
+
+  // Registry counter deltas over the run (MetricsRegistry snapshots taken
+  // at Train entry/exit — concurrent Train calls in other threads bleed
+  // into these, per-stage timers above do not).
+  long long trainer_fits = 0;
+  long long trainer_fit_failures = 0;
+  long long weight_cache_hits = 0;    ///< PR 3 coefficient/weight-term cache
+  long long weight_cache_misses = 0;
+  long long bins_reused = 0;          ///< PR 5 shared feature binning
+  double hist_build_us = 0.0;         ///< histogram build time (inside fits)
+  long long pool_tasks = 0;
+  double pool_busy_us = 0.0;          ///< summed pool task time (pool.task_us)
+  long long checkpoint_writes = 0;
+  long long checkpoint_bytes = 0;
+
+  bool empty() const { return stages.empty() && total_wall_us <= 0.0; }
+  /// hits / (hits + misses); 0 when the cache was never consulted.
+  double WeightCacheHitRate() const;
+  /// pool busy time / (wall * threads), clamped to [0, 1]; 0 without tasks.
+  double PoolUtilization() const;
+
+  /// Fixed-width table + attribution lines (cache hit rates, binning, pool).
+  std::string ToText() const;
+  void WriteJson(JsonWriter& writer) const;
+  std::string ToJson() const;
+};
+
+/// Assembles a RunProfile from the profiler's stage totals and the metrics
+/// deltas between two registry snapshots bracketing the run. `total_wall_us`
+/// is the run's elapsed wall clock; the "other" stage is its unattributed
+/// remainder (clamped at 0 when parallel stage sums exceed it).
+RunProfile BuildRunProfile(const RunProfiler& profiler,
+                           const MetricsSnapshot& before,
+                           const MetricsSnapshot& after,
+                           const std::string& algorithm, int threads,
+                           double total_wall_us, double total_cpu_us);
+
+/// Process-wide CPU clock reading in ns (-1 when unavailable); Train brackets
+/// the run with two readings to get total_cpu_us across worker threads.
+long long ProcessCpuNowNs();
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_CORE_RUN_PROFILE_H_

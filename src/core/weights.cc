@@ -41,7 +41,11 @@ std::shared_ptr<const WeightComputer::CoefficientCache> WeightComputer::GetCache
       valid = false;
     }
   }
-  if (valid) return current;
+  if (valid) {
+    OF_COUNTER_INC("weights.cache_hits");
+    return current;
+  }
+  OF_COUNTER_INC("weights.cache_misses");
 
   auto rebuilt = std::make_shared<CoefficientCache>();
   if (current != nullptr) {

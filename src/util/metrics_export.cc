@@ -1,0 +1,329 @@
+#include "util/metrics_export.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace omnifair {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot::Quantile (declared in util/telemetry.h)
+// ---------------------------------------------------------------------------
+
+double MetricsSnapshot::HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the target observation (0-based, fractional) and a scan for the
+  // bucket that contains it.
+  const double rank = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket <= 0.0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Linear interpolation within this bucket. Bucket i covers
+    // (bounds[i-1], bounds[i]]; the first bucket starts at min and the
+    // overflow bucket (i == bounds.size()) ends at max.
+    const double lo = i == 0 ? min : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : max;
+    const double fraction = in_bucket > 0.0 ? (rank - seen) / in_bucket : 0.0;
+    const double value = lo + (std::max(hi, lo) - lo) * fraction;
+    // All mass in one bucket can make lo/hi cross the true data range
+    // (e.g. min sits above the bucket's lower bound); clamp so estimates
+    // never leave [min, max].
+    return std::min(std::max(value, min), max);
+  }
+  return max;  // unreachable when bucket counts sum to count
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+std::string PrometheusMetricName(const std::string& name,
+                                 const std::string& prefix) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+namespace {
+
+/// Prometheus floats: plain shortest-round-trip decimal, with +Inf spelled
+/// the Prometheus way.
+std::string PromDouble(double value) {
+  if (value == std::numeric_limits<double>::infinity()) return "+Inf";
+  if (value == -std::numeric_limits<double>::infinity()) return "-Inf";
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusMetricName(name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusMetricName(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << " " << PromDouble(value) << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string prom = PrometheusMetricName(h.name);
+    os << "# TYPE " << prom << " histogram\n";
+    long long cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? PromDouble(h.bounds[i]) : "+Inf";
+      os << prom << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    os << prom << "_sum " << PromDouble(h.sum) << "\n";
+    os << prom << "_count " << h.count << "\n";
+    // Estimated quantiles ride along as labelled gauges (a histogram type
+    // cannot carry them); dashboards read them without PromQL gymnastics.
+    for (double q : {0.5, 0.9, 0.99}) {
+      os << prom << "_quantile{quantile=\"" << PromDouble(q) << "\"} "
+         << PromDouble(h.Quantile(q)) << "\n";
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Writes the delta between two snapshots: counter increments and histogram
+/// count/sum increments, omitting metrics that did not move. Both snapshots
+/// are name-sorted (MetricsRegistry::Snapshot sorts), so a merge walk works.
+void WriteDelta(const MetricsSnapshot& prev, const MetricsSnapshot& now,
+                JsonWriter& w) {
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  {
+    size_t pi = 0;
+    for (const auto& [name, value] : now.counters) {
+      while (pi < prev.counters.size() && prev.counters[pi].first < name) ++pi;
+      long long before = 0;
+      if (pi < prev.counters.size() && prev.counters[pi].first == name) {
+        before = prev.counters[pi].second;
+      }
+      if (value != before) w.KV(name, value - before);
+    }
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  {
+    size_t pi = 0;
+    for (const auto& h : now.histograms) {
+      while (pi < prev.histograms.size() && prev.histograms[pi].name < h.name) {
+        ++pi;
+      }
+      long long count_before = 0;
+      double sum_before = 0.0;
+      if (pi < prev.histograms.size() && prev.histograms[pi].name == h.name) {
+        count_before = prev.histograms[pi].count;
+        sum_before = prev.histograms[pi].sum;
+      }
+      if (h.count == count_before) continue;
+      w.Key(h.name);
+      w.BeginObject();
+      w.KV("count", h.count - count_before);
+      w.KV("sum", h.sum - sum_before);
+      w.EndObject();
+    }
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(MetricsExporterOptions options)
+    : options_(std::move(options)) {
+  options_.interval_ms = std::max(options_.interval_ms, 10);
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+Status MetricsExporter::Start() {
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("MetricsExporter: empty output path");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::InvalidArgument("MetricsExporter: already started");
+  }
+  file_ = std::fopen(options_.path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return IoError(options_.path, "open");
+  }
+  running_ = true;
+  stop_requested_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  previous_ = MetricsSnapshot();
+  thread_ = std::thread(&MetricsExporter::Loop, this);
+  return Status::Ok();
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool MetricsExporter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+long long MetricsExporter::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_written_;
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.interval_ms);
+    cv_.wait_until(lock, deadline, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    WriteSnapshotLine(/*final_line=*/false);
+  }
+  // Final snapshot on clean shutdown: whatever accumulated since the last
+  // tick still reaches the file, and the line is flagged so consumers can
+  // treat it as the run's totals.
+  WriteSnapshotLine(/*final_line=*/true);
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void MetricsExporter::WriteSnapshotLine(bool final_line) {
+  // Called from Loop() with mu_ held (file_ and previous_ are stable).
+  const MetricsSnapshot now = MetricsRegistry::Global().Snapshot();
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("schema", "omnifair.metrics");
+  w.KV("schema_version", 1);
+  w.KV("seq", ++seq_);
+  w.KV("uptime_ms", uptime_ms);
+  w.KV("interval_ms", options_.interval_ms);
+  w.KV("final", final_line);
+  w.Key("cumulative");
+  now.WriteJson(w);
+  w.Key("delta");
+  WriteDelta(previous_, now, w);
+  w.Key("quantiles");
+  w.BeginObject();
+  for (const auto& h : now.histograms) {
+    if (h.count <= 0) continue;
+    w.Key(h.name);
+    w.BeginObject();
+    w.KV("p50", h.Quantile(0.5));
+    w.KV("p90", h.Quantile(0.9));
+    w.KV("p99", h.Quantile(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  os << "\n";
+  const std::string line = os.str();
+  // One fwrite per line keeps whole lines atomic w.r.t. other appenders in
+  // practice; fflush after each line so a crash loses at most the current
+  // interval.
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    OF_LOG(Warning) << "MetricsExporter: short write to " << options_.path;
+  }
+  std::fflush(file_);
+  previous_ = now;
+  ++snapshots_written_;
+}
+
+// ---------------------------------------------------------------------------
+// Process-global exporter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_exporter_mu;
+MetricsExporter* g_exporter = nullptr;  // leaked; atexit stops it
+bool g_exporter_env_checked = false;
+
+}  // namespace
+
+void StopGlobalMetricsExporter() {
+  std::lock_guard<std::mutex> lock(g_exporter_mu);
+  if (g_exporter != nullptr) g_exporter->Stop();
+}
+
+MetricsExporter* StartGlobalMetricsExporterFromEnv() {
+  std::lock_guard<std::mutex> lock(g_exporter_mu);
+  if (g_exporter_env_checked) return g_exporter;
+  g_exporter_env_checked = true;
+  const char* path = std::getenv("OMNIFAIR_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  MetricsExporterOptions options;
+  options.path = path;
+  if (const char* interval = std::getenv("OMNIFAIR_METRICS_INTERVAL_MS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(interval, &end, 10);
+    if (end != interval && *end == '\0' && parsed > 0) {
+      options.interval_ms = static_cast<int>(parsed);
+    } else {
+      OF_LOG(Warning) << "OMNIFAIR_METRICS_INTERVAL_MS=\"" << interval
+                      << "\" is not a positive integer; using "
+                      << options.interval_ms << "ms";
+    }
+  }
+  auto* exporter = new MetricsExporter(std::move(options));  // never deleted
+  const Status status = exporter->Start();
+  if (!status.ok()) {
+    OF_LOG(Warning) << "OMNIFAIR_METRICS_OUT: " << status.ToString();
+    delete exporter;
+    return nullptr;
+  }
+  g_exporter = exporter;
+  std::atexit(StopGlobalMetricsExporter);
+  return g_exporter;
+}
+
+}  // namespace omnifair

@@ -1,0 +1,114 @@
+#ifndef OMNIFAIR_UTIL_METRICS_EXPORT_H_
+#define OMNIFAIR_UTIL_METRICS_EXPORT_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace omnifair {
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// Sanitizes a registry metric name into the Prometheus charset: dots and
+/// other non-[a-zA-Z0-9_:] characters become '_', and a leading digit gets a
+/// '_' prefix. "trainer.fit_us" -> "omnifair_trainer_fit_us" when `prefix`
+/// is "omnifair_" (the PrometheusText default).
+std::string PrometheusMetricName(const std::string& name,
+                                 const std::string& prefix = "omnifair_");
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (text/plain; version=0.0.4): counters and gauges as single samples,
+/// histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`
+/// and p50/p90/p99 `{quantile="..."}` gauges estimated by
+/// HistogramSnapshot::Quantile. Suitable for a node_exporter textfile
+/// collector or a scrape handler.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+// ---------------------------------------------------------------------------
+// JSONL metrics exporter
+// ---------------------------------------------------------------------------
+
+struct MetricsExporterOptions {
+  /// Output file; one JSON object per line, appended. Empty disables Start().
+  std::string path;
+  /// Snapshot period. Values < 10 are clamped up (a sub-10ms exporter is a
+  /// busy loop, not telemetry).
+  int interval_ms = 1000;
+};
+
+/// Background thread that periodically snapshots the global MetricsRegistry
+/// and appends one JSONL line per tick to `options.path`. Each line carries
+/// the cumulative snapshot, the delta since the previous line (counter
+/// increments and histogram count/sum increments), and p50/p90/p99 estimates
+/// for every non-empty histogram. Stop() (or destruction) takes a final
+/// snapshot, marks it `"final": true`, and flushes — a clean shutdown never
+/// loses the tail of a run. Lines are written with a single fwrite and
+/// fflush, so concurrent exporters to the same file interleave whole lines.
+///
+/// Thread-safety: Start/Stop may be called from any thread; recording into
+/// the registry while the exporter runs is the intended use (snapshots are
+/// taken under the registry mutex). Validated by tools/check_metrics_jsonl.py.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(MetricsExporterOptions options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Opens the output file (append) and spawns the export thread. Returns
+  /// InvalidArgument on an empty path or if already started, and an IO error
+  /// if the file cannot be opened.
+  Status Start();
+
+  /// Writes the final snapshot line, flushes, and joins the thread.
+  /// Idempotent; a no-op when Start() never succeeded.
+  void Stop();
+
+  bool running() const;
+  /// Lines written so far (including the final one after Stop()).
+  long long snapshots_written() const;
+  const MetricsExporterOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  void WriteSnapshotLine(bool final_line);
+
+  MetricsExporterOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::FILE* file_ = nullptr;      // guarded by mu_ for open/close; the
+                                   // export thread is the only writer
+  bool running_ = false;           // guarded by mu_
+  bool stop_requested_ = false;    // guarded by mu_
+  long long snapshots_written_ = 0;  // guarded by mu_
+  long long seq_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+  MetricsSnapshot previous_;  // last exported snapshot, for deltas
+};
+
+/// Starts a process-global exporter configured from the environment:
+/// OMNIFAIR_METRICS_OUT names the JSONL file, OMNIFAIR_METRICS_INTERVAL_MS
+/// the period (default 1000). Idempotent — the first call wins; later calls
+/// return the same exporter. Returns nullptr when OMNIFAIR_METRICS_OUT is
+/// unset or Start() fails (a warning is logged). The exporter is stopped and
+/// flushed via std::atexit, so normal process exit always writes the final
+/// snapshot. InitTelemetryFromEnv() calls this, so every bench and the CLI
+/// get the exporter for free.
+MetricsExporter* StartGlobalMetricsExporterFromEnv();
+
+/// Stops (final flush) the global exporter if one is running. Safe to call
+/// multiple times; mainly for tests that want the file complete before exit.
+void StopGlobalMetricsExporter();
+
+}  // namespace omnifair
+
+#endif  // OMNIFAIR_UTIL_METRICS_EXPORT_H_

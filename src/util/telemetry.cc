@@ -10,6 +10,12 @@
 #include "util/logging.h"
 
 namespace omnifair {
+
+// From util/metrics_export.h; forward-declared to keep this translation unit
+// free of the exporter header (the exporter includes telemetry.h).
+class MetricsExporter;
+MetricsExporter* StartGlobalMetricsExporterFromEnv();
+
 namespace {
 
 std::atomic<int> g_global_level{static_cast<int>(TelemetryLevel::kCounters)};
@@ -44,7 +50,9 @@ TelemetryLevel EffectiveTelemetryLevel() {
   return GetTelemetryLevel();
 }
 
-void InitTelemetryFromEnv() {
+namespace {
+
+void InitTelemetryLevelFromEnv() {
   const char* value = std::getenv("OMNIFAIR_TELEMETRY");
   if (value == nullptr) return;
   std::string lowered(value);
@@ -60,6 +68,15 @@ void InitTelemetryFromEnv() {
                     << "\" not recognized (want off|counters|trace); keeping "
                     << static_cast<int>(GetTelemetryLevel());
   }
+}
+
+}  // namespace
+
+void InitTelemetryFromEnv() {
+  InitTelemetryLevelFromEnv();
+  // Defined in util/metrics_export.cc (same library): starts the JSONL
+  // exporter thread when OMNIFAIR_METRICS_OUT is set. No-op otherwise.
+  StartGlobalMetricsExporterFromEnv();
 }
 
 ScopedTelemetryLevel::ScopedTelemetryLevel(TelemetryLevel level)
@@ -153,7 +170,16 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& histogram : histograms_) {
-    if (histogram->name() == name) return histogram.get();
+    if (histogram->name() == name) {
+      if (histogram->bounds() != bounds) {
+        OF_LOG(Warning) << "GetHistogram(\"" << name << "\"): requested "
+                        << bounds.size() << " bounds conflict with the "
+                        << histogram->bounds().size()
+                        << " the histogram was created with; keeping the "
+                           "original bounds";
+      }
+      return histogram.get();
+    }
   }
   histograms_.emplace_back(new Histogram(name, bounds));
   return histograms_.back().get();
@@ -211,10 +237,11 @@ void MetricsSnapshot::WriteJson(JsonWriter& writer) const {
     writer.BeginObject();
     writer.KV("count", h.count);
     writer.KV("sum", h.sum);
-    // min/max are +/-inf on an empty histogram; JsonWriter turns those into
-    // null, which is exactly what the schema wants.
-    writer.KV("min", h.min);
-    writer.KV("max", h.max);
+    // min/max are +/-inf on an empty histogram; emit 0/0 there so consumers
+    // never see null (or worse, a stray infinity) for a metric that simply
+    // was not recorded.
+    writer.KV("min", h.count > 0 ? h.min : 0.0);
+    writer.KV("max", h.count > 0 ? h.max : 0.0);
     writer.Key("bounds");
     writer.BeginArray();
     for (double bound : h.bounds) writer.Double(bound);

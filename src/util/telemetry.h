@@ -43,7 +43,9 @@ TelemetryLevel EffectiveTelemetryLevel();
 
 /// Reads OMNIFAIR_TELEMETRY (off | counters | trace) into the global level.
 /// Unset or unrecognized values leave the level unchanged (a warning is
-/// logged for unrecognized values). Benches call this at startup.
+/// logged for unrecognized values). Benches call this at startup. Also starts
+/// the process-global JSONL metrics exporter when OMNIFAIR_METRICS_OUT is set
+/// (see util/metrics_export.h).
 void InitTelemetryFromEnv();
 
 /// RAII thread-local override of the telemetry level; nests.
@@ -139,6 +141,13 @@ struct MetricsSnapshot {
     double max = 0.0;
     std::vector<double> bounds;
     std::vector<long long> buckets;
+
+    /// Quantile estimate (q in [0, 1]) by linear interpolation within the
+    /// bucket holding rank q*count. 0.0 for an empty histogram; q <= 0 gives
+    /// min and q >= 1 gives max; results are clamped to [min, max] (the
+    /// overflow bucket interpolates between the last bound and max).
+    /// Defined in util/metrics_export.cc.
+    double Quantile(double q) const;
   };
   std::vector<std::pair<std::string, long long>> counters;
   std::vector<std::pair<std::string, double>> gauges;

@@ -1,0 +1,250 @@
+#include "util/metrics_export.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_json.h"
+#include "util/telemetry.h"
+
+namespace omnifair {
+namespace {
+
+using ::omnifair::testing::JsonIsValid;
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot::Quantile
+// ---------------------------------------------------------------------------
+
+MetricsSnapshot::HistogramSnapshot MakeHist(std::vector<double> bounds,
+                                            std::vector<long long> buckets,
+                                            double min, double max) {
+  MetricsSnapshot::HistogramSnapshot h;
+  h.name = "test";
+  h.bounds = std::move(bounds);
+  h.buckets = std::move(buckets);
+  for (long long b : h.buckets) h.count += b;
+  h.min = min;
+  h.max = max;
+  return h;
+}
+
+TEST(QuantileTest, EmptyHistogramIsZero) {
+  const auto h = MakeHist({1.0, 2.0}, {0, 0, 0}, 0.0, 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileTest, ExtremesReturnMinAndMax) {
+  const auto h = MakeHist({10.0, 100.0}, {3, 4, 2}, 2.0, 250.0);
+  EXPECT_EQ(h.Quantile(0.0), 2.0);
+  EXPECT_EQ(h.Quantile(-1.0), 2.0);
+  EXPECT_EQ(h.Quantile(1.0), 250.0);
+  EXPECT_EQ(h.Quantile(2.0), 250.0);
+}
+
+TEST(QuantileTest, InterpolatesWithinBucket) {
+  // All 10 observations in (1, 2]: the median interpolates to the bucket
+  // midpoint region and every estimate stays inside the bucket.
+  const auto h = MakeHist({1.0, 2.0, 3.0}, {0, 10, 0, 0}, 1.2, 1.9);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 1.2);
+  EXPECT_LE(p50, 1.9);
+}
+
+TEST(QuantileTest, SingleBucketMassClampsToDataRange) {
+  // Mass in the first bucket whose nominal range [min, bound] is wider than
+  // the actual data range: estimates must clamp to [min, max].
+  const auto h = MakeHist({10.0}, {4, 0}, 4.0, 6.0);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, 4.0) << "q=" << q;
+    EXPECT_LE(value, 6.0) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, AllMassInOverflowBucket) {
+  // Overflow interpolates between the last bound and max, clamped to data.
+  const auto h = MakeHist({1.0}, {0, 8}, 5.0, 9.0);
+  for (double q : {0.25, 0.5, 0.75}) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, 5.0) << "q=" << q;
+    EXPECT_LE(value, 9.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.Quantile(1.0), 9.0);
+}
+
+TEST(QuantileTest, MonotoneInQ) {
+  const auto h = MakeHist({1.0, 10.0, 100.0, 1000.0}, {5, 20, 10, 3, 1}, 0.5,
+                          1500.0);
+  double previous = h.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusTest, SanitizesMetricNames) {
+  EXPECT_EQ(PrometheusMetricName("tree.hist_build_us"),
+            "omnifair_tree_hist_build_us");
+  EXPECT_EQ(PrometheusMetricName("weights.cache-hits"),
+            "omnifair_weights_cache_hits");
+  EXPECT_EQ(PrometheusMetricName("plain"), "omnifair_plain");
+  // A custom (empty) prefix must still yield a valid name for a metric that
+  // starts with a digit.
+  EXPECT_EQ(PrometheusMetricName("2fast", ""), "_2fast");
+}
+
+TEST(PrometheusTest, ExposesCountersGaugesAndHistograms) {
+  MetricsRegistry::Global().GetCounter("prom.test_counter")->Add(5);
+  MetricsRegistry::Global().GetGauge("prom.test_gauge")->Set(2.5);
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("prom.test_hist", {1.0, 10.0});
+  histogram->Reset();
+  histogram->Record(0.5);
+  histogram->Record(5.0);
+  histogram->Record(99.0);  // overflow
+
+  const std::string text =
+      PrometheusText(MetricsRegistry::Global().Snapshot());
+  EXPECT_NE(text.find("# TYPE omnifair_prom_test_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("omnifair_prom_test_counter 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE omnifair_prom_test_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("omnifair_prom_test_gauge 2.5"), std::string::npos);
+  // Histogram buckets are cumulative and end in the +Inf bucket == count.
+  EXPECT_NE(text.find("omnifair_prom_test_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("omnifair_prom_test_hist_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("omnifair_prom_test_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("omnifair_prom_test_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("omnifair_prom_test_hist_sum"), std::string::npos);
+  EXPECT_NE(text.find("omnifair_prom_test_hist_quantile{quantile=\"0.5\"}"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter
+// ---------------------------------------------------------------------------
+
+std::string TempJsonlPath(const std::string& stem) {
+  return ::testing::TempDir() + stem + ".jsonl";
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(MetricsExporterTest, StartRequiresAPath) {
+  MetricsExporter exporter(MetricsExporterOptions{});
+  const Status status = exporter.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST(MetricsExporterTest, DoubleStartFails) {
+  MetricsExporterOptions options;
+  options.path = TempJsonlPath("exporter_double_start");
+  std::remove(options.path.c_str());
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_FALSE(exporter.Start().ok());
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  std::remove(options.path.c_str());
+}
+
+TEST(MetricsExporterTest, WritesValidJsonlWithFinalLine) {
+  MetricsExporterOptions options;
+  options.path = TempJsonlPath("exporter_roundtrip");
+  options.interval_ms = 10;
+  std::remove(options.path.c_str());
+
+  MetricsRegistry::Global().GetCounter("export.test_counter")->Reset();
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_TRUE(exporter.running());
+  // Record while the exporter snapshots concurrently (the TSan-relevant
+  // interleaving: registry writers vs the exporter's snapshot reader).
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+        "export.test_hist", {1.0, 10.0, 100.0});
+    while (!stop.load(std::memory_order_relaxed)) {
+      OF_COUNTER_INC("export.test_counter");
+      histogram->Record(3.0);
+      std::this_thread::yield();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_GE(exporter.snapshots_written(), 2);
+
+  const std::vector<std::string> lines = ReadLines(options.path);
+  ASSERT_EQ(static_cast<long long>(lines.size()), exporter.snapshots_written());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_TRUE(JsonIsValid(lines[i])) << lines[i];
+    EXPECT_NE(lines[i].find("\"schema\":\"omnifair.metrics\""),
+              std::string::npos);
+    std::ostringstream seq;
+    seq << "\"seq\":" << i + 1 << ",";
+    EXPECT_NE(lines[i].find(seq.str()), std::string::npos) << lines[i];
+    const bool last = i + 1 == lines.size();
+    EXPECT_NE(lines[i].find(last ? "\"final\":true" : "\"final\":false"),
+              std::string::npos);
+  }
+  // The totals reach the file: the final cumulative snapshot names both
+  // metrics the writer thread touched.
+  EXPECT_NE(lines.back().find("\"export.test_counter\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"export.test_hist\""), std::string::npos);
+  std::remove(options.path.c_str());
+}
+
+TEST(MetricsExporterTest, StopIsIdempotentAndRestartAppends) {
+  MetricsExporterOptions options;
+  options.path = TempJsonlPath("exporter_restart");
+  options.interval_ms = 10;
+  std::remove(options.path.c_str());
+
+  MetricsExporter first(options);
+  ASSERT_TRUE(first.Start().ok());
+  first.Stop();
+  first.Stop();  // no-op
+  const size_t after_first = ReadLines(options.path).size();
+  EXPECT_GE(after_first, 1u);  // at least the final line
+
+  // A fresh exporter on the same path appends a new run whose seq restarts
+  // at 1 (the append-mode contract check_metrics_jsonl.py validates).
+  MetricsExporter second(options);
+  ASSERT_TRUE(second.Start().ok());
+  second.Stop();
+  const std::vector<std::string> lines = ReadLines(options.path);
+  EXPECT_GT(lines.size(), after_first);
+  EXPECT_NE(lines[after_first].find("\"seq\":1,"), std::string::npos);
+  std::remove(options.path.c_str());
+}
+
+}  // namespace
+}  // namespace omnifair

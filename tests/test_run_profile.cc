@@ -1,0 +1,220 @@
+#include "core/run_profile.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/omnifair.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "ml/trainer_registry.h"
+#include "tests/testing_json.h"
+#include "util/json_writer.h"
+
+namespace omnifair {
+namespace {
+
+using ::omnifair::testing::JsonIsValid;
+
+// ---------------------------------------------------------------------------
+// RunProfiler / RunStageTimer
+// ---------------------------------------------------------------------------
+
+TEST(RunProfilerTest, RecordAccumulatesPerStage) {
+  RunProfiler profiler;
+  profiler.Record(RunStage::kTrainerFit, 1000, 800);
+  profiler.Record(RunStage::kTrainerFit, 2000, 1200);
+  profiler.Record(RunStage::kPredict, 500, -1);  // no CPU clock
+  EXPECT_EQ(profiler.Calls(RunStage::kTrainerFit), 2);
+  EXPECT_DOUBLE_EQ(profiler.WallUs(RunStage::kTrainerFit), 3.0);
+  EXPECT_DOUBLE_EQ(profiler.CpuUs(RunStage::kTrainerFit), 2.0);
+  EXPECT_EQ(profiler.Calls(RunStage::kPredict), 1);
+  EXPECT_DOUBLE_EQ(profiler.CpuUs(RunStage::kPredict), 0.0);
+  EXPECT_EQ(profiler.Calls(RunStage::kSetup), 0);
+}
+
+TEST(RunProfilerTest, TimerRecordsElapsedWall) {
+  RunProfiler profiler;
+  {
+    RunStageTimer timer(&profiler, RunStage::kWeightCompute);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(profiler.Calls(RunStage::kWeightCompute), 1);
+  EXPECT_GE(profiler.WallUs(RunStage::kWeightCompute), 4000.0);
+}
+
+TEST(RunProfilerTest, NullProfilerIsInert) {
+  // Must not crash or record anywhere; the disabled path makes no clock calls.
+  RunStageTimer timer(nullptr, RunStage::kTrainerFit);
+}
+
+TEST(RunProfilerTest, ConcurrentRecordsDoNotLoseCalls) {
+  RunProfiler profiler;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (int i = 0; i < kPerThread; ++i) {
+        profiler.Record(RunStage::kConstraintEval, 10, 10);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(profiler.Calls(RunStage::kConstraintEval),
+            static_cast<long long>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(profiler.WallUs(RunStage::kConstraintEval),
+                   kThreads * kPerThread * 10 / 1000.0);
+}
+
+TEST(RunStageNameTest, CoversEveryStage) {
+  EXPECT_STREQ(RunStageName(RunStage::kSetup), "setup");
+  EXPECT_STREQ(RunStageName(RunStage::kTrainerFit), "trainer_fit");
+  EXPECT_STREQ(RunStageName(RunStage::kWeightCompute), "weight_compute");
+  EXPECT_STREQ(RunStageName(RunStage::kPredict), "predict");
+  EXPECT_STREQ(RunStageName(RunStage::kConstraintEval), "constraint_eval");
+  EXPECT_STREQ(RunStageName(RunStage::kCheckpoint), "checkpoint");
+}
+
+// ---------------------------------------------------------------------------
+// BuildRunProfile
+// ---------------------------------------------------------------------------
+
+TEST(BuildRunProfileTest, StagesSumToTotalWithOtherRemainder) {
+  RunProfiler profiler;
+  profiler.Record(RunStage::kTrainerFit, 600000, 500000);  // 600us
+  profiler.Record(RunStage::kPredict, 100000, 90000);      // 100us
+  const MetricsSnapshot empty;
+  const RunProfile profile = BuildRunProfile(
+      profiler, empty, empty, "lambda_tuner", 1,
+      /*total_wall_us=*/1000.0, /*total_cpu_us=*/800.0);
+  ASSERT_EQ(static_cast<int>(profile.stages.size()), kNumRunStages + 1);
+  EXPECT_EQ(profile.stages.back().name, "other");
+  double sum = 0.0;
+  for (const RunProfile::Stage& stage : profile.stages) sum += stage.wall_us;
+  EXPECT_NEAR(sum, profile.total_wall_us, 1e-6);
+  EXPECT_NEAR(profile.stages.back().wall_us, 300.0, 1e-6);
+  EXPECT_FALSE(profile.empty());
+}
+
+TEST(BuildRunProfileTest, OtherClampedWhenParallelStagesExceedWall) {
+  RunProfiler profiler;
+  // Two threads' worth of fit time on a 1ms run: sums past elapsed wall.
+  profiler.Record(RunStage::kTrainerFit, 900000, 0);
+  profiler.Record(RunStage::kTrainerFit, 900000, 0);
+  const MetricsSnapshot empty;
+  const RunProfile profile =
+      BuildRunProfile(profiler, empty, empty, "grid_search", 2, 1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(profile.stages.back().wall_us, 0.0);
+}
+
+TEST(BuildRunProfileTest, CounterDeltasAreAttributed) {
+  RunProfiler profiler;
+  MetricsSnapshot before;
+  before.counters = {{"trainer.fits", 10}, {"weights.cache_hits", 4}};
+  MetricsSnapshot after;
+  after.counters = {{"trainer.fits", 25},
+                    {"weights.cache_hits", 13},
+                    {"weights.cache_misses", 3}};
+  const RunProfile profile =
+      BuildRunProfile(profiler, before, after, "hill_climb", 1, 100.0, 0.0);
+  EXPECT_EQ(profile.trainer_fits, 15);
+  EXPECT_EQ(profile.weight_cache_hits, 9);
+  EXPECT_EQ(profile.weight_cache_misses, 3);
+  EXPECT_NEAR(profile.WeightCacheHitRate(), 9.0 / 12.0, 1e-12);
+}
+
+TEST(RunProfileTest, TextAndJsonRendering) {
+  RunProfiler profiler;
+  profiler.Record(RunStage::kTrainerFit, 500000, 400000);
+  MetricsSnapshot before;
+  MetricsSnapshot after;
+  after.counters = {{"trainer.fits", 7}, {"weights.cache_hits", 5},
+                    {"weights.cache_misses", 2}};
+  const RunProfile profile =
+      BuildRunProfile(profiler, before, after, "lambda_tuner", 1, 600.0, 450.0);
+
+  const std::string text = profile.ToText();
+  EXPECT_NE(text.find("lambda_tuner"), std::string::npos);
+  EXPECT_NE(text.find("trainer_fit"), std::string::npos);
+  EXPECT_NE(text.find("fits: 7"), std::string::npos);
+  EXPECT_NE(text.find("weight cache"), std::string::npos);
+
+  const std::string json = profile.ToJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"algorithm\":\"lambda_tuner\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"trainer_fits\":7"), std::string::npos);
+
+  const RunProfile blank;
+  EXPECT_TRUE(blank.empty());
+  EXPECT_NE(blank.ToText().find("empty"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: FairModel::run_profile out of OmniFair::Train
+// ---------------------------------------------------------------------------
+
+struct ProfileFixture {
+  Dataset data;
+  TrainValTestSplit split;
+  FairnessSpec spec;
+
+  ProfileFixture() {
+    SyntheticOptions options;
+    options.num_rows = 2000;
+    options.seed = 5;
+    data = MakeCompasDataset(options);
+    split = SplitDefault(data, 11);
+    spec = MakeSpec(
+        GroupByAttributeValues("race", {"African-American", "Caucasian"}),
+        "sp", 0.03);
+  }
+};
+
+TEST(RunProfileIntegrationTest, TrainPopulatesProfileAndStagesSumToWall) {
+  ProfileFixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFair omnifair;
+  auto fair =
+      omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+
+  const RunProfile& profile = fair->run_profile;
+  ASSERT_FALSE(profile.empty());
+  EXPECT_EQ(profile.algorithm, fair->tune_report.algorithm);
+  EXPECT_GT(profile.total_wall_us, 0.0);
+  EXPECT_EQ(profile.trainer_fits, fair->models_trained);
+
+  // The explain acceptance contract: on a serial run the stage rows (with
+  // the "other" remainder) account for the full wall clock within 10%.
+  double stage_sum_us = 0.0;
+  long long fit_calls = 0;
+  for (const RunProfile::Stage& stage : profile.stages) {
+    EXPECT_GE(stage.wall_us, 0.0) << stage.name;
+    stage_sum_us += stage.wall_us;
+    if (stage.name == "trainer_fit") fit_calls = stage.calls;
+  }
+  EXPECT_NEAR(stage_sum_us, profile.total_wall_us,
+              0.10 * profile.total_wall_us);
+  EXPECT_EQ(fit_calls, static_cast<long long>(fair->models_trained));
+}
+
+TEST(RunProfileIntegrationTest, EmptyWhenTelemetryOff) {
+  ProfileFixture fx;
+  auto trainer = MakeTrainer("lr");
+  OmniFairOptions options;
+  options.telemetry.level = TelemetryLevel::kOff;
+  OmniFair omnifair(options);
+  auto fair =
+      omnifair.Train(fx.split.train, fx.split.val, trainer.get(), {fx.spec});
+  ASSERT_TRUE(fair.ok()) << fair.status();
+  EXPECT_TRUE(fair->run_profile.empty());
+  EXPECT_GT(fair->models_trained, 0);  // the search itself still ran
+}
+
+}  // namespace
+}  // namespace omnifair

@@ -17,6 +17,7 @@
 #include "data/datasets.h"
 #include "data/split.h"
 #include "ml/trainer_registry.h"
+#include "tests/testing_json.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
 #include "util/trace.h"
@@ -24,122 +25,7 @@
 namespace omnifair {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON validity checker, so every exporter's output
-// round-trips through an independent parser (not the writer's own logic).
-// ---------------------------------------------------------------------------
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return Object();
-      case '[': return Array();
-      case '"': return String();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_])) return false;
-          }
-        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;
-  }
-
-  bool Number() {
-    const size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (std::isdigit(Peek())) ++pos_;
-    if (Peek() == '.') { ++pos_; while (std::isdigit(Peek())) ++pos_; }
-    if (Peek() == 'e' || Peek() == 'E') {
-      ++pos_;
-      if (Peek() == '+' || Peek() == '-') ++pos_;
-      while (std::isdigit(Peek())) ++pos_;
-    }
-    return pos_ > start && std::isdigit(text_[pos_ - 1]);
-  }
-
-  bool Literal(const std::string& word) {
-    if (text_.compare(pos_, word.size(), word) != 0) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-bool JsonIsValid(const std::string& text) { return JsonChecker(text).Valid(); }
+using ::omnifair::testing::JsonIsValid;
 
 TEST(JsonCheckerTest, AcceptsAndRejects) {
   EXPECT_TRUE(JsonIsValid(R"({"a": [1, -2.5e3, "x\n", true, null], "b": {}})"));
@@ -212,6 +98,38 @@ TEST(TelemetryTest, HistogramBucketBoundaries) {
   EXPECT_EQ(buckets[2], 0);
   EXPECT_EQ(buckets[3], 1);
   EXPECT_EQ(histogram->Count(), 3);
+}
+
+TEST(TelemetryTest, GetHistogramConflictingBoundsKeepsOriginal) {
+  Histogram* first = MetricsRegistry::Global().GetHistogram(
+      "test.bounds_conflict", {1.0, 2.0, 3.0});
+  // A second lookup with different bounds warns but must return the original
+  // histogram, with the original bucketing, instead of silently ignoring the
+  // mismatch and surprising the caller with foreign buckets.
+  Histogram* second = MetricsRegistry::Global().GetHistogram(
+      "test.bounds_conflict", {10.0, 20.0});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->bounds(), (std::vector<double>{1.0, 2.0, 3.0}));
+  // Matching bounds stay silent and also return the original.
+  Histogram* third = MetricsRegistry::Global().GetHistogram(
+      "test.bounds_conflict", {1.0, 2.0, 3.0});
+  EXPECT_EQ(first, third);
+}
+
+TEST(TelemetryTest, SnapshotJsonEmptyHistogramMinMaxAreZero) {
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("test.empty_minmax", {1.0});
+  histogram->Reset();
+  // Count == 0 leaves the live min/max at +/-inf; the JSON must report 0/0,
+  // not null (JsonWriter's rendering of non-finite doubles).
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  const size_t at = json.find("\"test.empty_minmax\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string entry = json.substr(at, json.find('}', at) - at);
+  EXPECT_NE(entry.find("\"min\":0"), std::string::npos) << entry;
+  EXPECT_NE(entry.find("\"max\":0"), std::string::npos) << entry;
+  EXPECT_EQ(entry.find("null"), std::string::npos) << entry;
 }
 
 TEST(TelemetryTest, RegistryPointersAreStableAcrossReset) {

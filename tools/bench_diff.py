@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_SUMMARY.json files and flag perf regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+                        [--all] [--sections SEC1,SEC2]
+
+Both inputs are omnifair.bench_summary documents from tools/collect_bench.py.
+For every bench section present in both summaries, each numeric field's mean
+is compared. A field regresses when it moves past the relative threshold in
+its bad direction:
+
+  - time/size-like fields (containing "seconds", "_us", "_ms", "bytes", or
+    "overhead") regress when the candidate is HIGHER,
+  - quality-like fields (containing "speedup", "accuracy", "auc", "hits", or
+    "reused") regress when the candidate is LOWER,
+  - everything else is informational only (printed with --all, never fatal).
+
+Exit status: 0 when no field regresses (a self-diff is always clean),
+1 on regression, 2 on unreadable/invalid input. CI gates on this via the
+bench_diff_smoke ctest targets.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "omnifair.bench_summary"
+
+HIGHER_IS_WORSE = ("seconds", "_us", "_ms", "bytes", "overhead")
+LOWER_IS_WORSE = ("speedup", "accuracy", "auc", "hits", "reused")
+
+
+def direction(field):
+    """-1: lower is better, +1: higher is better, 0: informational."""
+    lowered = field.lower()
+    if any(tag in lowered for tag in HIGHER_IS_WORSE):
+        return -1
+    if any(tag in lowered for tag in LOWER_IS_WORSE):
+        return +1
+    return 0
+
+
+def load_summary(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"{path}: {error}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_NAME:
+        raise ValueError(f"{path}: not an {SCHEMA_NAME} document")
+    if not isinstance(doc.get("benches"), dict):
+        raise ValueError(f"{path}: missing 'benches' object")
+    return doc
+
+
+def iter_fields(summary):
+    """Yields (bench, section, field, mean) for every numeric digest field."""
+    for bench_name, bench in sorted(summary["benches"].items()):
+        sections = bench.get("sections", {})
+        if not isinstance(sections, dict):
+            continue
+        for section_name, section in sorted(sections.items()):
+            fields = section.get("fields", {})
+            if not isinstance(fields, dict):
+                continue
+            for field_name, digest in sorted(fields.items()):
+                mean = digest.get("mean") if isinstance(digest, dict) else None
+                if isinstance(mean, (int, float)) and not isinstance(mean, bool):
+                    yield bench_name, section_name, field_name, float(mean)
+
+
+def relative_delta(baseline, candidate):
+    if baseline == 0.0:
+        return 0.0 if candidate == 0.0 else float("inf")
+    return (candidate - baseline) / abs(baseline)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Flag per-section perf regressions between two "
+                    "BENCH_SUMMARY.json files")
+    parser.add_argument("baseline", help="baseline BENCH_SUMMARY.json")
+    parser.add_argument("candidate", help="candidate BENCH_SUMMARY.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression threshold (default 0.15)")
+    parser.add_argument("--sections", default="",
+                        help="comma-separated section allowlist "
+                             "(default: every shared section)")
+    parser.add_argument("--all", action="store_true",
+                        help="also print unchanged and informational fields")
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        print("bench_diff: --threshold must be positive", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = load_summary(args.baseline)
+        candidate = load_summary(args.candidate)
+    except ValueError as error:
+        print(f"bench_diff: {error}", file=sys.stderr)
+        return 2
+
+    wanted = {s for s in args.sections.split(",") if s}
+    base_fields = {
+        (b, s, f): mean for b, s, f, mean in iter_fields(baseline)}
+    cand_fields = {
+        (b, s, f): mean for b, s, f, mean in iter_fields(candidate)}
+    shared = sorted(set(base_fields) & set(cand_fields))
+    if wanted:
+        shared = [key for key in shared if key[1] in wanted]
+    if not shared:
+        print("bench_diff: no shared numeric fields to compare",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    improvements = 0
+    for key in shared:
+        bench, section, field = key
+        base = base_fields[key]
+        cand = cand_fields[key]
+        delta = relative_delta(base, cand)
+        sign = direction(field)
+        label = f"{bench}/{section}/{field}"
+        regressed = sign != 0 and abs(delta) > args.threshold and (
+            (sign < 0 and delta > 0) or (sign > 0 and delta < 0))
+        improved = sign != 0 and abs(delta) > args.threshold and not regressed
+        if regressed:
+            regressions.append(
+                f"REGRESSION {label}: {base:.6g} -> {cand:.6g} "
+                f"({100.0 * delta:+.1f}%, threshold {100.0 * args.threshold:.0f}%)")
+        elif improved:
+            improvements += 1
+            if args.all:
+                print(f"improved   {label}: {base:.6g} -> {cand:.6g} "
+                      f"({100.0 * delta:+.1f}%)")
+        elif args.all:
+            tag = "info      " if sign == 0 else "ok        "
+            print(f"{tag} {label}: {base:.6g} -> {cand:.6g} "
+                  f"({100.0 * delta:+.1f}%)")
+
+    for line in regressions:
+        print(line)
+    print(f"bench_diff: {len(shared)} fields compared, "
+          f"{len(regressions)} regressions, {improvements} improvements "
+          f"(threshold {100.0 * args.threshold:.0f}%)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

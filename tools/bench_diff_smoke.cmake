@@ -1,0 +1,93 @@
+# Smoke-tests the perf-regression toolchain end to end: runs one bench at
+# tiny settings, aggregates it with collect_bench.py, checks that
+# bench_diff.py passes a self-comparison and fails a synthetic 2x slowdown,
+# and that collect_bench.py's error exits (empty dir, invalid JSON) hold.
+# Invoked by the bench_diff_smoke ctest target (bench/CMakeLists.txt) as:
+#   cmake -D BENCH_BINARY=... -D COLLECT=.../collect_bench.py
+#         -D DIFF=.../bench_diff.py -D PYTHON=... -D OUT_DIR=...
+#         -P bench_diff_smoke.cmake
+
+foreach(required BENCH_BINARY COLLECT DIFF PYTHON OUT_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "bench_diff_smoke.cmake: missing -D ${required}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(ENV{OMNIFAIR_BENCH_ROWS} 400)
+set(ENV{OMNIFAIR_BENCH_SEEDS} 1)
+set(ENV{OMNIFAIR_BENCH_OUT} ${OUT_DIR})
+
+execute_process(COMMAND ${BENCH_BINARY} RESULT_VARIABLE bench_result
+                OUTPUT_QUIET)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench exited with status ${bench_result}")
+endif()
+
+set(summary ${OUT_DIR}/BENCH_SUMMARY.json)
+execute_process(COMMAND ${PYTHON} ${COLLECT} ${OUT_DIR} -o ${summary}
+                RESULT_VARIABLE collect_result)
+if(NOT collect_result EQUAL 0)
+  message(FATAL_ERROR "collect_bench failed with status ${collect_result}")
+endif()
+
+# A summary diffed against itself must be clean.
+execute_process(COMMAND ${PYTHON} ${DIFF} ${summary} ${summary}
+                RESULT_VARIABLE self_diff_result)
+if(NOT self_diff_result EQUAL 0)
+  message(FATAL_ERROR
+          "bench_diff flagged a self-comparison (status ${self_diff_result})")
+endif()
+
+# Double every time-like mean; bench_diff must flag the slowdown.
+set(slow ${OUT_DIR}/BENCH_SUMMARY_slow.json)
+execute_process(
+  COMMAND ${PYTHON} -c [[
+import json, sys
+
+TIME_TAGS = ("seconds", "_us", "_ms", "bytes", "overhead")
+with open(sys.argv[1], encoding="utf-8") as handle:
+    doc = json.load(handle)
+doubled = 0
+for bench in doc["benches"].values():
+    for section in bench.get("sections", {}).values():
+        for field, digest in section.get("fields", {}).items():
+            if any(tag in field.lower() for tag in TIME_TAGS):
+                digest["mean"] = 2.0 * digest["mean"] + 1.0
+                doubled += 1
+if doubled == 0:
+    sys.exit("no time-like fields found to perturb")
+with open(sys.argv[2], "w", encoding="utf-8") as handle:
+    json.dump(doc, handle)
+]] ${summary} ${slow}
+  RESULT_VARIABLE perturb_result)
+if(NOT perturb_result EQUAL 0)
+  message(FATAL_ERROR "failed to synthesize the regressed summary")
+endif()
+execute_process(COMMAND ${PYTHON} ${DIFF} ${summary} ${slow}
+                RESULT_VARIABLE regression_result OUTPUT_QUIET)
+if(NOT regression_result EQUAL 1)
+  message(FATAL_ERROR "bench_diff returned ${regression_result} on a 2x "
+                      "slowdown, expected 1")
+endif()
+
+# collect_bench error exits: 2 on an empty directory, 1 when every input
+# fails validation.
+file(MAKE_DIRECTORY ${OUT_DIR}/empty)
+execute_process(COMMAND ${PYTHON} ${COLLECT} ${OUT_DIR}/empty
+                RESULT_VARIABLE empty_result ERROR_QUIET)
+if(NOT empty_result EQUAL 2)
+  message(FATAL_ERROR "collect_bench returned ${empty_result} on an empty "
+                      "directory, expected 2")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR}/invalid)
+file(WRITE ${OUT_DIR}/invalid/broken.json "{\"schema\": \"wrong\"}")
+execute_process(COMMAND ${PYTHON} ${COLLECT} ${OUT_DIR}/invalid
+                RESULT_VARIABLE invalid_result ERROR_QUIET)
+if(NOT invalid_result EQUAL 1)
+  message(FATAL_ERROR "collect_bench returned ${invalid_result} on invalid "
+                      "input, expected 1")
+endif()

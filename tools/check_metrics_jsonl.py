@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate omnifair.metrics JSONL files written by MetricsExporter.
+
+Usage: check_metrics_jsonl.py FILE [FILE...]
+
+Every line must be an omnifair.metrics schema_version-1 document:
+
+  {"schema":"omnifair.metrics","schema_version":1,"seq":N,"uptime_ms":U,
+   "interval_ms":I,"final":B,"cumulative":{counters,gauges,histograms},
+   "delta":{"counters":{name:inc},"histograms":{name:{count,sum}}},
+   "quantiles":{name:{"p50":..,"p90":..,"p99":..}}}
+
+The exporter appends, so one file may hold several runs back to back; a line
+with seq == 1 starts a new run. Within each run this checks that seq counts
+up by one, uptime_ms never decreases, cumulative counters never decrease,
+delta counter/histogram-count increments are positive (zero-change metrics
+are omitted), quantiles are ordered p50 <= p90 <= p99 and only present for
+histograms with observations, and exactly the last line of the run is marked
+"final": true. The cumulative block is validated with the same
+check_bench_json.check_metrics used for bench documents.
+
+Exits 1 (listing every problem) when any file is invalid, 2 on usage errors.
+Standard library only, so it runs anywhere ctest does.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_json  # noqa: E402
+
+SCHEMA_NAME = "omnifair.metrics"
+SCHEMA_VERSION = 1
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def check_delta(delta, where, errors):
+    if not isinstance(delta, dict):
+        errors.append(f"{where}: 'delta' is not an object")
+        return
+    counters = delta.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{where}.delta: missing 'counters' object")
+    else:
+        for name, inc in counters.items():
+            if not is_int(inc) or inc <= 0:
+                errors.append(
+                    f"{where}.delta.counters[{name!r}]: increment {inc!r} "
+                    "is not a positive integer (counters are monotonic and "
+                    "zero-change entries are omitted)")
+    histograms = delta.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append(f"{where}.delta: missing 'histograms' object")
+        return
+    for name, inc in histograms.items():
+        hwhere = f"{where}.delta.histograms[{name!r}]"
+        if not isinstance(inc, dict):
+            errors.append(f"{hwhere}: not an object")
+            continue
+        if not is_int(inc.get("count")) or inc["count"] <= 0:
+            errors.append(f"{hwhere}: 'count' is not a positive integer")
+        if not is_number(inc.get("sum")):
+            errors.append(f"{hwhere}: 'sum' is not a number")
+
+
+def check_quantiles(quantiles, cumulative, where, errors):
+    if not isinstance(quantiles, dict):
+        errors.append(f"{where}: 'quantiles' is not an object")
+        return
+    hist_counts = {}
+    histograms = cumulative.get("histograms") if isinstance(
+        cumulative, dict) else None
+    if isinstance(histograms, dict):
+        for name, hist in histograms.items():
+            if isinstance(hist, dict) and is_int(hist.get("count")):
+                hist_counts[name] = hist["count"]
+    for name, q in quantiles.items():
+        qwhere = f"{where}.quantiles[{name!r}]"
+        if hist_counts.get(name, 0) <= 0:
+            errors.append(
+                f"{qwhere}: quantiles for a histogram with no observations")
+        if not isinstance(q, dict):
+            errors.append(f"{qwhere}: not an object")
+            continue
+        values = []
+        for key in ("p50", "p90", "p99"):
+            if not is_number(q.get(key)):
+                errors.append(f"{qwhere}: '{key}' is not a number")
+            else:
+                values.append(q[key])
+        if len(values) == 3 and not values[0] <= values[1] <= values[2]:
+            errors.append(f"{qwhere}: not ordered p50 <= p90 <= p99: {values}")
+
+
+def check_line(doc, where, errors):
+    """Structural checks on one line; run-level invariants live in check_file."""
+    if doc.get("schema") != SCHEMA_NAME:
+        errors.append(f"{where}: schema is {doc.get('schema')!r}, "
+                      f"expected {SCHEMA_NAME!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"{where}: unsupported schema_version {doc.get('schema_version')!r}")
+    if not is_int(doc.get("seq")) or doc["seq"] < 1:
+        errors.append(f"{where}: 'seq' is not a positive integer")
+    if not is_number(doc.get("uptime_ms")) or doc["uptime_ms"] < 0:
+        errors.append(f"{where}: 'uptime_ms' is not a non-negative number")
+    if not is_int(doc.get("interval_ms")) or doc["interval_ms"] <= 0:
+        errors.append(f"{where}: 'interval_ms' is not a positive integer")
+    if not isinstance(doc.get("final"), bool):
+        errors.append(f"{where}: 'final' is not a boolean")
+    cumulative = doc.get("cumulative")
+    if not isinstance(cumulative, dict):
+        errors.append(f"{where}: 'cumulative' is not an object")
+    else:
+        check_bench_json.check_metrics(cumulative, f"{where}.cumulative",
+                                       errors)
+    check_delta(doc.get("delta"), where, errors)
+    check_quantiles(doc.get("quantiles"), cumulative, where, errors)
+
+
+def cumulative_counters(doc):
+    counters = doc.get("cumulative", {})
+    counters = counters.get("counters") if isinstance(counters, dict) else None
+    return counters if isinstance(counters, dict) else {}
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw_lines = handle.readlines()
+    except OSError as error:
+        return [f"cannot read: {error}"]
+    lines = []
+    errors = []
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if not raw.strip():
+            errors.append(f"line {lineno}: blank line")
+            continue
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as error:
+            errors.append(f"line {lineno}: cannot parse: {error}")
+            continue
+        if not isinstance(doc, dict):
+            errors.append(f"line {lineno}: not an object")
+            continue
+        lines.append((lineno, doc))
+    if not lines:
+        errors.append("no snapshot lines")
+        return errors
+
+    for lineno, doc in lines:
+        check_line(doc, f"line {lineno}", errors)
+
+    # Run-level invariants. Append mode means a file can hold several runs;
+    # seq == 1 opens a new run.
+    prev = None
+    for index, (lineno, doc) in enumerate(lines):
+        seq = doc.get("seq")
+        if not is_int(seq):
+            prev = None
+            continue
+        starts_run = seq == 1
+        if prev is None and not starts_run:
+            errors.append(f"line {lineno}: run starts at seq {seq}, expected 1")
+        if prev is not None and not starts_run:
+            prev_lineno, prev_doc = prev
+            if seq != prev_doc["seq"] + 1:
+                errors.append(f"line {lineno}: seq {seq} does not follow "
+                              f"{prev_doc['seq']} (line {prev_lineno})")
+            if prev_doc.get("final") is True:
+                errors.append(f"line {prev_lineno}: marked final but the run "
+                              f"continues on line {lineno}")
+            if (is_number(doc.get("uptime_ms"))
+                    and is_number(prev_doc.get("uptime_ms"))
+                    and doc["uptime_ms"] < prev_doc["uptime_ms"]):
+                errors.append(f"line {lineno}: uptime_ms went backwards")
+            prev_counters = cumulative_counters(prev_doc)
+            for name, value in cumulative_counters(doc).items():
+                before = prev_counters.get(name)
+                if is_int(value) and is_int(before) and value < before:
+                    errors.append(
+                        f"line {lineno}: cumulative counter {name!r} "
+                        f"decreased {before} -> {value}")
+        is_last = index + 1 == len(lines)
+        next_starts_run = (not is_last
+                           and lines[index + 1][1].get("seq") == 1)
+        if (is_last or next_starts_run) and doc.get("final") is not True:
+            errors.append(f"line {lineno}: last line of a run is not marked "
+                          '"final": true (unclean shutdown?)')
+        prev = (lineno, doc)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            print(f"INVALID {path}")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"ok      {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

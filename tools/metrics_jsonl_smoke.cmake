@@ -1,0 +1,40 @@
+# Smoke-tests the metrics exporter end to end: runs one bench at tiny
+# settings with OMNIFAIR_METRICS_OUT pointing into OUT_DIR and validates the
+# JSONL it appends with tools/check_metrics_jsonl.py (schema, seq, deltas,
+# final-line flush). Invoked by the metrics_jsonl_smoke ctest target
+# (bench/CMakeLists.txt) as:
+#   cmake -D BENCH_BINARY=... -D CHECKER=.../check_metrics_jsonl.py
+#         -D PYTHON=... -D OUT_DIR=... -P metrics_jsonl_smoke.cmake
+
+foreach(required BENCH_BINARY CHECKER PYTHON OUT_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "metrics_jsonl_smoke.cmake: missing -D ${required}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(metrics_file ${OUT_DIR}/metrics.jsonl)
+set(ENV{OMNIFAIR_BENCH_ROWS} 400)
+set(ENV{OMNIFAIR_BENCH_SEEDS} 1)
+set(ENV{OMNIFAIR_BENCH_OUT} ${OUT_DIR})
+set(ENV{OMNIFAIR_TELEMETRY} counters)
+set(ENV{OMNIFAIR_METRICS_OUT} ${metrics_file})
+set(ENV{OMNIFAIR_METRICS_INTERVAL_MS} 25)
+
+execute_process(COMMAND ${BENCH_BINARY} RESULT_VARIABLE bench_result
+                OUTPUT_QUIET)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench exited with status ${bench_result}")
+endif()
+
+if(NOT EXISTS ${metrics_file})
+  message(FATAL_ERROR "exporter wrote no JSONL to ${metrics_file}")
+endif()
+
+execute_process(COMMAND ${PYTHON} ${CHECKER} ${metrics_file}
+                RESULT_VARIABLE check_result)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "metrics JSONL failed validation")
+endif()

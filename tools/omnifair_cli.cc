@@ -22,6 +22,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "data/split.h"
 #include "ml/trainer_registry.h"
 #include "util/string_utils.h"
+#include "util/telemetry.h"
 
 namespace omnifair {
 namespace cli {
@@ -71,6 +73,8 @@ int Usage() {
                "        [--positive-label VALUE] [--out model.txt]\n"
                "        [--checkpoint ckpt.bin] [--checkpoint-interval SECONDS]\n"
                "        [--resume [ckpt.bin]]   (resume a killed tuning run)\n"
+               "        [--profile-out profile.json]\n"
+               "  explain  (train + per-stage run profile; same flags as train)\n"
                "  profile --data data.csv --label COLUMN [--sensitive COLUMN]\n"
                "  audit --data data.csv --label COLUMN --sensitive COLUMN\n"
                "        [--metric sp] [--epsilon 0.05] [--positive-label VALUE]\n"
@@ -104,7 +108,25 @@ int RunSynth(const Args& args) {
   return 0;
 }
 
-int RunTrain(const Args& args) {
+/// Writes the run profile JSON for --profile-out; shared by train/explain.
+int WriteProfileOut(const FairModel& fair, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << fair.run_profile.ToJson() << "\n";
+  if (!out.flush()) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote run profile   : %s\n", path.c_str());
+  return 0;
+}
+
+/// `explain` is train plus a per-stage profile dump: same flags, same exit
+/// codes, with the RunProfile table printed after the training summary.
+int RunTrain(const Args& args, bool explain) {
   if (!args.Has("data") || !args.Has("sensitive")) return Usage();
   Result<Dataset> dataset = LoadCsvDataset(args);
   if (!dataset.ok()) {
@@ -144,6 +166,7 @@ int RunTrain(const Args& args) {
   std::printf("validation accuracy : %.2f%%\n", 100.0 * fair->val_accuracy);
   std::printf("model fits          : %d (%.2fs)\n", fair->models_trained,
               fair->train_seconds);
+  if (explain) std::printf("\n%s\n", fair->run_profile.ToText().c_str());
 
   auto audit = Audit(*fair->model, fair->encoder, split.test, {spec});
   if (audit.ok()) {
@@ -164,6 +187,11 @@ int RunTrain(const Args& args) {
       return 1;
     }
     std::printf("saved model bundle  : %s\n", out.c_str());
+  }
+  const std::string profile_out = args.Get("profile-out");
+  if (!profile_out.empty()) {
+    const int status = WriteProfileOut(*fair, profile_out);
+    if (status != 0) return status;
   }
   return fair->satisfied ? 0 : 3;  // 3 = trained but constraint infeasible
 }
@@ -223,7 +251,8 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "synth") return RunSynth(args);
   if (args.command == "profile") return RunProfile(args);
-  if (args.command == "train") return RunTrain(args);
+  if (args.command == "train") return RunTrain(args, /*explain=*/false);
+  if (args.command == "explain") return RunTrain(args, /*explain=*/true);
   if (args.command == "audit") return RunAudit(args);
   return Usage();
 }
@@ -232,4 +261,8 @@ int Main(int argc, char** argv) {
 }  // namespace cli
 }  // namespace omnifair
 
-int main(int argc, char** argv) { return omnifair::cli::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // Honor OMNIFAIR_TELEMETRY / OMNIFAIR_METRICS_OUT like the benches do.
+  omnifair::InitTelemetryFromEnv();
+  return omnifair::cli::Main(argc, argv);
+}

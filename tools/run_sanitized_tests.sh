@@ -11,10 +11,13 @@
 #                          ThreadSanitizer over the concurrency- and
 #                          chaos-labelled tests only (build-tsan/): the
 #                          thread pool, the parallel tuner determinism
-#                          suite, telemetry, and checkpoint/resume (whose
-#                          parallel-grid resume exercises record barriers
-#                          across workers). TSan is incompatible with
-#                          ASan, hence the separate tree and mode.
+#                          suite, telemetry, the metrics exporter (its
+#                          background snapshot thread racing registry
+#                          writers) and run-profiler tests, and
+#                          checkpoint/resume (whose parallel-grid resume
+#                          exercises record barriers across workers). TSan
+#                          is incompatible with ASan, hence the separate
+#                          tree and mode.
 #
 # Usage: [OMNIFAIR_SANITIZE=thread] tools/run_sanitized_tests.sh [extra ctest args...]
 set -euo pipefail
