@@ -6,9 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_common.h"
 #include "core/problem.h"
+#include "linalg/matrix.h"
+#include "linalg/simd.h"
 #include "linalg/vector_ops.h"
+#include "ml/binning.h"
 
 namespace omnifair {
 namespace bench {
@@ -62,6 +67,129 @@ void BM_Axpy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_Axpy)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Float32-storage variants of the two arithmetic kernels: float feature
+// data widened per lane against double coefficients (the mixed-precision
+// path the float32 feature matrix uses).
+void BM_DotF32(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> a(n);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = 0.25f + static_cast<float>(i % 31);
+    b[i] = 1.5 - static_cast<double>(i % 17);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::DotF32(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DotF32)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AxpyF32(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> a(n, 0.0);
+  std::vector<float> b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = 1.0f + static_cast<float>(i % 13);
+  const simd::Kernels& kernels = simd::Active();
+  for (auto _ : state) {
+    kernels.axpy_f32(1e-9, b.data(), a.data(), n);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AxpyF32)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Batched sigmoid over a margin buffer — the kernel behind blocked predict.
+// Applying it in place repeatedly keeps every pass a full exp workload
+// (values settle into (0, 1), still on the polynomial's main path).
+void BM_Sigmoid(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = -8.0 + 16.0 * static_cast<double>(i % 97) / 96.0;
+  }
+  for (auto _ : state) {
+    SigmoidInPlace(v.data(), n);
+    benchmark::DoNotOptimize(v.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sigmoid)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The LR/MLP inner product: one dense mat-vec into a reused buffer.
+void BM_MatVec(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = static_cast<size_t>(state.range(1));
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<double>((r * 1315423911u + c * 2654435761u) % 1000) / 499.5 - 1.0;
+    }
+  }
+  std::vector<double> x(cols);
+  for (size_t c = 0; c < cols; ++c) x[c] = 0.5 - static_cast<double>(c % 7) / 7.0;
+  std::vector<double> y(rows);
+  for (auto _ : state) {
+    m.MatVecInto(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows * cols));
+}
+BENCHMARK(BM_MatVec)->Args({1024, 64})->Args({4096, 128});
+
+void BM_MatVecF32(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = static_cast<size_t>(state.range(1));
+  Matrix m = Matrix::Float32(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.Set(r, c,
+            static_cast<double>((r * 1315423911u + c * 2654435761u) % 1000) / 499.5 - 1.0);
+    }
+  }
+  std::vector<double> x(cols);
+  for (size_t c = 0; c < cols; ++c) x[c] = 0.5 - static_cast<double>(c % 7) / 7.0;
+  std::vector<double> y(rows);
+  for (auto _ : state) {
+    m.MatVecInto(x, &y);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows * cols));
+}
+BENCHMARK(BM_MatVecF32)->Args({1024, 64})->Args({4096, 128});
+
+// Per-node histogram accumulation (the tree-training hot loop): every row of
+// a 16-feature binned matrix scattered into per-bin accumulators.
+void BM_HistAccumulate(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = 16;
+  Matrix X(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      X(r, c) = static_cast<double>((r * 2654435761u + c * 40503u) % 977);
+    }
+  }
+  auto binned = BinnedMatrix::Build(X, 64, 1);
+  std::vector<size_t> samples(rows);
+  for (size_t i = 0; i < rows; ++i) samples[i] = i;
+  std::vector<double> grad(rows), hess(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    grad[i] = -0.5 + static_cast<double>(i % 11) / 11.0;
+    hess[i] = 0.1 + static_cast<double>(i % 5) / 5.0;
+  }
+  NodeHistogram hist;
+  for (auto _ : state) {
+    FillNodeHistogram(*binned, samples, grad.data(), hess.data(), 1, &hist);
+    benchmark::DoNotOptimize(hist.first.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows * cols));
+}
+BENCHMARK(BM_HistAccumulate)->Arg(4096)->Arg(32768);
 
 void BM_WeightComputation(benchmark::State& state) {
   MicroFixture fx("lr");
@@ -128,6 +256,86 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
   BenchReporter& out_;
 };
 
+/// Median-free ns-per-call timer: doubles the repetition count until one
+/// timed batch exceeds ~10 ms, which washes out clock granularity without
+/// needing google-benchmark's machinery (both tables must run in the same
+/// process for a machine-relative ratio).
+template <typename Fn>
+double TimePerCallNs(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm up: fault pages in, resolve the dispatch table
+  long reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (long r = 0; r < reps; ++r) fn();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    if (ns >= 1e7 || reps >= (1L << 24)) return ns / static_cast<double>(reps);
+    reps *= 4;
+  }
+}
+
+/// One "kernel_speedup" row comparing the active backend against the scalar
+/// table in-process. The *_speedup fields (which tools/bench_diff.py gates
+/// on) are machine-relative ratios, so a committed snapshot from one box is
+/// a meaningful baseline on another of the same ISA; they are emitted only
+/// when a vector backend is active, so scalar-only machines diff vacuously
+/// clean instead of flagging a phantom regression.
+void ReportKernelSpeedups(BenchReporter& out) {
+  const simd::Kernels& active = simd::Active();
+  const simd::Kernels& scalar = simd::ScalarKernels();
+  const bool vectorized = simd::ActiveBackend() != simd::Backend::kScalar;
+  const size_t n = 4096;
+  std::vector<double> a(n), b(n), acc(n, 0.0), v(n);
+  std::vector<float> f(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = 0.25 + static_cast<double>(i % 31);
+    b[i] = 1.5 - static_cast<double>(i % 17);
+    v[i] = -6.0 + 12.0 * static_cast<double>(i % 97) / 96.0;
+    f[i] = static_cast<float>(a[i]);
+  }
+  BenchReporter::Row& row = out.AddRow("kernel_speedup");
+  row.Label("backend", simd::BackendName(simd::ActiveBackend()));
+  row.Value("n", static_cast<double>(n));
+  std::printf("\nkernel_speedup (n=%zu, backend=%s)\n", n,
+              simd::BackendName(simd::ActiveBackend()));
+  auto add = [&](const char* name, double scalar_ns, double simd_ns) {
+    const double speedup = scalar_ns / simd_ns;
+    row.Value(std::string(name) + "_scalar_ns", scalar_ns)
+        .Value(std::string(name) + "_simd_ns", simd_ns);
+    if (vectorized) row.Value(std::string(name) + "_speedup", speedup);
+    std::printf("  %-10s scalar %9.1f ns   active %9.1f ns   speedup %5.2fx\n",
+                name, scalar_ns, simd_ns, speedup);
+  };
+  add("dot",
+      TimePerCallNs([&] { benchmark::DoNotOptimize(scalar.dot(a.data(), b.data(), n)); }),
+      TimePerCallNs([&] { benchmark::DoNotOptimize(active.dot(a.data(), b.data(), n)); }));
+  add("axpy",
+      TimePerCallNs([&] {
+        scalar.axpy(1e-9, b.data(), acc.data(), n);
+        benchmark::ClobberMemory();
+      }),
+      TimePerCallNs([&] {
+        active.axpy(1e-9, b.data(), acc.data(), n);
+        benchmark::ClobberMemory();
+      }));
+  add("sum",
+      TimePerCallNs([&] { benchmark::DoNotOptimize(scalar.sum(a.data(), n)); }),
+      TimePerCallNs([&] { benchmark::DoNotOptimize(active.sum(a.data(), n)); }));
+  add("sigmoid",
+      TimePerCallNs([&] {
+        scalar.sigmoid_inplace(v.data(), n);
+        benchmark::ClobberMemory();
+      }),
+      TimePerCallNs([&] {
+        active.sigmoid_inplace(v.data(), n);
+        benchmark::ClobberMemory();
+      }));
+  add("dot_f32",
+      TimePerCallNs([&] { benchmark::DoNotOptimize(scalar.dot_f32(f.data(), b.data(), n)); }),
+      TimePerCallNs([&] { benchmark::DoNotOptimize(active.dot_f32(f.data(), b.data(), n)); }));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace omnifair
@@ -138,8 +346,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   omnifair::bench::BenchReporter reporter(
       "microbench", "Microbenchmarks: weight computation, FP evaluation, fits");
+  reporter.Config("simd_backend",
+                  std::string(omnifair::simd::BackendName(
+                      omnifair::simd::ActiveBackend())));
   omnifair::bench::JsonCapturingReporter console(reporter);
   benchmark::RunSpecifiedBenchmarks(&console);
   benchmark::Shutdown();
+  omnifair::bench::ReportKernelSpeedups(reporter);
   return omnifair::bench::FinishBench(reporter);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/trace.h"
@@ -94,6 +95,25 @@ std::shared_ptr<const WeightComputer::CoefficientCache> WeightComputer::GetCache
     for (size_t k = 0; k < group2.size(); ++k) {
       entry.terms.emplace_back(group2[k], -coef2.c[k]);
     }
+    // Dense fast path: only worthwhile when the terms cover most rows, and
+    // only valid when no row repeats (overlapping group1/group2 members must
+    // keep their two sequential updates).
+    entry.dense.clear();
+    const size_t rows = train.NumRows();
+    if (2 * entry.terms.size() >= rows) {
+      entry.dense.assign(rows, 0.0);
+      std::vector<unsigned char> seen(rows, 0);
+      bool unique = true;
+      for (const auto& [row, c] : entry.terms) {
+        if (seen[row]) {
+          unique = false;
+          break;
+        }
+        seen[row] = 1;
+        entry.dense[row] = c;
+      }
+      if (!unique) entry.dense.clear();
+    }
     entry.built = true;
   }
   cache_ = rebuilt;
@@ -126,14 +146,22 @@ std::vector<double> WeightComputer::Compute(const std::vector<double>& lambdas,
 
   const std::shared_ptr<const CoefficientCache> cache =
       GetCache(lambdas, predictions);
+  const simd::Kernels& kernels = simd::Active();
   for (size_t j = 0; j < lambdas.size(); ++j) {
     const double lambda = lambdas[j];
     if (lambda == 0.0 || evaluator_.HasEmptyGroup(j)) continue;
     // w_i += N * lambda * c_i^{g1}  for i in g1,
     // w_i -= N * lambda * c_i^{g2}  for i in g2 (overlap adds both).
     const double factor = n * lambda;
-    for (const auto& [row, c] : cache->entries[j].terms) {
-      weights[row] += factor * c;
+    const CacheEntry& entry = cache->entries[j];
+    if (!entry.dense.empty()) {
+      // One vectorized axpy over all rows; each row still receives exactly
+      // one update per constraint (see CacheEntry::dense for the contract).
+      kernels.axpy(factor, entry.dense.data(), weights.data(), weights.size());
+    } else {
+      for (const auto& [row, c] : entry.terms) {
+        weights[row] += factor * c;
+      }
     }
   }
 

@@ -61,6 +61,13 @@ class WeightComputer {
     bool built = false;
     bool depends_on_predictions = false;
     std::vector<std::pair<size_t, double>> terms;
+    /// Dense mirror of `terms` (coefficient per row, 0 for non-members) for
+    /// the vectorized axpy fast path in Compute. Built only when the terms
+    /// cover at least half the rows AND no row repeats across them — each
+    /// row then receives exactly one update, so on the scalar backend the
+    /// dense pass is bit-identical to the sparse loop (non-member rows add
+    /// an exact (n·λ)·0 = +0). Empty means "use the sparse loop".
+    std::vector<double> dense;
   };
   struct CoefficientCache {
     bool has_predictions = false;

@@ -49,7 +49,11 @@ void FeatureEncoder::Fit(const Dataset& dataset, const EncoderOptions& options) 
 
 Matrix FeatureEncoder::Transform(const Dataset& dataset) const {
   const size_t n = dataset.NumRows();
-  Matrix out(n, feature_names_.size());
+  // Values are narrowed at encode time when float32 storage is requested, so
+  // downstream trainers never pay a conversion pass.
+  Matrix out = options_.float32_features
+                   ? Matrix::Float32(n, feature_names_.size())
+                   : Matrix(n, feature_names_.size());
   size_t offset = 0;
   for (const ColumnPlan& plan : plans_) {
     const Column& col = dataset.ColumnByName(plan.name);
@@ -58,19 +62,19 @@ Matrix FeatureEncoder::Transform(const Dataset& dataset) const {
       for (size_t r = 0; r < n; ++r) {
         double value = col.NumericValue(r);
         if (options_.standardize_numeric) value = (value - plan.mean) / plan.stddev;
-        out(r, offset) = value;
+        out.Set(r, offset, value);
       }
       offset += 1;
     } else if (options_.one_hot_categorical) {
       for (size_t r = 0; r < n; ++r) {
         const int code = col.Code(r);
         if (code >= 0 && static_cast<size_t>(code) < plan.num_categories) {
-          out(r, offset + static_cast<size_t>(code)) = 1.0;
+          out.Set(r, offset + static_cast<size_t>(code), 1.0);
         }
       }
       offset += plan.num_categories;
     } else {
-      for (size_t r = 0; r < n; ++r) out(r, offset) = col.Code(r);
+      for (size_t r = 0; r < n; ++r) out.Set(r, offset, col.Code(r));
       offset += 1;
     }
   }

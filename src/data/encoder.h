@@ -23,6 +23,11 @@ struct EncoderOptions {
   /// Columns excluded from the feature matrix (e.g. the sensitive attribute
   /// when training "fairness through unawareness"-style, or id columns).
   std::vector<std::string> drop_columns;
+  /// Store encoded features as float32 instead of double. Halves the feature
+  /// matrix footprint and memory bandwidth; model parameters, gradients and
+  /// accumulators stay double (see Matrix's storage contract). A runtime
+  /// storage choice — not part of the serialized encoder layout.
+  bool float32_features = false;
 };
 
 /// Encodes a Dataset's attribute columns into a numeric feature Matrix.

@@ -2,61 +2,35 @@
 
 #include <cmath>
 
+#include "linalg/simd.h"
 #include "util/logging.h"
 
 namespace omnifair {
 
+// The reductions and elementwise ops route through the simd dispatch layer
+// (simd.h): AVX2/NEON when compiled in and supported, the portable unrolled
+// fallback otherwise. Callers treat Dot/Sum as unordered reductions — the
+// backend may reassociate and contract to FMA, so results agree across
+// backends to O(n * eps), not bitwise.
+
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   OF_CHECK_EQ(a.size(), b.size());
-  const size_t n = a.size();
-  const double* pa = a.data();
-  const double* pb = b.data();
-  // Four independent accumulators break the loop-carried add dependency so
-  // the FP units pipeline; the sum order differs from a single accumulator
-  // by O(eps) — callers treat Dot as an unordered reduction.
-  double acc0 = 0.0;
-  double acc1 = 0.0;
-  double acc2 = 0.0;
-  double acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += pa[i] * pb[i];
-    acc1 += pa[i + 1] * pb[i + 1];
-    acc2 += pa[i + 2] * pb[i + 2];
-    acc3 += pa[i + 3] * pb[i + 3];
-  }
-  double acc = (acc0 + acc1) + (acc2 + acc3);
-  for (; i < n; ++i) acc += pa[i] * pb[i];
-  return acc;
+  return simd::Active().dot(a.data(), b.data(), a.size());
 }
 
 double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
 
 void Axpy(double scale, const std::vector<double>& b, std::vector<double>* a) {
   OF_CHECK_EQ(a->size(), b.size());
-  const size_t n = b.size();
-  double* pa = a->data();
-  const double* pb = b.data();
-  // Elementwise, so unrolling only widens the window for the scheduler —
-  // every a[i] gets exactly the same update as the plain loop.
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    pa[i] += scale * pb[i];
-    pa[i + 1] += scale * pb[i + 1];
-    pa[i + 2] += scale * pb[i + 2];
-    pa[i + 3] += scale * pb[i + 3];
-  }
-  for (; i < n; ++i) pa[i] += scale * pb[i];
+  simd::Active().axpy(scale, b.data(), a->data(), b.size());
 }
 
 void Scale(double scale, std::vector<double>* v) {
-  for (double& x : *v) x *= scale;
+  simd::Active().scale(scale, v->data(), v->size());
 }
 
 double Sum(const std::vector<double>& v) {
-  double acc = 0.0;
-  for (double x : v) acc += x;
-  return acc;
+  return simd::Active().sum(v.data(), v.size());
 }
 
 double Mean(const std::vector<double>& v) {
@@ -79,6 +53,16 @@ double Sigmoid(double z) {
   }
   const double e = std::exp(z);
   return e / (1.0 + e);
+}
+
+void SigmoidInPlace(double* v, size_t n) { simd::Active().sigmoid_inplace(v, n); }
+
+void SigmoidInPlace(std::vector<double>* v) {
+  SigmoidInPlace(v->data(), v->size());
+}
+
+void SoftmaxRows(double* m, size_t rows, size_t cols) {
+  simd::Active().softmax_rows(m, rows, cols);
 }
 
 double Log1pExp(double z) {

@@ -30,6 +30,15 @@ double StdDev(const std::vector<double>& v);
 /// Numerically stable logistic sigmoid 1 / (1 + exp(-z)).
 double Sigmoid(double z);
 
+/// Batched in-place sigmoid over a whole margin vector. Routes through the
+/// simd dispatch layer: vector backends use a polynomial exp accurate to a
+/// few ulp, so results match per-element Sigmoid() to tolerance, not bitwise.
+void SigmoidInPlace(double* v, size_t n);
+void SigmoidInPlace(std::vector<double>* v);
+
+/// Row-wise max-shifted softmax over a row-major rows x cols block.
+void SoftmaxRows(double* m, size_t rows, size_t cols);
+
 /// log(1 + exp(z)) without overflow.
 double Log1pExp(double z);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "linalg/simd.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
@@ -19,23 +20,28 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Cheap content fingerprint: shape plus up to 64 elements sampled at a
-/// fixed stride. Combined with the storage-pointer check in Matches this
-/// makes accidental reuse against a different matrix vanishingly unlikely
-/// while keeping validation O(1) in the matrix size.
+/// Cheap content fingerprint: shape and storage mode plus up to 64 words
+/// sampled from the raw element payload at a fixed stride. Combined with the
+/// storage-pointer check in Matches this makes accidental reuse against a
+/// different matrix vanishingly unlikely while keeping validation O(1) in the
+/// matrix size. Reading the untyped payload keeps this valid for both double
+/// and float32 feature storage.
 uint64_t FingerprintMatrix(const Matrix& X) {
-  const std::vector<double>& data = X.data();
-  uint64_t h = Mix64(X.rows() * 0x100000001b3ULL ^ X.cols());
-  if (data.empty()) return h;
-  const size_t samples = std::min<size_t>(64, data.size());
-  const size_t stride = std::max<size_t>(1, data.size() / samples);
-  for (size_t i = 0; i < data.size(); i += stride) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(X.RawData());
+  const size_t nbytes = X.RawBytes();
+  uint64_t h = Mix64(X.rows() * 0x100000001b3ULL ^ X.cols() ^
+                     (static_cast<uint64_t>(X.storage()) << 32));
+  if (nbytes < sizeof(uint64_t)) return h;
+  const size_t words = nbytes / sizeof(uint64_t);
+  const size_t samples = std::min<size_t>(64, words);
+  const size_t stride = std::max<size_t>(1, words / samples);
+  for (size_t w = 0; w < words; w += stride) {
     uint64_t bits;
-    std::memcpy(&bits, &data[i], sizeof(bits));
+    std::memcpy(&bits, bytes + w * sizeof(uint64_t), sizeof(bits));
     h = Mix64(h ^ bits);
   }
   uint64_t last;
-  std::memcpy(&last, &data[data.size() - 1], sizeof(last));
+  std::memcpy(&last, bytes + nbytes - sizeof(uint64_t), sizeof(last));
   return Mix64(h ^ last);
 }
 
@@ -99,7 +105,7 @@ std::shared_ptr<const BinnedMatrix> BinnedMatrix::Build(const Matrix& X,
   binned->rows_ = X.rows();
   binned->cols_ = X.cols();
   binned->max_bins_ = max_bins;
-  binned->source_data_ = X.data().data();
+  binned->source_data_ = X.RawData();
   binned->fingerprint_ = FingerprintMatrix(X);
   binned->boundaries_.resize(X.cols());
   binned->codes_.resize(X.rows() * X.cols());
@@ -136,7 +142,7 @@ std::shared_ptr<const BinnedMatrix> BinnedMatrix::Build(const Matrix& X,
 bool BinnedMatrix::Matches(const Matrix& X, int max_bins) const {
   return rows_ == X.rows() && cols_ == X.cols() &&
          max_bins_ == std::clamp(max_bins, 2, kMaxBins) &&
-         source_data_ == static_cast<const void*>(X.data().data()) &&
+         source_data_ == X.RawData() &&
          fingerprint_ == FingerprintMatrix(X);
 }
 
@@ -146,13 +152,56 @@ void FillNodeHistogram(const BinnedMatrix& binned,
                        int num_threads, NodeHistogram* hist) {
   hist->Reset(binned);
   const size_t stride = static_cast<size_t>(binned.max_bins());
+  const size_t n = samples.size();
   auto fill_feature = [&](size_t f) {
     const uint8_t* codes = binned.Column(f);
     double* a = hist->first.data() + f * stride;
     double* b = hist->second.data() + f * stride;
-    for (size_t i : samples) {
-      a[codes[i]] += stat_a[i];
-      b[codes[i]] += stat_b[i];
+    const size_t nb = static_cast<size_t>(binned.NumBins(f));
+    // Large nodes: accumulate into four interleaved stripes of private bin
+    // arrays, then merge. Repeated bin codes in consecutive samples create a
+    // load-store dependence chain in the naive loop; striping by sample index
+    // gives the core four independent chains. Stripe membership and the
+    // pairwise merge order are fixed functions of the sample index, so the
+    // result is deterministic for any thread count. The size gate only
+    // affects speed: small nodes keep the direct scan, and the stripes' extra
+    // zeroing/merge is amortized only when samples dominate bins.
+    if (n >= 512 && n >= 8 * nb) {
+      thread_local std::vector<double> scratch;
+      scratch.assign(8 * stride, 0.0);
+      double* sa = scratch.data();                // stripes 0..3 of `a`
+      double* sb = scratch.data() + 4 * stride;   // stripes 0..3 of `b`
+      const size_t n4 = n - (n % 4);
+      for (size_t k = 0; k < n4; k += 4) {
+        const size_t i0 = samples[k + 0];
+        const size_t i1 = samples[k + 1];
+        const size_t i2 = samples[k + 2];
+        const size_t i3 = samples[k + 3];
+        sa[0 * stride + codes[i0]] += stat_a[i0];
+        sb[0 * stride + codes[i0]] += stat_b[i0];
+        sa[1 * stride + codes[i1]] += stat_a[i1];
+        sb[1 * stride + codes[i1]] += stat_b[i1];
+        sa[2 * stride + codes[i2]] += stat_a[i2];
+        sb[2 * stride + codes[i2]] += stat_b[i2];
+        sa[3 * stride + codes[i3]] += stat_a[i3];
+        sb[3 * stride + codes[i3]] += stat_b[i3];
+      }
+      for (size_t k = n4; k < n; ++k) {
+        const size_t i = samples[k];
+        sa[(k % 4) * stride + codes[i]] += stat_a[i];
+        sb[(k % 4) * stride + codes[i]] += stat_b[i];
+      }
+      for (size_t bin = 0; bin < nb; ++bin) {
+        a[bin] = (sa[bin] + sa[stride + bin]) +
+                 (sa[2 * stride + bin] + sa[3 * stride + bin]);
+        b[bin] = (sb[bin] + sb[stride + bin]) +
+                 (sb[2 * stride + bin] + sb[3 * stride + bin]);
+      }
+    } else {
+      for (size_t i : samples) {
+        a[codes[i]] += stat_a[i];
+        b[codes[i]] += stat_b[i];
+      }
     }
   };
   // Fan out across features only when the node is big enough for the task
@@ -164,6 +213,12 @@ void FillNodeHistogram(const BinnedMatrix& binned,
   } else {
     for (size_t f = 0; f < binned.cols(); ++f) fill_feature(f);
   }
+}
+
+void NodeHistogram::SubtractSibling(const NodeHistogram& smaller) {
+  const simd::Kernels& k = simd::Active();
+  k.axpy(-1.0, smaller.first.data(), first.data(), first.size());
+  k.axpy(-1.0, smaller.second.data(), second.data(), second.size());
 }
 
 std::shared_ptr<const BinnedMatrix> BinningCache::GetOrBuild(const Matrix& X,

@@ -104,11 +104,10 @@ struct NodeHistogram {
   }
 
   /// In place: this -= smaller (elementwise). Turns a parent histogram into
-  /// the larger child's.
-  void SubtractSibling(const NodeHistogram& smaller) {
-    for (size_t i = 0; i < first.size(); ++i) first[i] -= smaller.first[i];
-    for (size_t i = 0; i < second.size(); ++i) second[i] -= smaller.second[i];
-  }
+  /// the larger child's. Runs on the simd axpy kernel with a = -1; the -1 * x
+  /// product is exact, so fused or not, every element comes out as one
+  /// correctly rounded subtraction — bit-identical across backends.
+  void SubtractSibling(const NodeHistogram& smaller);
 };
 
 /// Accumulates (stat_a[i], stat_b[i]) over the sample rows into `hist`,

@@ -316,25 +316,51 @@ DecisionTreeModel::DecisionTreeModel(std::vector<Node> nodes)
   OF_CHECK(!nodes_.empty());
 }
 
-double DecisionTreeModel::PredictRow(const double* row) const {
+namespace {
+
+/// Shared traversal over either feature-element width; comparisons widen the
+/// stored element to double, so float32 rows route exactly like double rows
+/// whose values were narrowed at encode time.
+template <typename T>
+int TraverseToLeaf(const std::vector<DecisionTreeModel::Node>& nodes,
+                   const T* row) {
   int index = 0;
-  while (!nodes_[index].is_leaf) {
-    const Node& node = nodes_[index];
-    index = row[node.feature] <= node.threshold ? node.left : node.right;
+  while (!nodes[index].is_leaf) {
+    const DecisionTreeModel::Node& node = nodes[index];
+    index = static_cast<double>(row[node.feature]) <= node.threshold ? node.left
+                                                                     : node.right;
   }
-  return nodes_[index].probability;
+  return index;
+}
+
+}  // namespace
+
+double DecisionTreeModel::PredictRow(const double* row) const {
+  return nodes_[TraverseToLeaf(nodes_, row)].probability;
+}
+
+double DecisionTreeModel::PredictRow(const float* row) const {
+  return nodes_[TraverseToLeaf(nodes_, row)].probability;
 }
 
 std::vector<double> DecisionTreeModel::PredictProba(const Matrix& X) const {
   std::vector<double> proba(X.rows());
-  for (size_t i = 0; i < X.rows(); ++i) proba[i] = PredictRow(X.Row(i));
+  if (X.is_float32()) {
+    for (size_t i = 0; i < X.rows(); ++i) proba[i] = PredictRow(X.RowF(i));
+  } else {
+    for (size_t i = 0; i < X.rows(); ++i) proba[i] = PredictRow(X.Row(i));
+  }
   return proba;
 }
 
 void DecisionTreeModel::AccumulateProba(const Matrix& X, size_t row_begin,
                                         size_t row_end,
                                         std::vector<double>& proba) const {
-  for (size_t i = row_begin; i < row_end; ++i) proba[i] += PredictRow(X.Row(i));
+  if (X.is_float32()) {
+    for (size_t i = row_begin; i < row_end; ++i) proba[i] += PredictRow(X.RowF(i));
+  } else {
+    for (size_t i = row_begin; i < row_end; ++i) proba[i] += PredictRow(X.Row(i));
+  }
 }
 
 int DecisionTreeModel::Depth() const {

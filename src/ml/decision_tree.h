@@ -63,6 +63,8 @@ class DecisionTreeModel : public Classifier {
 
  private:
   double PredictRow(const double* row) const;
+  /// Float32 feature rows: thresholds stay double, each element widens once.
+  double PredictRow(const float* row) const;
 
   std::vector<Node> nodes_;
 };

@@ -255,13 +255,27 @@ class GbdtHistTreeBuilder {
   std::vector<GbdtTreeNode> nodes_;
 };
 
-double PredictTree(const std::vector<GbdtTreeNode>& nodes, const double* row) {
+/// Tree walk over either feature-element width: comparisons widen the stored
+/// element to double, so float32 rows route exactly like double rows whose
+/// values were narrowed at encode time.
+template <typename T>
+double PredictTree(const std::vector<GbdtTreeNode>& nodes, const T* row) {
   int index = 0;
   while (!nodes[index].is_leaf) {
-    index = row[nodes[index].feature] <= nodes[index].threshold ? nodes[index].left
-                                                                : nodes[index].right;
+    index = static_cast<double>(row[nodes[index].feature]) <=
+                    nodes[index].threshold
+                ? nodes[index].left
+                : nodes[index].right;
   }
   return nodes[index].value;
+}
+
+template <typename T>
+double PredictRawRowImpl(const std::vector<std::vector<GbdtTreeNode>>& trees,
+                         double base_score, double learning_rate, const T* row) {
+  double raw = base_score;
+  for (const auto& tree : trees) raw += learning_rate * PredictTree(tree, row);
+  return raw;
 }
 
 }  // namespace
@@ -274,16 +288,21 @@ GbdtModel::GbdtModel(std::vector<std::vector<GbdtTreeNode>> trees, double base_s
       num_threads_(std::max(1, num_threads)) {}
 
 double GbdtModel::PredictRawRow(const double* row) const {
-  double raw = base_score_;
-  for (const auto& tree : trees_) raw += learning_rate_ * PredictTree(tree, row);
-  return raw;
+  return PredictRawRowImpl(trees_, base_score_, learning_rate_, row);
 }
 
 std::vector<double> GbdtModel::PredictRaw(const Matrix& X) const {
   const size_t n = X.rows();
+  const bool f32 = X.is_float32();
   std::vector<double> raw(n);
   auto score_rows = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) raw[i] = PredictRawRow(X.Row(i));
+    if (f32) {
+      for (size_t i = begin; i < end; ++i) {
+        raw[i] = PredictRawRowImpl(trees_, base_score_, learning_rate_, X.RowF(i));
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) raw[i] = PredictRawRow(X.Row(i));
+    }
   };
   if (num_threads_ <= 1 || n < 2 * kPredictChunkRows) {
     score_rows(0, n);
@@ -304,15 +323,34 @@ std::vector<double> GbdtModel::PredictRaw(const Matrix& X) const {
 }
 
 std::vector<double> GbdtModel::PredictProba(const Matrix& X) const {
+  // Raw margins land in the output buffer (chunk-parallel), then one batched
+  // simd sigmoid pass converts them to probabilities in place.
   std::vector<double> proba = PredictRaw(X);
-  for (double& p : proba) p = Sigmoid(p);
+  SigmoidInPlace(&proba);
   return proba;
 }
 
 void GbdtModel::AccumulateProba(const Matrix& X, size_t row_begin, size_t row_end,
                                 std::vector<double>& proba) const {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    proba[i] += Sigmoid(PredictRawRow(X.Row(i)));
+  // Blocked accumulate: stage raw margins for a block of rows in a
+  // stack-resident scratch (2 KB — one reused buffer per pool worker, since
+  // chunked callers run one block per task), sigmoid the block in one batched
+  // pass, then add. Keeps the sigmoid vectorized without touching `proba`'s
+  // running sums.
+  const bool f32 = X.is_float32();
+  double scratch[kPredictChunkRows];
+  for (size_t start = row_begin; start < row_end; start += kPredictChunkRows) {
+    const size_t len = std::min(row_end - start, kPredictChunkRows);
+    if (f32) {
+      for (size_t j = 0; j < len; ++j) {
+        scratch[j] = PredictRawRowImpl(trees_, base_score_, learning_rate_,
+                                       X.RowF(start + j));
+      }
+    } else {
+      for (size_t j = 0; j < len; ++j) scratch[j] = PredictRawRow(X.Row(start + j));
+    }
+    SigmoidInPlace(scratch, len);
+    for (size_t j = 0; j < len; ++j) proba[start + j] += scratch[j];
   }
 }
 
@@ -388,9 +426,16 @@ std::unique_ptr<Classifier> GbdtTrainer::Fit(const Matrix& X,
     }
     bool diverged = FaultInjector::ShouldFail(fault_sites::kGbdtRound);
     candidate_raw = raw;
-    for (size_t i = 0; i < n; ++i) {
-      candidate_raw[i] += options_.learning_rate * PredictTree(tree, X.Row(i));
-      diverged = diverged || !std::isfinite(candidate_raw[i]);
+    if (X.is_float32()) {
+      for (size_t i = 0; i < n; ++i) {
+        candidate_raw[i] += options_.learning_rate * PredictTree(tree, X.RowF(i));
+        diverged = diverged || !std::isfinite(candidate_raw[i]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        candidate_raw[i] += options_.learning_rate * PredictTree(tree, X.Row(i));
+        diverged = diverged || !std::isfinite(candidate_raw[i]);
+      }
     }
     if (diverged) {
       if (retries >= options_.max_divergence_retries) {

@@ -11,17 +11,20 @@
 namespace omnifair {
 namespace {
 
-/// Weighted negative log-likelihood + L2, with theta = [w..., b].
+/// Weighted negative log-likelihood + L2, with theta = [w..., b]. `margins`
+/// is caller-owned scratch of size n — the full-batch z = X w computed in one
+/// MatVecInto (simd kernels, float32-aware, no per-call allocation).
 double Loss(const Matrix& X, const std::vector<int>& y,
             const std::vector<double>& weights, const std::vector<double>& theta,
-            double l2) {
+            double l2, std::vector<double>* margins) {
   const size_t n = X.rows();
   const size_t d = X.cols();
+  margins->resize(n);
+  X.MatVecInto(theta.data(), margins->data());
+  const double bias = theta[d];
   double loss = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    const double* row = X.Row(i);
-    double z = theta[d];
-    for (size_t c = 0; c < d; ++c) z += row[c] * theta[c];
+    const double z = (*margins)[i] + bias;
     // -log p(y_i | x_i) = log(1+exp(z)) - y*z.
     loss += weights[i] * (Log1pExp(z) - (y[i] == 1 ? z : 0.0));
   }
@@ -30,21 +33,26 @@ double Loss(const Matrix& X, const std::vector<int>& y,
   return loss;
 }
 
-/// Gradient of Loss w.r.t. theta; returns infinity norm.
+/// Gradient of Loss w.r.t. theta; returns infinity norm. `margins` is the
+/// same caller-owned scratch as Loss's: it holds z, then sigmoid(z), then the
+/// weighted residuals that feed the X^T product.
 double Gradient(const Matrix& X, const std::vector<int>& y,
                 const std::vector<double>& weights, const std::vector<double>& theta,
-                double l2, std::vector<double>* grad) {
+                double l2, std::vector<double>* grad, std::vector<double>* margins) {
   const size_t n = X.rows();
   const size_t d = X.cols();
-  std::fill(grad->begin(), grad->end(), 0.0);
+  margins->resize(n);
+  X.MatVecInto(theta.data(), margins->data());
+  double* residual = margins->data();
+  const double bias = theta[d];
+  for (size_t i = 0; i < n; ++i) residual[i] += bias;
+  SigmoidInPlace(residual, n);
   for (size_t i = 0; i < n; ++i) {
-    const double* row = X.Row(i);
-    double z = theta[d];
-    for (size_t c = 0; c < d; ++c) z += row[c] * theta[c];
-    const double residual = weights[i] * (Sigmoid(z) - (y[i] == 1 ? 1.0 : 0.0));
-    for (size_t c = 0; c < d; ++c) (*grad)[c] += residual * row[c];
-    (*grad)[d] += residual;
+    residual[i] = weights[i] * (residual[i] - (y[i] == 1 ? 1.0 : 0.0));
   }
+  X.TransposeMatVecInto(residual, grad->data());
+  (*grad)[d] = 0.0;
+  for (size_t i = 0; i < n; ++i) (*grad)[d] += residual[i];
   const double inv_n = 1.0 / static_cast<double>(n);
   double max_abs = 0.0;
   for (size_t c = 0; c <= d; ++c) {
@@ -63,13 +71,12 @@ LogisticRegressionModel::LogisticRegressionModel(std::vector<double> coefficient
 
 std::vector<double> LogisticRegressionModel::PredictProba(const Matrix& X) const {
   OF_CHECK_EQ(X.cols(), coefficients_.size());
+  // Fused batch predict: the margins land straight in the output buffer (one
+  // simd matvec over either storage mode), then one batched sigmoid pass.
   std::vector<double> proba(X.rows());
-  for (size_t i = 0; i < X.rows(); ++i) {
-    const double* row = X.Row(i);
-    double z = intercept_;
-    for (size_t c = 0; c < coefficients_.size(); ++c) z += row[c] * coefficients_[c];
-    proba[i] = Sigmoid(z);
-  }
+  X.MatVecInto(coefficients_.data(), proba.data());
+  for (double& p : proba) p += intercept_;
+  SigmoidInPlace(&proba);
   return proba;
 }
 
@@ -89,13 +96,14 @@ std::unique_ptr<Classifier> LogisticRegressionTrainer::Fit(
 
   std::vector<double> grad(d + 1, 0.0);
   std::vector<double> candidate(d + 1, 0.0);
+  std::vector<double> margins(X.rows(), 0.0);  // shared z/residual scratch
   double step = options_.learning_rate;
-  double loss = Loss(X, y, weights, theta, options_.l2);
+  double loss = Loss(X, y, weights, theta, options_.l2, &margins);
   if (!std::isfinite(loss) && warm_start_) {
     // A pathological warm start (e.g. from a diverged previous fit) can put
     // the initial loss out of range; restart from zero instead.
     std::fill(theta.begin(), theta.end(), 0.0);
-    loss = Loss(X, y, weights, theta, options_.l2);
+    loss = Loss(X, y, weights, theta, options_.l2, &margins);
   }
   if (!std::isfinite(loss)) {
     // Even theta = 0 overflows: the data/weights themselves are degenerate.
@@ -113,7 +121,8 @@ std::unique_ptr<Classifier> LogisticRegressionTrainer::Fit(
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     ++total_iterations_;
-    const double grad_norm = Gradient(X, y, weights, theta, options_.l2, &grad);
+    const double grad_norm =
+        Gradient(X, y, weights, theta, options_.l2, &grad, &margins);
     const bool diverged = !std::isfinite(loss) || !std::isfinite(grad_norm) ||
                           FaultInjector::ShouldFail(fault_sites::kLrDescend);
     if (diverged) {
@@ -139,7 +148,8 @@ std::unique_ptr<Classifier> LogisticRegressionTrainer::Fit(
     bool accepted = false;
     for (int attempt = 0; attempt < 30; ++attempt) {
       for (size_t c = 0; c <= d; ++c) candidate[c] = theta[c] - step * grad[c];
-      const double candidate_loss = Loss(X, y, weights, candidate, options_.l2);
+      const double candidate_loss =
+          Loss(X, y, weights, candidate, options_.l2, &margins);
       if (candidate_loss <= loss) {
         theta.swap(candidate);
         loss = candidate_loss;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/simd.h"
 #include "linalg/vector_ops.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
@@ -40,20 +41,31 @@ MlpModel::MlpModel(Matrix W1, std::vector<double> b1, std::vector<double> w2, do
 
 std::vector<double> MlpModel::PredictProba(const Matrix& X) const {
   OF_CHECK_EQ(X.cols(), W1_.cols());
+  const size_t n = X.rows();
   const size_t h = W1_.rows();
-  std::vector<double> proba(X.rows());
-  std::vector<double> hidden(h);
-  for (size_t i = 0; i < X.rows(); ++i) {
-    const double* row = X.Row(i);
-    double z2 = b2_;
-    for (size_t j = 0; j < h; ++j) {
-      const double* wj = W1_.Row(j);
-      double z = b1_[j];
-      for (size_t c = 0; c < X.cols(); ++c) z += wj[c] * row[c];
-      hidden[j] = z > 0.0 ? z : 0.0;  // ReLU
-      z2 += w2_[j] * hidden[j];
+  const bool f32 = X.is_float32();
+  std::vector<double> proba(n);
+  std::vector<double> hidden(h);  // one reused scratch row of activations
+  const simd::Kernels& kernels = simd::Active();
+  // Row-blocked batch predict: margins for a block of rows accumulate in the
+  // output buffer, then one batched sigmoid pass per block while the block is
+  // still cache-hot. 256 rows of margins is 2 KB — comfortably L1.
+  constexpr size_t kBlockRows = 256;
+  for (size_t start = 0; start < n; start += kBlockRows) {
+    const size_t end = std::min(n, start + kBlockRows);
+    for (size_t i = start; i < end; ++i) {
+      if (f32) {
+        W1_.MatVecInto(X.RowF(i), hidden.data());
+      } else {
+        W1_.MatVecInto(X.Row(i), hidden.data());
+      }
+      for (size_t j = 0; j < h; ++j) {
+        const double z = hidden[j] + b1_[j];
+        hidden[j] = z > 0.0 ? z : 0.0;  // ReLU
+      }
+      proba[i] = b2_ + kernels.dot(w2_.data(), hidden.data(), h);
     }
-    proba[i] = Sigmoid(z2);
+    kernels.sigmoid_inplace(proba.data() + start, end - start);
   }
   return proba;
 }
@@ -93,6 +105,8 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
   std::vector<double> vv(p, 0.0);
   std::vector<double> hidden(h);
   std::vector<double> relu_active(h);
+  const bool f32 = X.is_float32();
+  const simd::Kernels& kernels = simd::Active();
   const double beta1 = 0.9;
   const double beta2 = 0.999;
   const double adam_eps = 1e-8;
@@ -112,12 +126,16 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
     double loss = 0.0;
 
     for (size_t i = 0; i < n; ++i) {
-      const double* row = X.Row(i);
+      // Forward/backward dots and the gradient rank-1 update run on the simd
+      // kernels; float32 feature rows widen per lane against the double
+      // parameters, so accumulators stay double in either storage mode.
+      const double* row = f32 ? nullptr : X.Row(i);
+      const float* rowf = f32 ? X.RowF(i) : nullptr;
       double z2 = *v.b2;
       for (size_t j = 0; j < h; ++j) {
         const double* wj = v.W1 + j * d;
-        double z = v.b1[j];
-        for (size_t c = 0; c < d; ++c) z += wj[c] * row[c];
+        const double z = v.b1[j] + (f32 ? kernels.dot_f32(rowf, wj, d)
+                                        : kernels.dot(wj, row, d));
         relu_active[j] = z > 0.0 ? 1.0 : 0.0;
         hidden[j] = z > 0.0 ? z : 0.0;
         z2 += v.w2[j] * hidden[j];
@@ -132,7 +150,11 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
         if (delta1 == 0.0) continue;
         g.b1[j] += delta1;
         double* gw = g.W1 + j * d;
-        for (size_t c = 0; c < d; ++c) gw[c] += delta1 * row[c];
+        if (f32) {
+          kernels.axpy_f32(delta1, rowf, gw, d);
+        } else {
+          kernels.axpy(delta1, row, gw, d);
+        }
       }
     }
 

@@ -23,12 +23,14 @@ std::vector<double> NaiveBayesModel::PredictProba(const Matrix& X) const {
   OF_CHECK_EQ(X.cols(), mean0_.size());
   std::vector<double> proba(X.rows());
   for (size_t i = 0; i < X.rows(); ++i) {
-    const double* row = X.Row(i);
     // log P(y=1|x) - log P(y=0|x) under the independence assumption.
+    // Element access via operator() keeps this path storage-agnostic
+    // (double or float32 features); the per-element log/exp dominate.
     double log_odds = log_prior_ratio_;
     for (size_t c = 0; c < mean0_.size(); ++c) {
-      const double d1 = row[c] - mean1_[c];
-      const double d0 = row[c] - mean0_[c];
+      const double x = X(i, c);
+      const double d1 = x - mean1_[c];
+      const double d0 = x - mean0_[c];
       log_odds += -0.5 * std::log(var1_[c]) - 0.5 * d1 * d1 / var1_[c];
       log_odds -= -0.5 * std::log(var0_[c]) - 0.5 * d0 * d0 / var0_[c];
     }
@@ -54,10 +56,9 @@ std::unique_ptr<Classifier> NaiveBayesTrainer::Fit(const Matrix& X,
   std::vector<double> mean0(d, 0.0);
   std::vector<double> mean1(d, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    const double* row = X.Row(i);
     std::vector<double>& mean = y[i] == 1 ? mean1 : mean0;
     (y[i] == 1 ? w1 : w0) += weights[i];
-    for (size_t c = 0; c < d; ++c) mean[c] += weights[i] * row[c];
+    for (size_t c = 0; c < d; ++c) mean[c] += weights[i] * X(i, c);
   }
   // Degenerate weighted classes: fall back to an uninformative prior.
   const double tiny = 1e-12;
@@ -69,11 +70,10 @@ std::unique_ptr<Classifier> NaiveBayesTrainer::Fit(const Matrix& X,
   std::vector<double> var0(d, 0.0);
   std::vector<double> var1(d, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    const double* row = X.Row(i);
     std::vector<double>& mean = y[i] == 1 ? mean1 : mean0;
     std::vector<double>& var = y[i] == 1 ? var1 : var0;
     for (size_t c = 0; c < d; ++c) {
-      const double diff = row[c] - mean[c];
+      const double diff = X(i, c) - mean[c];
       var[c] += weights[i] * diff * diff;
     }
   }

@@ -1,6 +1,7 @@
 #include "data/encoder.h"
 
 #include <cmath>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -111,6 +112,40 @@ TEST(EncoderTest, IntegerCodesWithoutOneHot) {
   const Matrix X = encoder.FitTransform(ToyDataset(), options);
   EXPECT_EQ(encoder.NumFeatures(), 2u);
   EXPECT_DOUBLE_EQ(X(2, 1), 2.0);  // raw code of "c"
+}
+
+TEST(EncoderTest, Float32FeaturesNarrowStorageOnly) {
+  const Dataset d = ToyDataset();
+  FeatureEncoder f64;
+  const Matrix Xd = f64.FitTransform(d);
+  FeatureEncoder f32;
+  EncoderOptions options;
+  options.float32_features = true;
+  const Matrix Xf = f32.FitTransform(d, options);
+  EXPECT_TRUE(Xf.is_float32());
+  ASSERT_EQ(Xf.rows(), Xd.rows());
+  ASSERT_EQ(Xf.cols(), Xd.cols());
+  for (size_t r = 0; r < Xd.rows(); ++r) {
+    for (size_t c = 0; c < Xd.cols(); ++c) {
+      // Each element is exactly the double encoding narrowed once to float.
+      EXPECT_DOUBLE_EQ(Xf(r, c),
+                       static_cast<double>(static_cast<float>(Xd(r, c))));
+    }
+  }
+}
+
+TEST(EncoderTest, Float32OptionDoesNotChangeSerialization) {
+  EncoderOptions options;
+  options.float32_features = true;
+  FeatureEncoder f32;
+  f32.Fit(ToyDataset(), options);
+  std::ostringstream with_flag;
+  f32.SerializeTo(with_flag);
+  FeatureEncoder plain;
+  plain.Fit(ToyDataset());
+  std::ostringstream without_flag;
+  plain.SerializeTo(without_flag);
+  EXPECT_EQ(with_flag.str(), without_flag.str());
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include "linalg/matrix.h"
 
+#include <limits>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace omnifair {
@@ -87,6 +90,124 @@ TEST(MatrixTest, TransposeMatVec) {
   ASSERT_EQ(y.size(), 2u);
   EXPECT_DOUBLE_EQ(y[0], 4.0);
   EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(MatrixTest, MatVecIntoMatchesMatVec) {
+  Matrix m = {{1.0, -2.0, 0.5}, {3.0, 4.0, -1.0}};
+  const std::vector<double> x = {2.0, 0.1, -0.4};
+  const std::vector<double> expected = m.MatVec(x);
+  std::vector<double> y;
+  m.MatVecInto(x, &y);
+  EXPECT_EQ(y, expected);
+  std::vector<double> raw(m.rows(), -99.0);
+  m.MatVecInto(x.data(), raw.data());
+  EXPECT_EQ(raw, expected);
+}
+
+TEST(MatrixTest, TransposeMatVecIntoMatchesTransposeMatVec) {
+  Matrix m = {{1.0, -2.0, 0.5}, {3.0, 4.0, -1.0}};
+  const std::vector<double> x = {0.7, -1.3};
+  const std::vector<double> expected = m.TransposeMatVec(x);
+  std::vector<double> y;
+  m.TransposeMatVecInto(x, &y);
+  ASSERT_EQ(y.size(), expected.size());
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], expected[i], 1e-12);
+  std::vector<double> raw(m.cols(), 5.0);
+  m.TransposeMatVecInto(x.data(), raw.data());
+  for (size_t i = 0; i < raw.size(); ++i) EXPECT_NEAR(raw[i], expected[i], 1e-12);
+}
+
+TEST(MatrixFloat32Test, FactoryAndElementAccess) {
+  Matrix m = Matrix::Float32(2, 3);
+  EXPECT_TRUE(m.is_float32());
+  EXPECT_EQ(m.storage(), Matrix::Storage::kFloat32);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.Set(1, 2, 6.5);  // exactly representable in float
+  // Reads go through the const operator(), which widens either storage;
+  // the mutable double& overload is double-only by design.
+  const Matrix& cm = m;
+  EXPECT_DOUBLE_EQ(cm(1, 2), 6.5);
+  EXPECT_DOUBLE_EQ(cm(0, 0), 0.0);
+  EXPECT_FLOAT_EQ(m.RowF(1)[2], 6.5f);
+}
+
+TEST(MatrixFloat32Test, SetNarrowsOncePerElement) {
+  Matrix m = Matrix::Float32(1, 1);
+  const double value = 0.1;  // not representable in float
+  m.Set(0, 0, value);
+  EXPECT_DOUBLE_EQ(std::as_const(m)(0, 0),
+                   static_cast<double>(static_cast<float>(value)));
+}
+
+TEST(MatrixFloat32Test, RowAndColVectorWiden) {
+  Matrix m = Matrix::Float32(2, 2);
+  m.Set(0, 0, 1.0);
+  m.Set(0, 1, 2.0);
+  m.Set(1, 0, 3.0);
+  m.Set(1, 1, 4.0);
+  EXPECT_EQ(m.RowVector(1), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(m.ColVector(0), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(MatrixFloat32Test, SelectRowsAndAppendRowPreserveStorage) {
+  Matrix m = Matrix::Float32(2, 2);
+  m.Set(0, 0, 1.0);
+  m.Set(1, 0, 2.0);
+  Matrix s = m.SelectRows({1, 0});
+  EXPECT_TRUE(s.is_float32());
+  EXPECT_DOUBLE_EQ(std::as_const(s)(0, 0), 2.0);
+  s.AppendRow({7.0, 8.0});
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(std::as_const(s)(2, 1), 8.0);
+}
+
+TEST(MatrixFloat32Test, ConversionsRoundTrip) {
+  Matrix m = {{1.25, -2.5}, {3.0, 0.0}};  // float-exact values
+  Matrix f = m.ToFloat32();
+  EXPECT_TRUE(f.is_float32());
+  Matrix back = f.ToFloat64();
+  EXPECT_FALSE(back.is_float32());
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(back(r, c), m(r, c));
+  }
+}
+
+TEST(MatrixFloat32Test, RawBytesReflectStorageWidth) {
+  Matrix d(4, 3);
+  EXPECT_EQ(d.RawBytes(), 4u * 3u * sizeof(double));
+  Matrix f = Matrix::Float32(4, 3);
+  EXPECT_EQ(f.RawBytes(), 4u * 3u * sizeof(float));
+  EXPECT_NE(f.RawData(), nullptr);
+}
+
+TEST(MatrixFloat32Test, MatVecMatchesDoubleWithinFloatTolerance) {
+  Matrix d = {{1.0, -2.0, 0.5}, {3.0, 4.0, -1.0}, {0.25, 0.75, 2.0}};
+  Matrix f = d.ToFloat32();
+  const std::vector<double> x = {0.7, -1.3, 0.2};
+  const std::vector<double> expected = d.MatVec(x);
+  std::vector<double> y;
+  f.MatVecInto(x, &y);
+  ASSERT_EQ(y.size(), expected.size());
+  // These elements are float-exact, so the products agree exactly.
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], expected[i], 1e-12);
+  std::vector<double> t0, t1;
+  d.TransposeMatVecInto({1.0, 0.5, -0.25}, &t0);
+  f.TransposeMatVecInto({1.0, 0.5, -0.25}, &t1);
+  for (size_t i = 0; i < t0.size(); ++i) EXPECT_NEAR(t1[i], t0[i], 1e-12);
+}
+
+TEST(MatrixDeathTest, WrongStorageAccessorDies) {
+  Matrix f = Matrix::Float32(1, 1);
+  EXPECT_DEATH({ f.Row(0); }, "Row");
+  EXPECT_DEATH({ f.data(); }, "data");
+  Matrix d(1, 1);
+  EXPECT_DEATH({ d.RowF(0); }, "RowF");
+}
+
+TEST(MatrixDeathTest, ShapeOverflowDiesInsteadOfWrapping) {
+  const size_t huge = (std::numeric_limits<size_t>::max() / 2) + 2;
+  EXPECT_DEATH({ Matrix m(huge, 2); }, "overflows");
 }
 
 TEST(MatrixTest, MatVecTransposeConsistency) {

@@ -1,0 +1,59 @@
+# Kernel perf-regression smoke: runs bench_microbench's in-process
+# scalar-vs-active kernel comparison (the "kernel_speedup" section),
+# aggregates it with collect_bench.py, and diffs it against the committed
+# baseline summary in bench/trajectory/. Per bench_diff.py's direction
+# rules only the *_speedup ratio fields gate; absolute *_ns times are
+# informational. The ratios are machine-relative (scalar and vector paths
+# timed in the same process), so a baseline recorded on one box is a
+# meaningful gate on another of the same ISA. A scalar-only machine emits
+# no *_speedup fields at all, so the diff passes vacuously there instead of
+# flagging a phantom regression.
+# Invoked by the bench_kernel_regression ctest target (bench/CMakeLists.txt):
+#   cmake -D BENCH_BINARY=... -D COLLECT=.../collect_bench.py
+#         -D DIFF=.../bench_diff.py -D PYTHON=... -D OUT_DIR=...
+#         -D BASELINE=.../kernel_speedup_baseline.json
+#         -P bench_kernel_regression.cmake
+
+foreach(required BENCH_BINARY COLLECT DIFF PYTHON OUT_DIR BASELINE)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR
+            "bench_kernel_regression.cmake: missing -D ${required}=...")
+  endif()
+endforeach()
+
+if(NOT EXISTS ${BASELINE})
+  message(FATAL_ERROR "baseline summary not found: ${BASELINE}")
+endif()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(ENV{OMNIFAIR_BENCH_OUT} ${OUT_DIR})
+
+# Keep the google-benchmark portion to one tiny case; the kernel_speedup
+# section is emitted by the binary's epilogue regardless of the filter.
+execute_process(COMMAND ${BENCH_BINARY} --benchmark_filter=BM_Dot/64
+                        --benchmark_min_time=0.02
+                RESULT_VARIABLE bench_result OUTPUT_QUIET)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench_microbench exited with status ${bench_result}")
+endif()
+
+set(summary ${OUT_DIR}/BENCH_SUMMARY.json)
+execute_process(COMMAND ${PYTHON} ${COLLECT} ${OUT_DIR} -o ${summary}
+                RESULT_VARIABLE collect_result)
+if(NOT collect_result EQUAL 0)
+  message(FATAL_ERROR "collect_bench failed with status ${collect_result}")
+endif()
+
+# 35% threshold: run-to-run ratio noise on a loaded machine stays well
+# inside it, while losing vectorization entirely (ratio -> 1.0 from 2x+)
+# still trips the gate.
+execute_process(COMMAND ${PYTHON} ${DIFF} ${BASELINE} ${summary}
+                        --sections kernel_speedup --threshold 0.35 --all
+                RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR
+          "kernel_speedup regressed against ${BASELINE} "
+          "(bench_diff status ${diff_result})")
+endif()

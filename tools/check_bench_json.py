@@ -59,6 +59,17 @@ PER_BENCH_SECTIONS = {
                                 "throttled_overhead_fraction",
                                 "resume_seconds", "checkpoint_bytes"],
     },
+    # The in-process scalar-vs-active kernel comparison is emitted once per
+    # run regardless of --benchmark_filter; *_speedup fields are added only
+    # when a vector backend is active, so they are not required here.
+    "microbench": {
+        "kernel_speedup": ["n",
+                           "dot_scalar_ns", "dot_simd_ns",
+                           "axpy_scalar_ns", "axpy_simd_ns",
+                           "sum_scalar_ns", "sum_simd_ns",
+                           "sigmoid_scalar_ns", "sigmoid_simd_ns",
+                           "dot_f32_scalar_ns", "dot_f32_simd_ns"],
+    },
 }
 
 

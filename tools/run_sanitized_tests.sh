@@ -25,6 +25,12 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode="${OMNIFAIR_SANITIZE:-address}"
 
+# Force the vectorized kernel path so the SIMD-vs-scalar parity suite
+# (test_simd) and everything routed through simd::Active() run the real
+# AVX2/NEON code under the sanitizers, not the scalar fallback a stray
+# OMNIFAIR_SIMD=off in the caller's environment would select.
+export OMNIFAIR_SIMD=on
+
 if [[ "${mode}" == "thread" ]]; then
   build_dir="${repo_root}/build-tsan"
   sanitizers="thread"
