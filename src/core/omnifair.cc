@@ -64,14 +64,11 @@ Result<FairModel> OmniFair::Train(const Dataset& train, const Dataset& val,
   }
 
   Stopwatch stopwatch;
-  Result<std::unique_ptr<FairnessProblem>> problem =
-      Status::Internal("uninitialized");
-  {
-    RunStageTimer setup_timer(profiling ? &profiler : nullptr,
-                              RunStage::kSetup);
-    problem =
-        FairnessProblem::Create(train, val, specs, trainer, options_.encoder);
-  }
+  // Create charges itself to the kSetup/kEncode stages internally, so the
+  // explain table separates feature-encoding cost from group induction.
+  Result<std::unique_ptr<FairnessProblem>> problem = FairnessProblem::Create(
+      train, val, specs, trainer, options_.encoder,
+      profiling ? &profiler : nullptr);
   if (!problem.ok()) return problem.status();
   if (profiling) (*problem)->SetProfiler(&profiler);
 

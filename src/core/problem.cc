@@ -16,7 +16,8 @@ namespace omnifair {
 
 Result<std::unique_ptr<FairnessProblem>> FairnessProblem::Create(
     const Dataset& train, const Dataset& val, std::vector<FairnessSpec> specs,
-    Trainer* trainer, const EncoderOptions& encoder_options) {
+    Trainer* trainer, const EncoderOptions& encoder_options,
+    RunProfiler* profiler) {
   if (trainer == nullptr) return Status::InvalidArgument("trainer is null");
   if (train.NumRows() == 0) return Status::InvalidArgument("empty training split");
   if (val.NumRows() == 0) return Status::InvalidArgument("empty validation split");
@@ -25,21 +26,30 @@ Result<std::unique_ptr<FairnessProblem>> FairnessProblem::Create(
   Status val_status = val.Validate();
   if (!val_status.ok()) return val_status;
 
-  Result<std::vector<ConstraintSpec>> constraints = InduceConstraints(specs, train);
-  if (!constraints.ok()) return constraints.status();
-
   auto problem = std::unique_ptr<FairnessProblem>(new FairnessProblem());
-  problem->train_ = std::make_unique<Dataset>(train);
-  problem->val_ = std::make_unique<Dataset>(val);
-  problem->trainer_ = trainer;
-  problem->constraints_ = *constraints;
-  problem->encoder_.Fit(*problem->train_, encoder_options);
-  problem->X_train_ = problem->encoder_.Transform(*problem->train_);
-  problem->X_val_ = problem->encoder_.Transform(*problem->val_);
-  problem->weight_computer_ =
-      std::make_unique<WeightComputer>(*constraints, *problem->train_);
-  problem->val_evaluator_ =
-      std::make_unique<ConstraintEvaluator>(std::move(*constraints), *problem->val_);
+  // Two sequential stage scopes (never nested, preserving the additivity
+  // contract): group induction + evaluator construction land in kSetup,
+  // encoder fit + the two Transform calls in kEncode.
+  {
+    RunStageTimer setup_timer(profiler, RunStage::kSetup);
+    Result<std::vector<ConstraintSpec>> constraints =
+        InduceConstraints(specs, train);
+    if (!constraints.ok()) return constraints.status();
+    problem->train_ = std::make_unique<Dataset>(train);
+    problem->val_ = std::make_unique<Dataset>(val);
+    problem->trainer_ = trainer;
+    problem->constraints_ = *constraints;
+    problem->weight_computer_ =
+        std::make_unique<WeightComputer>(*constraints, *problem->train_);
+    problem->val_evaluator_ = std::make_unique<ConstraintEvaluator>(
+        std::move(*constraints), *problem->val_);
+  }
+  {
+    RunStageTimer encode_timer(profiler, RunStage::kEncode);
+    problem->encoder_.Fit(*problem->train_, encoder_options);
+    problem->X_train_ = problem->encoder_.Transform(*problem->train_);
+    problem->X_val_ = problem->encoder_.Transform(*problem->val_);
+  }
   return problem;
 }
 

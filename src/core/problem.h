@@ -34,10 +34,15 @@ class FairnessProblem {
   /// Builds the problem: encodes features (encoder fit on `train` only),
   /// induces constraints from the specs against `train`, and materializes
   /// group memberships on both splits. Fails with kInvalidArgument when a
-  /// spec is malformed or produces fewer than two groups.
+  /// spec is malformed or produces fewer than two groups. A non-null
+  /// `profiler` charges the feature-encoding work (encoder fit + the two
+  /// Transform calls) to RunStage::kEncode and the rest of construction to
+  /// RunStage::kSetup, so the explain stage table separates encode cost
+  /// from group induction.
   static Result<std::unique_ptr<FairnessProblem>> Create(
       const Dataset& train, const Dataset& val, std::vector<FairnessSpec> specs,
-      Trainer* trainer, const EncoderOptions& encoder_options = {});
+      Trainer* trainer, const EncoderOptions& encoder_options = {},
+      RunProfiler* profiler = nullptr);
 
   FairnessProblem(const FairnessProblem&) = delete;
   FairnessProblem& operator=(const FairnessProblem&) = delete;

@@ -14,6 +14,8 @@ const char* RunStageName(RunStage stage) {
   switch (stage) {
     case RunStage::kSetup:
       return "setup";
+    case RunStage::kEncode:
+      return "encode";
     case RunStage::kTrainerFit:
       return "trainer_fit";
     case RunStage::kWeightCompute:

@@ -26,14 +26,15 @@ class JsonWriter;
 /// starts, predictions and constraint evaluation happen between fits), so
 /// per-stage wall times are additive on a serial run.
 enum class RunStage : int {
-  kSetup = 0,       ///< FairnessProblem::Create: ingest, encode, induce groups
+  kSetup = 0,       ///< FairnessProblem::Create: ingest, induce groups
+  kEncode,          ///< feature encoding: encoder Fit + train/val Transform
   kTrainerFit,      ///< black-box trainer Fit calls (includes tree binning)
   kWeightCompute,   ///< Eq. 12/21 example-weight derivation
   kPredict,         ///< train/val predictions of candidate models
   kConstraintEval,  ///< FP_j fairness-part evaluation
   kCheckpoint,      ///< checkpoint record serialization + snapshot writes
 };
-inline constexpr int kNumRunStages = 6;
+inline constexpr int kNumRunStages = 7;
 
 /// Stable snake_case name, e.g. "trainer_fit".
 const char* RunStageName(RunStage stage);

@@ -1,0 +1,123 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace omnifair {
+
+BundleServer::BundleServer(std::shared_ptr<const ModelBundle> bundle,
+                           const ServerOptions& options)
+    : bundle_(std::move(bundle)), options_(options) {
+  OF_CHECK(bundle_ != nullptr);
+  model_ = bundle_->MakeModel(std::max(1, options_.num_threads));
+}
+
+Result<PredictResponse> BundleServer::Handle(
+    const PredictRequest& request) const {
+  const size_t n = request.features.rows();
+  if (request.features.cols() != bundle_->meta().num_features) {
+    return Status::InvalidArgument(
+        "request has " + std::to_string(request.features.cols()) +
+        " feature columns but the bundle expects " +
+        std::to_string(bundle_->meta().num_features));
+  }
+  if (!request.group_ids.empty() && request.group_ids.size() != n) {
+    return Status::InvalidArgument(
+        "group_ids has " + std::to_string(request.group_ids.size()) +
+        " entries for a batch of " + std::to_string(n) + " rows");
+  }
+  OF_SCOPED_LATENCY_US("serve.request_us");
+  OF_COUNTER_INC("serve.requests");
+  OF_COUNTER_ADD("serve.rows", static_cast<int64_t>(n));
+  OF_HISTOGRAM_RECORD("serve.batch_rows", static_cast<double>(n));
+  if (options_.testing_handle_hook) options_.testing_handle_hook();
+
+  PredictResponse response;
+  response.scores = model_->PredictProba(request.features);
+  response.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    response.labels[i] = response.scores[i] >= request.threshold ? 1 : 0;
+  }
+
+  if (!request.group_ids.empty()) {
+    // Aggregate per group id (ordered map: stats come out sorted by id).
+    struct Accum {
+      long long rows = 0;
+      long long positives = 0;
+      double score_sum = 0.0;
+    };
+    std::map<int, Accum> by_group;
+    for (size_t i = 0; i < n; ++i) {
+      const int g = request.group_ids[i];
+      if (g < 0) continue;  // unknown group: scored but not aggregated
+      Accum& accum = by_group[g];
+      ++accum.rows;
+      accum.positives += response.labels[i];
+      accum.score_sum += response.scores[i];
+    }
+    double min_rate = 1.0;
+    double max_rate = 0.0;
+    for (const auto& [group_id, accum] : by_group) {
+      GroupStats stats;
+      stats.group_id = group_id;
+      stats.rows = accum.rows;
+      stats.positive_rate =
+          static_cast<double>(accum.positives) / static_cast<double>(accum.rows);
+      stats.mean_score = accum.score_sum / static_cast<double>(accum.rows);
+      min_rate = std::min(min_rate, stats.positive_rate);
+      max_rate = std::max(max_rate, stats.positive_rate);
+      response.groups.push_back(stats);
+    }
+    if (response.groups.size() >= 2) response.max_gap = max_rate - min_rate;
+  }
+  return response;
+}
+
+Result<std::future<Result<PredictResponse>>> BundleServer::Submit(
+    PredictRequest request) {
+  // Optimistic admit: reserve a slot, shed if that overshot the bound.
+  const int admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (admitted > options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    OF_COUNTER_INC("serve.rejected");
+    return Status::Unavailable(
+        "server overloaded: " + std::to_string(options_.max_in_flight) +
+        " requests already in flight");
+  }
+  OF_GAUGE_SET("serve.queue_depth", static_cast<double>(admitted));
+  return ThreadPool::Global().Submit(
+      [this, request = std::move(request)]() -> Result<PredictResponse> {
+        Result<PredictResponse> response = Handle(request);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return response;
+      });
+}
+
+Result<PredictRequest> MakeRequest(const ModelBundle& bundle,
+                                   const Dataset& dataset,
+                                   const std::string& group_column,
+                                   double threshold) {
+  PredictRequest request;
+  request.threshold = threshold;
+  request.features = bundle.encoder().Transform(dataset);
+  if (!group_column.empty()) {
+    const Column* column = dataset.FindColumn(group_column);
+    if (column == nullptr) {
+      return Status::InvalidArgument("group column '" + group_column +
+                                     "' not found in dataset");
+    }
+    if (column->type() != ColumnType::kCategorical) {
+      return Status::InvalidArgument("group column '" + group_column +
+                                     "' must be categorical");
+    }
+    request.group_ids = column->codes();
+  }
+  return request;
+}
+
+}  // namespace omnifair

@@ -12,8 +12,8 @@ its bad direction:
 
   - time/size-like fields (containing "seconds", "_us", "_ms", "bytes", or
     "overhead") regress when the candidate is HIGHER,
-  - quality-like fields (containing "speedup", "accuracy", "auc", "hits", or
-    "reused") regress when the candidate is LOWER,
+  - quality-like fields (containing "speedup", "accuracy", "auc", "hits",
+    "reused", or "qps") regress when the candidate is LOWER,
   - everything else is informational only (printed with --all, never fatal).
 
 Exit status: 0 when no field regresses (a self-diff is always clean),
@@ -28,7 +28,7 @@ import sys
 SCHEMA_NAME = "omnifair.bench_summary"
 
 HIGHER_IS_WORSE = ("seconds", "_us", "_ms", "bytes", "overhead")
-LOWER_IS_WORSE = ("speedup", "accuracy", "auc", "hits", "reused")
+LOWER_IS_WORSE = ("speedup", "accuracy", "auc", "hits", "reused", "qps")
 
 
 def direction(field):

@@ -59,6 +59,15 @@ PER_BENCH_SECTIONS = {
                                 "throttled_overhead_fraction",
                                 "resume_seconds", "checkpoint_bytes"],
     },
+    "serving": {
+        "bundle_load": ["fit_seconds", "text_load_seconds",
+                        "bundle_load_seconds", "load_speedup",
+                        "text_bytes", "bundle_bytes"],
+        "serving_closed": ["batch_rows", "requests", "rows", "qps",
+                           "p50_us", "p99_us"],
+        "serving_open": ["max_in_flight", "offered", "completed",
+                         "rejected", "rows", "achieved_qps"],
+    },
     # The in-process scalar-vs-active kernel comparison is emitted once per
     # run regardless of --benchmark_filter; *_speedup fields are added only
     # when a vector backend is active, so they are not required here.

@@ -20,6 +20,8 @@
 //
 // Metrics: sp, mr, fpr, fnr, for, fdr. Models: lr, dt, rf, xgb, nn, nb.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,7 +34,9 @@
 #include "data/datasets.h"
 #include "data/profile.h"
 #include "data/split.h"
+#include "ml/bundle.h"
 #include "ml/trainer_registry.h"
+#include "serve/server.h"
 #include "util/string_utils.h"
 #include "util/telemetry.h"
 
@@ -43,6 +47,9 @@ namespace {
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  /// Bare (non `--flag`) operands after the command, in order — used by the
+  /// `bundle pack <model> <bundle>` / `bundle inspect <bundle>` forms.
+  std::vector<std::string> positional;
 
   std::string Get(const std::string& key, const std::string& fallback = "") const {
     auto it = flags.find(key);
@@ -78,7 +85,16 @@ int Usage() {
                "  profile --data data.csv --label COLUMN [--sensitive COLUMN]\n"
                "  audit --data data.csv --label COLUMN --sensitive COLUMN\n"
                "        [--metric sp] [--epsilon 0.05] [--positive-label VALUE]\n"
-               "        --model-file model.txt\n");
+               "        --model-file model.txt\n"
+               "  bundle pack model.txt model.ofb\n"
+               "        [--metric sp] [--sensitive COLUMN] [--epsilon 0.05]\n"
+               "  bundle inspect model.ofb\n"
+               "  predict --data data.csv --label COLUMN\n"
+               "        (--bundle model.ofb | --model-file model.txt)\n"
+               "        [--threshold 0.5] [--out scores.txt]\n"
+               "  serve --bundle model.ofb --data data.csv --label COLUMN\n"
+               "        [--group COLUMN] [--batch 256] [--repeat 1]\n"
+               "        [--threads N] [--queue 32] [--threshold 0.5]\n");
   return 2;
 }
 
@@ -86,7 +102,12 @@ Result<Dataset> LoadCsvDataset(const Args& args) {
   CsvReadOptions options;
   options.label_column = args.Get("label", "label");
   options.positive_label_value = args.Get("positive-label");
-  options.force_categorical = {args.Get("sensitive")};
+  // Only force a column categorical when one was actually named (predict /
+  // serve runs have no --sensitive flag).
+  const std::string sensitive = args.Get("sensitive");
+  if (!sensitive.empty()) options.force_categorical = {sensitive};
+  const std::string group = args.Get("group");
+  if (!group.empty()) options.force_categorical.push_back(group);
   return ReadCsv(args.Get("data"), options);
 }
 
@@ -235,13 +256,237 @@ int RunAudit(const Args& args) {
   return audit->satisfied ? 0 : 3;
 }
 
+/// `bundle pack model.txt model.ofb` / `bundle inspect model.ofb`.
+int RunBundle(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& sub = args.positional[0];
+  if (sub == "pack") {
+    if (args.positional.size() != 3) return Usage();
+    Result<FairModel> fair = LoadFairModel(args.positional[1]);
+    if (!fair.ok()) {
+      std::fprintf(stderr, "error: %s\n", fair.status().ToString().c_str());
+      return 1;
+    }
+    BundleMeta meta;
+    meta.lambdas = fair->lambdas;
+    meta.satisfied = fair->satisfied;
+    meta.val_accuracy = fair->val_accuracy;
+    meta.metric = args.Get("metric");
+    meta.sensitive_attribute = args.Get("sensitive");
+    meta.epsilon = args.GetDouble("epsilon", 0.0);
+    const Status status =
+        WriteBundle(*fair->model, fair->encoder, meta, args.positional[2]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    Result<BundleInspection> inspection = InspectBundle(args.positional[2]);
+    if (!inspection.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   inspection.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("packed %s -> %s (%llu bytes, %zu sections)\n",
+                args.positional[1].c_str(), args.positional[2].c_str(),
+                static_cast<unsigned long long>(inspection->file_size),
+                inspection->sections.size());
+    return 0;
+  }
+  if (sub == "inspect") {
+    if (args.positional.size() != 2) return Usage();
+    Result<BundleInspection> inspection = InspectBundle(args.positional[1]);
+    if (!inspection.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   inspection.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", inspection->ToString().c_str());
+    return inspection->crc_ok ? 0 : 1;
+  }
+  return Usage();
+}
+
+/// Single-encode batch scoring: parse the CSV once, encode once, predict.
+/// (`audit` re-derives groups and constraint metrics; this path is for raw
+/// deployment scoring and takes either artifact format.)
+int RunPredict(const Args& args) {
+  if (!args.Has("data") || (!args.Has("bundle") && !args.Has("model-file"))) {
+    return Usage();
+  }
+  Result<Dataset> dataset = LoadCsvDataset(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const double threshold = args.GetDouble("threshold", 0.5);
+  std::vector<double> scores;
+  if (args.Has("bundle")) {
+    Result<std::shared_ptr<const ModelBundle>> bundle =
+        ModelBundle::Open(args.Get("bundle"));
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "error: %s\n", bundle.status().ToString().c_str());
+      return 1;
+    }
+    const Matrix X = (*bundle)->encoder().Transform(*dataset);
+    scores = (*bundle)->MakeModel()->PredictProba(X);
+  } else {
+    Result<FairModel> fair = LoadFairModel(args.Get("model-file"));
+    if (!fair.ok()) {
+      std::fprintf(stderr, "error: %s\n", fair.status().ToString().c_str());
+      return 1;
+    }
+    const Matrix X = fair->encoder.Transform(*dataset);
+    scores = fair->model->PredictProba(X);
+  }
+  size_t positives = 0;
+  double score_sum = 0.0;
+  for (const double s : scores) {
+    if (s >= threshold) ++positives;
+    score_sum += s;
+  }
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", out.c_str());
+      return 1;
+    }
+    char line[32];
+    for (const double s : scores) {
+      std::snprintf(line, sizeof(line), "%.17g\n", s);
+      file << line;
+    }
+    if (!file.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote scores        : %s\n", out.c_str());
+  }
+  std::printf("rows scored         : %zu\n", scores.size());
+  std::printf("positive rate       : %.4f\n",
+              scores.empty() ? 0.0
+                             : static_cast<double>(positives) /
+                                   static_cast<double>(scores.size()));
+  std::printf("mean score          : %.4f\n",
+              scores.empty() ? 0.0
+                             : score_sum / static_cast<double>(scores.size()));
+  return 0;
+}
+
+/// Closed-loop serving: load the bundle once, encode the CSV once, then push
+/// fixed-size batches through a BundleServer and report throughput/latency.
+int RunServe(const Args& args) {
+  if (!args.Has("bundle") || !args.Has("data")) return Usage();
+  Result<Dataset> dataset = LoadCsvDataset(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::shared_ptr<const ModelBundle>> bundle =
+      ModelBundle::Open(args.Get("bundle"));
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "error: %s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  ServerOptions options;
+  options.num_threads = static_cast<int>(args.GetLong("threads", 1));
+  options.max_in_flight = static_cast<int>(args.GetLong("queue", 32));
+  BundleServer server(*bundle, options);
+
+  Result<PredictRequest> full = MakeRequest(
+      **bundle, *dataset, args.Get("group"), args.GetDouble("threshold", 0.5));
+  if (!full.ok()) {
+    std::fprintf(stderr, "error: %s\n", full.status().ToString().c_str());
+    return 1;
+  }
+  const size_t n = full->features.rows();
+  const size_t batch =
+      std::max<size_t>(1, static_cast<size_t>(args.GetLong("batch", 256)));
+  const long repeat = std::max(1L, args.GetLong("repeat", 1));
+
+  // Pre-slice the encoded matrix into batch requests (encode cost stays out
+  // of the serving loop).
+  std::vector<PredictRequest> requests;
+  for (size_t start = 0; start < n; start += batch) {
+    const size_t end = std::min(n, start + batch);
+    std::vector<size_t> rows(end - start);
+    for (size_t i = start; i < end; ++i) rows[i - start] = i;
+    PredictRequest request;
+    request.threshold = full->threshold;
+    request.features = full->features.SelectRows(rows);
+    if (!full->group_ids.empty()) {
+      request.group_ids.assign(full->group_ids.begin() + start,
+                               full->group_ids.begin() + end);
+    }
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(requests.size() * static_cast<size_t>(repeat));
+  PredictResponse last;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (long r = 0; r < repeat; ++r) {
+    for (const PredictRequest& request : requests) {
+      const auto t0 = std::chrono::steady_clock::now();
+      Result<PredictResponse> response = server.Handle(request);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!response.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+      last = std::move(*response);
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto quantile = [&](double q) {
+    if (latencies_us.empty()) return 0.0;
+    const size_t rank = std::min(
+        latencies_us.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies_us.size())));
+    return latencies_us[rank];
+  };
+  const double total_rows = static_cast<double>(n) * static_cast<double>(repeat);
+  const double qps =
+      wall_s > 0.0 ? static_cast<double>(latencies_us.size()) / wall_s : 0.0;
+  OF_GAUGE_SET("serve.qps", qps);
+
+  std::printf("bundle              : %s (%s, %s)\n", args.Get("bundle").c_str(),
+              (*bundle)->meta().family.c_str(),
+              (*bundle)->mapped() ? "mmap" : "owned buffer");
+  std::printf("rows served         : %.0f (%zu requests, batch %zu)\n",
+              total_rows, latencies_us.size(), batch);
+  std::printf("throughput          : %.0f rows/s, %.1f req/s\n",
+              wall_s > 0.0 ? total_rows / wall_s : 0.0, qps);
+  std::printf("latency p50/p99     : %.0f us / %.0f us\n", quantile(0.50),
+              quantile(0.99));
+  if (!last.groups.empty()) {
+    for (const GroupStats& g : last.groups) {
+      std::printf("group %-13d : %lld rows, positive rate %.4f\n", g.group_id,
+                  g.rows, g.positive_rate);
+    }
+    std::printf("max group gap       : %.4f (last batch)\n", last.max_gap);
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) return Usage();
+    if (key.rfind("--", 0) != 0) {
+      // Bare operand (subcommand or file path) — collected in order.
+      args.positional.push_back(key);
+      continue;
+    }
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.flags[key.substr(2)] = argv[++i];
     } else {
@@ -249,11 +494,17 @@ int Main(int argc, char** argv) {
       args.flags[key.substr(2)] = "1";
     }
   }
+  // `bundle` takes positional operands; every other command rejects them
+  // (previously any bare token was a usage error — keep that contract).
+  if (args.command != "bundle" && !args.positional.empty()) return Usage();
   if (args.command == "synth") return RunSynth(args);
   if (args.command == "profile") return RunProfile(args);
   if (args.command == "train") return RunTrain(args, /*explain=*/false);
   if (args.command == "explain") return RunTrain(args, /*explain=*/true);
   if (args.command == "audit") return RunAudit(args);
+  if (args.command == "bundle") return RunBundle(args);
+  if (args.command == "predict") return RunPredict(args);
+  if (args.command == "serve") return RunServe(args);
   return Usage();
 }
 

@@ -6,14 +6,17 @@
 #   default / unset        AddressSanitizer + UBSan over the full suite
 #                          (build-sanitized/), which includes the chaos-
 #                          labelled durability tests (fault-injected IO,
-#                          crash/resume).
+#                          crash/resume, corrupted/truncated model bundles
+#                          walked byte-by-byte through the mmap loader).
 #   OMNIFAIR_SANITIZE=thread
 #                          ThreadSanitizer over the concurrency- and
 #                          chaos-labelled tests only (build-tsan/): the
 #                          thread pool, the parallel tuner determinism
 #                          suite, telemetry, the metrics exporter (its
 #                          background snapshot thread racing registry
-#                          writers) and run-profiler tests, and
+#                          writers) and run-profiler tests, the serving
+#                          layer (bounded admission queue racing pool
+#                          workers against submitters), and
 #                          checkpoint/resume (whose parallel-grid resume
 #                          exercises record barriers across workers). TSan
 #                          is incompatible with ASan, hence the separate
