@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "linalg/simd.h"
@@ -321,24 +322,9 @@ Status WriteBundle(const Classifier& model, const FeatureEncoder& encoder,
   const uint32_t crc = Crc32(out.buffer().data(), out.size());
   out.U32(crc);
 
-  // Crash-safe publish: temp file in the same directory, then atomic rename.
-  const std::string temp = path + ".tmp";
-  {
-    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
-    if (!file) return IoError(temp, "open");
-    file.write(reinterpret_cast<const char*>(out.buffer().data()),
-               static_cast<std::streamsize>(out.size()));
-    file.flush();
-    if (!file) {
-      std::remove(temp.c_str());
-      return IoError(temp, "write");
-    }
-  }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return IoError(path, "rename");
-  }
-  return Status::Ok();
+  // Crash-safe publish via the snapshot layer's temp file + fsync + atomic
+  // rename, so a rename surviving a power loss implies the data did too.
+  return WriteFileAtomic(path, out.buffer().data(), out.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -456,7 +442,11 @@ struct BundleParser {
     if (section->dtype != dtype) {
       return NearByte(section->offset, "section '" + name + "' has wrong dtype");
     }
-    if (section->size != expect_count * sizeof(T)) {
+    // Divide rather than multiply: `expect_count * sizeof(T)` can wrap for
+    // attacker-chosen counts, while section->size is already bounded by the
+    // file size.
+    if (section->size / sizeof(T) != expect_count ||
+        section->size % sizeof(T) != 0) {
       return NearByte(section->offset,
                       "section '" + name + "' holds " +
                           std::to_string(section->size / sizeof(T)) +
@@ -542,6 +532,14 @@ struct BundleParser {
       }
     }
     const uint64_t total_nodes = trees.tree_offsets[trees.num_trees];
+    // Child indices are int32, so every node index (and the casts in the
+    // invariant loop below) must fit in int32. This also bounds the loop for
+    // crafted offset tables before any node array is touched.
+    if (total_nodes > static_cast<uint64_t>(
+                          std::numeric_limits<int32_t>::max())) {
+      return Status::DataLoss("bundle: implausible total node count " +
+                              std::to_string(total_nodes));
+    }
     Result<const int32_t*> feature =
         Array<int32_t>("trees.feature", BundleDtype::kI32, total_nodes);
     Result<const double*> threshold =

@@ -79,7 +79,8 @@ struct BundleMeta {
 };
 
 /// Serializes `model` + `encoder` + `meta` into a bundle at `path`
-/// (temp file + atomic rename). Supported families: logistic_regression,
+/// (temp file + fsync + atomic rename, so a published bundle is durable).
+/// Supported families: logistic_regression,
 /// naive_bayes, decision_tree, random_forest, gbdt, mlp; anything else
 /// (e.g. baseline ensembles) fails with kUnsupported. An ensemble member
 /// that is not a decision tree, or a tree with no nodes, fails with

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "util/logging.h"
@@ -15,6 +16,15 @@ BundleServer::BundleServer(std::shared_ptr<const ModelBundle> bundle,
     : bundle_(std::move(bundle)), options_(options) {
   OF_CHECK(bundle_ != nullptr);
   model_ = bundle_->MakeModel(std::max(1, options_.num_threads));
+}
+
+BundleServer::~BundleServer() {
+  // Pool tasks submitted by Submit() capture `this`; block until every
+  // admitted request has decremented in_flight_ (its last touch of the
+  // server) so no task outlives the members it uses.
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
 }
 
 Result<PredictResponse> BundleServer::Handle(
@@ -93,7 +103,12 @@ Result<std::future<Result<PredictResponse>>> BundleServer::Submit(
   return ThreadPool::Global().Submit(
       [this, request = std::move(request)]() -> Result<PredictResponse> {
         Result<PredictResponse> response = Handle(request);
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        // The decrement is the task's final access to `this` (the destructor
+        // drains on it); the gauge update below only touches the global
+        // telemetry registry.
+        const int depth =
+            in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        OF_GAUGE_SET("serve.queue_depth", static_cast<double>(depth));
         return response;
       });
 }

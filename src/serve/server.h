@@ -38,7 +38,9 @@ namespace omnifair {
 //   serve.rows           counter   rows scored
 //   serve.batch_rows     histogram batch size distribution
 //   serve.request_us     histogram per-request handle latency (p50/p99)
-//   serve.queue_depth    gauge     in-flight requests after last admit
+//   serve.queue_depth    gauge     in-flight requests (updated on admit
+//                                  and on completion, so it returns to 0
+//                                  once the server drains)
 // ---------------------------------------------------------------------------
 
 struct ServerOptions {
@@ -82,6 +84,12 @@ class BundleServer {
  public:
   BundleServer(std::shared_ptr<const ModelBundle> bundle,
                const ServerOptions& options = {});
+
+  /// Blocks until every admitted request has completed. Submit()'s pool
+  /// tasks reference the server, so destroying it mid-burst (e.g. dropping
+  /// the returned futures) is safe: teardown waits for in-flight work to
+  /// drain instead of racing it.
+  ~BundleServer();
 
   /// Scores one batch synchronously (no admission control; used directly by
   /// closed-loop callers and by Submit's pool tasks). Validates the feature

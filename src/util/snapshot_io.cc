@@ -283,14 +283,13 @@ std::vector<uint8_t> SerializeSnapshot(const Snapshot& snapshot) {
 
 }  // namespace
 
-Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot,
-                         const RetryOptions& retry) {
-  const std::vector<uint8_t> bytes = SerializeSnapshot(snapshot);
+Status WriteFileAtomic(const std::string& path, const uint8_t* data,
+                       size_t size, const RetryOptions& retry) {
   const std::string temp_path = path + ".tmp";
-  Status status = RetryIo(retry, [&]() -> Status {
+  return RetryIo(retry, [&]() -> Status {
     const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) return IoError(temp_path, "open");
-    Status write_status = WriteAll(fd, temp_path, bytes.data(), bytes.size());
+    Status write_status = WriteAll(fd, temp_path, data, size);
     if (write_status.ok() && ::fsync(fd) != 0) {
       write_status = IoError(temp_path, "fsync");
     }
@@ -308,7 +307,12 @@ Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot,
     }
     return Status::Ok();
   });
-  return status;
+}
+
+Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot,
+                         const RetryOptions& retry) {
+  const std::vector<uint8_t> bytes = SerializeSnapshot(snapshot);
+  return WriteFileAtomic(path, bytes.data(), bytes.size(), retry);
 }
 
 Result<Snapshot> ReadSnapshotFile(const std::string& path, uint32_t max_version) {

@@ -120,6 +120,14 @@ struct RetryOptions {
 };
 Status RetryIo(const RetryOptions& options, const std::function<Status()>& op);
 
+/// Writes `size` bytes durably and atomically to `path`: temp file in the
+/// same directory, fsync, atomic rename — so a crash can never expose a
+/// partially written or unsynced file at the final path. Transient write
+/// errors are retried per `retry`; the `io.short_write` / `io.enospc`
+/// fault sites apply.
+Status WriteFileAtomic(const std::string& path, const uint8_t* data,
+                       size_t size, const RetryOptions& retry = {});
+
 /// Serializes `snapshot` (version/flags/sections + CRC32 trailer) and writes
 /// it durably to `path`: temp file in the same directory, fsync, atomic
 /// rename. Transient write errors are retried per `retry`. Fault sites:

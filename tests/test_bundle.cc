@@ -292,6 +292,20 @@ TEST_F(BundleTest, ModelsKeepTheBundleAlive) {
   for (size_t i = 0; i < before.size(); ++i) EXPECT_EQ(after[i], before[i]);
 }
 
+TEST_F(BundleTest, WriteGoesThroughTheDurablePublishPath) {
+  // WriteBundle shares the snapshot layer's temp+fsync+rename publish, so
+  // its fault sites apply: a failed write leaves nothing at the final path.
+  auto model = MakeTrainer("lr", 3)->Fit(X_, y_, weights_);
+  const std::string path = TempPath("durable.ofb");
+  FaultInjector::Arm(fault_sites::kIoEnospc, /*fire_at=*/1, /*repeat=*/true);
+  const Status failed = WriteBundle(*model, encoder_, BundleMeta{}, path);
+  FaultInjector::Reset();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE(ModelBundle::Open(path).ok());
+  ASSERT_TRUE(WriteBundle(*model, encoder_, BundleMeta{}, path).ok());
+  EXPECT_TRUE(ModelBundle::Open(path).ok());
+}
+
 TEST_F(BundleTest, PackRejectsUnsupportedModels) {
   class OpaqueModel : public Classifier {
    public:
@@ -383,6 +397,29 @@ TEST_F(BundleCorruptionTest, ForeignAndEmptyFilesFailTyped) {
   auto missing = ModelBundle::Open(TempPath("missing.ofb"));
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);  // ENOENT
+}
+
+TEST_F(BundleCorruptionTest, HugeTreeOffsetTableFailsTypedNotOob) {
+  // Adversarial (CRC-valid) image: rewrite the last trees.offsets entry to
+  // 2^62. The section sizes stay unchanged, so the only defenses are the
+  // overflow-proof element-count check and the int32 total-node bound — a
+  // regression here is a 2^62-iteration OOB walk, not a clean failure.
+  auto inspection = InspectBundle(path_);
+  ASSERT_TRUE(inspection.ok()) << inspection.status().ToString();
+  const BundleSectionInfo* offsets = nullptr;
+  for (const BundleSectionInfo& section : inspection->sections) {
+    if (section.name == "trees.offsets") offsets = &section;
+  }
+  ASSERT_NE(offsets, nullptr);
+  ASSERT_GE(offsets->size, 16u);  // at least [0, end]
+  std::vector<uint8_t> evil = image_;
+  const uint64_t huge = uint64_t{1} << 62;
+  std::memcpy(evil.data() + offsets->offset + offsets->size - 8, &huge, 8);
+  const uint32_t crc = Crc32(evil.data(), evil.size() - 4);
+  std::memcpy(evil.data() + evil.size() - 4, &crc, 4);
+  const std::string variant = TempPath("huge_offsets.ofb");
+  WriteFile(variant, evil);
+  ExpectTypedFailure(variant, "2^62 tree offset");
 }
 
 TEST_F(BundleCorruptionTest, VersionFromTheFutureIsRejected) {
