@@ -26,6 +26,8 @@ const char* RunStageName(RunStage stage) {
       return "constraint_eval";
     case RunStage::kCheckpoint:
       return "checkpoint";
+    case RunStage::kIngest:
+      return "ingest";
   }
   return "unknown";
 }
@@ -179,6 +181,14 @@ RunProfile BuildRunProfile(const RunProfiler& profiler,
   profile.pool_busy_us = HistogramSumDelta(before, after, "pool.task_us");
   profile.checkpoint_writes = CounterDelta(before, after, "checkpoint.writes");
   profile.checkpoint_bytes = CounterDelta(before, after, "checkpoint.bytes");
+  profile.ingest_rows = CounterDelta(before, after, "ingest.rows");
+  profile.ingest_chunks = CounterDelta(before, after, "ingest.chunks");
+  profile.ingest_parse_us = static_cast<double>(
+      CounterDelta(before, after, "ingest.parse_us"));
+  profile.ingest_spill_bytes =
+      CounterDelta(before, after, "ingest.spill_bytes");
+  profile.sgd_batches = CounterDelta(before, after, "sgd.batches");
+  profile.sgd_epochs = CounterDelta(before, after, "sgd.epochs");
   return profile;
 }
 
@@ -251,6 +261,19 @@ std::string RunProfile::ToText() const {
                   checkpoint_writes, checkpoint_bytes);
     os << line;
   }
+  if (ingest_rows > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  ingest: %lld rows in %lld chunks, parse %.2fms, "
+                  "spilled %lld bytes\n",
+                  ingest_rows, ingest_chunks, ingest_parse_us / 1e3,
+                  ingest_spill_bytes);
+    os << line;
+  }
+  if (sgd_batches > 0) {
+    std::snprintf(line, sizeof(line), "  sgd: %lld batches over %lld epochs\n",
+                  sgd_batches, sgd_epochs);
+    os << line;
+  }
   return os.str();
 }
 
@@ -283,6 +306,12 @@ void RunProfile::WriteJson(JsonWriter& writer) const {
   writer.KV("pool_busy_us", pool_busy_us);
   writer.KV("checkpoint_writes", checkpoint_writes);
   writer.KV("checkpoint_bytes", checkpoint_bytes);
+  writer.KV("ingest_rows", ingest_rows);
+  writer.KV("ingest_chunks", ingest_chunks);
+  writer.KV("ingest_parse_us", ingest_parse_us);
+  writer.KV("ingest_spill_bytes", ingest_spill_bytes);
+  writer.KV("sgd_batches", sgd_batches);
+  writer.KV("sgd_epochs", sgd_epochs);
   writer.EndObject();
   writer.KV("weight_cache_hit_rate", WeightCacheHitRate());
   writer.KV("pool_utilization", PoolUtilization());

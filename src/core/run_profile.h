@@ -33,8 +33,9 @@ enum class RunStage : int {
   kPredict,         ///< train/val predictions of candidate models
   kConstraintEval,  ///< FP_j fairness-part evaluation
   kCheckpoint,      ///< checkpoint record serialization + snapshot writes
+  kIngest,          ///< out-of-core ingest: CSV parse/encode/spill (§16)
 };
-inline constexpr int kNumRunStages = 7;
+inline constexpr int kNumRunStages = 8;
 
 /// Stable snake_case name, e.g. "trainer_fit".
 const char* RunStageName(RunStage stage);
@@ -117,6 +118,12 @@ struct RunProfile {
   double pool_busy_us = 0.0;          ///< summed pool task time (pool.task_us)
   long long checkpoint_writes = 0;
   long long checkpoint_bytes = 0;
+  long long ingest_rows = 0;          ///< PR 10 out-of-core ingest (ingest.rows)
+  long long ingest_chunks = 0;        ///< read(2) chunks consumed
+  double ingest_parse_us = 0.0;       ///< parse+encode time inside ingest
+  long long ingest_spill_bytes = 0;   ///< encoded bytes spilled to disk
+  long long sgd_batches = 0;          ///< mini-batch SGD batches (sgd.batches)
+  long long sgd_epochs = 0;
 
   bool empty() const { return stages.empty() && total_wall_us <= 0.0; }
   /// hits / (hits + misses); 0 when the cache was never consulted.

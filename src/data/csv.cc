@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -8,10 +9,7 @@
 #include "util/string_utils.h"
 
 namespace omnifair {
-namespace {
 
-/// Splits one CSV record into fields, honoring double-quoted fields with ""
-/// as the escaped-quote sequence. Returns false on an unterminated quote.
 bool SplitCsvRecord(std::string_view record, char delimiter,
                     std::vector<std::string>* fields) {
   fields->clear();
@@ -44,6 +42,17 @@ bool SplitCsvRecord(std::string_view record, char delimiter,
   return true;
 }
 
+namespace {
+
+/// "path:line: (byte N)" error prefix; N is the line's starting offset, so
+/// a reported failure deep inside a multi-GB file is directly seekable.
+std::string CsvErrorAt(const std::string& path, size_t line_number,
+                       size_t byte_offset) {
+  std::ostringstream prefix;
+  prefix << path << ":" << line_number << ": (byte " << byte_offset << ")";
+  return prefix.str();
+}
+
 }  // namespace
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) {
@@ -56,7 +65,8 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
   }
   std::vector<std::string> header;
   if (!SplitCsvRecord(line, options.delimiter, &header)) {
-    return Status::InvalidArgument(path + ":1: unterminated quoted field");
+    return Status::InvalidArgument(CsvErrorAt(path, 1, 0) +
+                                   " unterminated quoted field");
   }
   for (std::string& name : header) name = std::string(StripWhitespace(name));
 
@@ -70,32 +80,50 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
   }
 
   // First pass: collect raw cells, remembering each kept row's source line
-  // so later parse failures can name the offending row (blank lines are
-  // skipped, so row index and line number diverge).
+  // and starting byte offset so later parse failures can name (and seek to)
+  // the offending row (blank lines are skipped, so row index and line number
+  // diverge).
   std::vector<std::vector<std::string>> cells;  // per column
   cells.resize(header.size());
   std::vector<size_t> row_lines;
+  std::vector<size_t> row_offsets;
   std::vector<std::string> fields;
   size_t line_number = 1;
+  size_t next_offset = line.size() + 1;  // header line + its newline
   while (std::getline(in, line)) {
     ++line_number;
+    const size_t record_line = line_number;
+    const size_t line_offset = next_offset;
+    // getline consumed the delimiter unless it stopped at EOF.
+    next_offset += line.size() + (in.eof() ? 0 : 1);
+    // A '\n' inside a double-quoted field belongs to the record (same rule
+    // as the streaming CsvRecordScanner): keep appending source lines while
+    // the accumulated quote count is odd.
+    while (std::count(line.begin(), line.end(), '"') % 2 != 0) {
+      std::string continuation;
+      if (!std::getline(in, continuation)) break;
+      ++line_number;
+      next_offset += continuation.size() + (in.eof() ? 0 : 1);
+      line += '\n';
+      line += continuation;
+    }
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty()) continue;
     if (!SplitCsvRecord(stripped, options.delimiter, &fields)) {
-      std::ostringstream msg;
-      msg << path << ":" << line_number << ": unterminated quoted field";
-      return Status::InvalidArgument(msg.str());
+      return Status::InvalidArgument(CsvErrorAt(path, record_line, line_offset) +
+                                     " unterminated quoted field");
     }
     if (fields.size() != header.size()) {
       std::ostringstream msg;
-      msg << path << ":" << line_number << ": expected " << header.size()
-          << " fields, got " << fields.size();
+      msg << CsvErrorAt(path, record_line, line_offset) << " expected "
+          << header.size() << " fields, got " << fields.size();
       return Status::InvalidArgument(msg.str());
     }
     for (size_t i = 0; i < fields.size(); ++i) {
       cells[i].emplace_back(StripWhitespace(fields[i]));
     }
-    row_lines.push_back(line_number);
+    row_lines.push_back(record_line);
+    row_offsets.push_back(line_offset);
   }
 
   // Infer column types and build the dataset.
@@ -113,8 +141,8 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
           double value = 0.0;
           if (!ParseDouble(cell, &value) || (value != 0.0 && value != 1.0)) {
             std::ostringstream msg;
-            msg << path << ":" << row_lines[r] << ": label cell '" << cell
-                << "' is not 0/1";
+            msg << CsvErrorAt(path, row_lines[r], row_offsets[r])
+                << " label cell '" << cell << "' is not 0/1";
             return Status::InvalidArgument(msg.str());
           }
           labels.push_back(static_cast<int>(value));
@@ -141,8 +169,8 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) 
         double value = 0.0;
         if (!ParseDouble(cells[c][r], &value) || !std::isfinite(value)) {
           std::ostringstream msg;
-          msg << path << ":" << row_lines[r] << ": cell '" << cells[c][r]
-              << "' in numeric column '" << header[c]
+          msg << CsvErrorAt(path, row_lines[r], row_offsets[r]) << " cell '"
+              << cells[c][r] << "' in numeric column '" << header[c]
               << "' is not a finite number";
           return Status::InvalidArgument(msg.str());
         }

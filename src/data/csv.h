@@ -25,13 +25,20 @@ struct CsvReadOptions {
   std::vector<std::string> force_numeric;
 };
 
+/// Splits one CSV record into fields, honoring double-quoted fields with ""
+/// as the escaped-quote sequence. Returns false on an unterminated quote.
+/// Shared by ReadCsv and the streaming block parser (data/stream_reader.h).
+bool SplitCsvRecord(std::string_view record, char delimiter,
+                    std::vector<std::string>* fields);
+
 /// Reads a CSV file with a header row into a Dataset. Column types are
 /// inferred: a column is numeric iff every cell parses as a finite double
 /// (and it is not listed in force_categorical). Fields may be quoted with
 /// double quotes ("" escapes a literal quote inside); malformed rows —
 /// ragged field counts, unterminated quotes, bad labels, non-numeric cells
 /// in force_numeric columns — fail with kInvalidArgument carrying the
-/// path:line of the offending row.
+/// path:line of the offending row plus its starting byte offset, so failures
+/// inside multi-GB files are seekable.
 Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options);
 
 /// Writes a Dataset (attributes + label column) as CSV with a header row.

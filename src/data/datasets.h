@@ -30,6 +30,16 @@ Dataset MakeBankDataset(const SyntheticOptions& options = {});
 /// Aborts on unknown names.
 Dataset MakeDatasetByName(const std::string& name, const SyntheticOptions& options = {});
 
+// Generative schemas behind the four datasets, exposed so out-of-core tools
+// (GenerateSyntheticStream) can sample block-by-block without materializing
+// the whole dataset. Make*Dataset(options) == Generate(Make*Schema(), options).
+synthetic::Schema MakeAdultSchema();
+synthetic::Schema MakeCompasSchema();
+synthetic::Schema MakeLsacSchema();
+synthetic::Schema MakeBankSchema();
+/// Schema by lowercase name; aborts on unknown names.
+synthetic::Schema MakeSchemaByName(const std::string& name);
+
 }  // namespace omnifair
 
 #endif  // OMNIFAIR_DATA_DATASETS_H_

@@ -62,7 +62,7 @@ class FeatureEncoder {
   /// Reads a layout written by SerializeTo.
   static Result<FeatureEncoder> Deserialize(std::istream& is);
 
- private:
+  /// One fitted column's encode step, in feature-layout order.
   struct ColumnPlan {
     std::string name;
     ColumnType type = ColumnType::kNumeric;
@@ -71,6 +71,12 @@ class FeatureEncoder {
     size_t num_categories = 0;  // one-hot width for categorical columns
   };
 
+  /// The fitted per-column plans. Streaming ingest (data/stream_reader.h)
+  /// uses these to encode raw cells straight into the fitted feature layout
+  /// without building an intermediate Dataset per block.
+  const std::vector<ColumnPlan>& plans() const { return plans_; }
+
+ private:
   EncoderOptions options_;
   std::vector<ColumnPlan> plans_;
   std::vector<std::string> feature_names_;

@@ -7,7 +7,7 @@ namespace omnifair {
 // P(>50k | Male) ~ 0.30 vs P(>50k | Female) ~ 0.11. Education, hours and
 // capital gains carry most of the signal; several of them are sex-correlated
 // so the disparity persists without the sensitive column.
-Dataset MakeAdultDataset(const SyntheticOptions& options) {
+synthetic::Schema MakeAdultSchema() {
   synthetic::Schema schema;
   schema.dataset_name = "adult";
   schema.sensitive_attribute = "sex";
@@ -100,7 +100,11 @@ Dataset MakeAdultDataset(const SyntheticOptions& options) {
        .weights_y0 = {0.89, 0.03, 0.08},
        .weights_y1 = {0.93, 0.01, 0.06}});
 
-  return synthetic::Generate(schema, options);
+  return schema;
+}
+
+Dataset MakeAdultDataset(const SyntheticOptions& options) {
+  return synthetic::Generate(MakeAdultSchema(), options);
 }
 
 }  // namespace omnifair

@@ -10,7 +10,7 @@ namespace omnifair {
 // students and retirees ("young_or_senior") subscribe at a visibly higher
 // rate, producing a moderate baseline disparity (the paper's Table 5 Bank
 // column shows near-zero accuracy drops — the constraint is cheap here).
-Dataset MakeBankDataset(const SyntheticOptions& options) {
+synthetic::Schema MakeBankSchema() {
   synthetic::Schema schema;
   schema.dataset_name = "bank";
   schema.sensitive_attribute = "age_group";
@@ -120,16 +120,24 @@ Dataset MakeBankDataset(const SyntheticOptions& options) {
        .weights_y0 = {0.78, 0.13, 0.05, 0.04},
        .weights_y1 = {0.52, 0.14, 0.07, 0.27}});
 
-  return synthetic::Generate(schema, options);
+  return schema;
+}
+
+Dataset MakeBankDataset(const SyntheticOptions& options) {
+  return synthetic::Generate(MakeBankSchema(), options);
 }
 
 Dataset MakeDatasetByName(const std::string& name, const SyntheticOptions& options) {
-  if (name == "adult") return MakeAdultDataset(options);
-  if (name == "compas") return MakeCompasDataset(options);
-  if (name == "lsac") return MakeLsacDataset(options);
-  if (name == "bank") return MakeBankDataset(options);
+  return synthetic::Generate(MakeSchemaByName(name), options);
+}
+
+synthetic::Schema MakeSchemaByName(const std::string& name) {
+  if (name == "adult") return MakeAdultSchema();
+  if (name == "compas") return MakeCompasSchema();
+  if (name == "lsac") return MakeLsacSchema();
+  if (name == "bank") return MakeBankSchema();
   OF_CHECK(false) << "unknown dataset name: " << name;
-  return Dataset();
+  return synthetic::Schema();
 }
 
 }  // namespace omnifair

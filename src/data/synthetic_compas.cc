@@ -8,7 +8,7 @@ namespace omnifair {
 // themselves group-correlated (so an unconstrained model shows an SP
 // disparity around 0.2 between African-American and Caucasian, as in the
 // paper's Table 7 baseline row).
-Dataset MakeCompasDataset(const SyntheticOptions& options) {
+synthetic::Schema MakeCompasSchema() {
   synthetic::Schema schema;
   schema.dataset_name = "compas";
   schema.sensitive_attribute = "race";
@@ -88,7 +88,11 @@ Dataset MakeCompasDataset(const SyntheticOptions& options) {
        .weights_y0 = {0.17, 0.55, 0.28},
        .weights_y1 = {0.30, 0.55, 0.15}});
 
-  return synthetic::Generate(schema, options);
+  return schema;
+}
+
+Dataset MakeCompasDataset(const SyntheticOptions& options) {
+  return synthetic::Generate(MakeCompasSchema(), options);
 }
 
 }  // namespace omnifair

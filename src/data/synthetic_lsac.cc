@@ -7,7 +7,7 @@ namespace omnifair {
 // accuracy drops are small, as in the paper's Table 5 LSAC column) but the
 // gap between White and Black examinees is large (~0.95 vs ~0.78). LSAT and
 // GPA carry the predictive signal and are race-correlated.
-Dataset MakeLsacDataset(const SyntheticOptions& options) {
+synthetic::Schema MakeLsacSchema() {
   synthetic::Schema schema;
   schema.dataset_name = "lsac";
   schema.sensitive_attribute = "race";
@@ -90,7 +90,11 @@ Dataset MakeLsacDataset(const SyntheticOptions& options) {
        .weights_y0 = {0.12, 0.30, 0.38, 0.20},
        .weights_y1 = {0.24, 0.36, 0.30, 0.10}});
 
-  return synthetic::Generate(schema, options);
+  return schema;
+}
+
+Dataset MakeLsacDataset(const SyntheticOptions& options) {
+  return synthetic::Generate(MakeLsacSchema(), options);
 }
 
 }  // namespace omnifair

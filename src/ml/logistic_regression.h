@@ -1,6 +1,8 @@
 #ifndef OMNIFAIR_ML_LOGISTIC_REGRESSION_H_
 #define OMNIFAIR_ML_LOGISTIC_REGRESSION_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +29,19 @@ struct LogisticRegressionOptions {
   /// halved learning rate, at most this many times before giving up and
   /// returning the checkpoint model.
   int max_divergence_retries = 3;
+  /// Mini-batch SGD (DESIGN.md §16): 0 keeps the exact full-batch path above
+  /// (bit-identical to the default trainer); any positive value switches to
+  /// weighted SGD over contiguous batches of this many rows, visited in a
+  /// deterministic per-epoch shuffle drawn from `shuffle_seed`. Updates are
+  /// applied serially, so results are bit-reproducible at any thread count.
+  size_t batch_size = 0;
+  /// Epochs (full passes over the data) for the mini-batch path; the
+  /// full-batch path uses max_iterations instead.
+  int epochs = 5;
+  /// Per-batch step-size decay for the mini-batch path.
+  LrSchedule lr_schedule = LrSchedule::kConstant;
+  /// Seed for the per-epoch batch-order shuffle.
+  uint64_t shuffle_seed = 17;
 };
 
 /// A trained logistic regression model: p(y=1|x) = sigmoid(w.x + b).
@@ -71,6 +86,12 @@ class LogisticRegressionTrainer : public Trainer {
   long long total_iterations() const { return total_iterations_; }
 
  private:
+  /// Weighted mini-batch SGD path (options_.batch_size > 0); same divergence
+  /// rollback/backoff semantics as the full-batch loop.
+  std::unique_ptr<Classifier> FitMiniBatch(const Matrix& X,
+                                           const std::vector<int>& y,
+                                           const std::vector<double>& weights);
+
   LogisticRegressionOptions options_;
   bool warm_start_ = false;
   std::vector<double> warm_theta_;  // coefficients + intercept (last slot)

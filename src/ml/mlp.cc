@@ -34,6 +34,54 @@ Views MakeViews(std::vector<double>& params, size_t d, size_t h) {
   return v;
 }
 
+/// Forward/backward over rows [begin, end) at parameters `v`, accumulating
+/// unnormalized gradient sums into `g`; returns the unnormalized weighted
+/// loss sum. `hidden` / `relu_active` are caller-owned scratch of size h.
+/// Shared verbatim by the full-batch loop (called with the whole row range)
+/// and the mini-batch loop, so both see identical per-row arithmetic.
+double AccumulateLossGrad(const Matrix& X, const std::vector<int>& y,
+                          const std::vector<double>& weights, const Views& v,
+                          const Views& g, size_t begin, size_t end, size_t d,
+                          size_t h, std::vector<double>& hidden,
+                          std::vector<double>& relu_active) {
+  const bool f32 = X.is_float32();
+  const simd::Kernels& kernels = simd::Active();
+  double loss = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    // Forward/backward dots and the gradient rank-1 update run on the simd
+    // kernels; float32 feature rows widen per lane against the double
+    // parameters, so accumulators stay double in either storage mode.
+    const double* row = f32 ? nullptr : X.Row(i);
+    const float* rowf = f32 ? X.RowF(i) : nullptr;
+    double z2 = *v.b2;
+    for (size_t j = 0; j < h; ++j) {
+      const double* wj = v.W1 + j * d;
+      const double z = v.b1[j] + (f32 ? kernels.dot_f32(rowf, wj, d)
+                                      : kernels.dot(wj, row, d));
+      relu_active[j] = z > 0.0 ? 1.0 : 0.0;
+      hidden[j] = z > 0.0 ? z : 0.0;
+      z2 += v.w2[j] * hidden[j];
+    }
+    const double target = y[i] == 1 ? 1.0 : 0.0;
+    loss += weights[i] * (Log1pExp(z2) - target * z2);
+    const double delta2 = weights[i] * (Sigmoid(z2) - target);
+    *g.b2 += delta2;
+    for (size_t j = 0; j < h; ++j) {
+      g.w2[j] += delta2 * hidden[j];
+      const double delta1 = delta2 * v.w2[j] * relu_active[j];
+      if (delta1 == 0.0) continue;
+      g.b1[j] += delta1;
+      double* gw = g.W1 + j * d;
+      if (f32) {
+        kernels.axpy_f32(delta1, rowf, gw, d);
+      } else {
+        kernels.axpy(delta1, row, gw, d);
+      }
+    }
+  }
+  return loss;
+}
+
 }  // namespace
 
 MlpModel::MlpModel(Matrix W1, std::vector<double> b1, std::vector<double> w2, double b2)
@@ -100,13 +148,15 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
     for (size_t j = 0; j < h; ++j) v.w2[j] = rng.NextGaussian(0.0, out_scale);
   }
 
+  if (options_.batch_size > 0) {
+    return FitMiniBatch(X, y, weights, std::move(params));
+  }
+
   std::vector<double> grad(p, 0.0);
   std::vector<double> m(p, 0.0);
   std::vector<double> vv(p, 0.0);
   std::vector<double> hidden(h);
   std::vector<double> relu_active(h);
-  const bool f32 = X.is_float32();
-  const simd::Kernels& kernels = simd::Active();
   const double beta1 = 0.9;
   const double beta2 = 0.999;
   const double adam_eps = 1e-8;
@@ -123,42 +173,10 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
     Views v = MakeViews(params, d, h);
     std::fill(grad.begin(), grad.end(), 0.0);
     Views g = MakeViews(grad, d, h);
-    double loss = 0.0;
-
-    for (size_t i = 0; i < n; ++i) {
-      // Forward/backward dots and the gradient rank-1 update run on the simd
-      // kernels; float32 feature rows widen per lane against the double
-      // parameters, so accumulators stay double in either storage mode.
-      const double* row = f32 ? nullptr : X.Row(i);
-      const float* rowf = f32 ? X.RowF(i) : nullptr;
-      double z2 = *v.b2;
-      for (size_t j = 0; j < h; ++j) {
-        const double* wj = v.W1 + j * d;
-        const double z = v.b1[j] + (f32 ? kernels.dot_f32(rowf, wj, d)
-                                        : kernels.dot(wj, row, d));
-        relu_active[j] = z > 0.0 ? 1.0 : 0.0;
-        hidden[j] = z > 0.0 ? z : 0.0;
-        z2 += v.w2[j] * hidden[j];
-      }
-      const double target = y[i] == 1 ? 1.0 : 0.0;
-      loss += weights[i] * (Log1pExp(z2) - target * z2);
-      const double delta2 = weights[i] * (Sigmoid(z2) - target);
-      *g.b2 += delta2;
-      for (size_t j = 0; j < h; ++j) {
-        g.w2[j] += delta2 * hidden[j];
-        const double delta1 = delta2 * v.w2[j] * relu_active[j];
-        if (delta1 == 0.0) continue;
-        g.b1[j] += delta1;
-        double* gw = g.W1 + j * d;
-        if (f32) {
-          kernels.axpy_f32(delta1, rowf, gw, d);
-        } else {
-          kernels.axpy(delta1, row, gw, d);
-        }
-      }
-    }
-
+    const double loss_sum = AccumulateLossGrad(X, y, weights, v, g, 0, n, d, h,
+                                               hidden, relu_active);
     const double inv_n = 1.0 / static_cast<double>(n);
+    double loss = loss_sum;
     loss *= inv_n;
 
     const bool diverged =
@@ -210,6 +228,130 @@ std::unique_ptr<Classifier> MlpTrainer::Fit(const Matrix& X, const std::vector<i
                    [](double value) { return std::isfinite(value); })) {
     CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
     OF_LOG(Warning) << "mlp: non-finite parameters after training; "
+                       "returning last checkpoint";
+    params = checkpoint;
+  }
+
+  if (warm_start_) warm_params_ = params;
+
+  Views v = MakeViews(params, d, h);
+  Matrix W1(h, d);
+  for (size_t j = 0; j < h; ++j) {
+    for (size_t c = 0; c < d; ++c) W1(j, c) = v.W1[j * d + c];
+  }
+  std::vector<double> b1(v.b1, v.b1 + h);
+  std::vector<double> w2(v.w2, v.w2 + h);
+  return std::make_unique<MlpModel>(std::move(W1), std::move(b1), std::move(w2), *v.b2);
+}
+
+std::unique_ptr<Classifier> MlpTrainer::FitMiniBatch(
+    const Matrix& X, const std::vector<int>& y, const std::vector<double>& weights,
+    std::vector<double> params) {
+  const size_t n = X.rows();
+  const size_t d = X.cols();
+  const size_t h = static_cast<size_t>(options_.hidden_units);
+  const size_t p = ParamCount(d, h);
+  const size_t batch = std::min(options_.batch_size, n);
+  const size_t num_batches = batch > 0 ? (n + batch - 1) / batch : 0;
+  if (num_batches == 0) {
+    // Degenerate empty input: return the untrained initialization.
+    Views v = MakeViews(params, d, h);
+    Matrix W1(h, d);
+    for (size_t j = 0; j < h; ++j) {
+      for (size_t c = 0; c < d; ++c) W1(j, c) = v.W1[j * d + c];
+    }
+    return std::make_unique<MlpModel>(std::move(W1),
+                                      std::vector<double>(v.b1, v.b1 + h),
+                                      std::vector<double>(v.w2, v.w2 + h), *v.b2);
+  }
+
+  std::vector<double> grad(p, 0.0);
+  std::vector<double> m(p, 0.0);
+  std::vector<double> vv(p, 0.0);
+  std::vector<double> hidden(h);
+  std::vector<double> relu_active(h);
+  const double beta1 = 0.9;
+  const double beta2 = 0.999;
+  const double adam_eps = 1e-8;
+  // Independent shuffle stream forked off the init seed: batch order is a
+  // function of (seed, epoch) alone, never of thread count.
+  Rng shuffle_rng = Rng(options_.seed).Fork();
+
+  // Same recovery contract as the full-batch loop (DESIGN.md §8), at epoch
+  // granularity: rollback to the last finite-loss parameters, reset the Adam
+  // moments, halve the learning rate.
+  std::vector<double> checkpoint = params;
+  double learning_rate = options_.learning_rate;
+  int retries = 0;
+  double previous_loss = std::numeric_limits<double>::infinity();
+  long long t = 0;  // global batch counter: Adam bias correction + kInvSqrt
+
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    Views v = MakeViews(params, d, h);
+    Views g = MakeViews(grad, d, h);
+    const std::vector<size_t> order = shuffle_rng.Permutation(num_batches);
+    double epoch_loss = 0.0;
+    for (size_t b : order) {
+      const size_t begin = b * batch;
+      const size_t end = std::min(n, begin + batch);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      epoch_loss += AccumulateLossGrad(X, y, weights, v, g, begin, end, d, h,
+                                       hidden, relu_active);
+      ++t;
+      const double inv_rows = 1.0 / static_cast<double>(end - begin);
+      for (size_t k = 0; k < p; ++k) {
+        grad[k] = grad[k] * inv_rows + options_.l2 * params[k];
+      }
+      double step = learning_rate;
+      if (options_.lr_schedule == LrSchedule::kInvSqrt) {
+        step /= std::sqrt(static_cast<double>(t));
+      }
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+      for (size_t k = 0; k < p; ++k) {
+        m[k] = beta1 * m[k] + (1.0 - beta1) * grad[k];
+        vv[k] = beta2 * vv[k] + (1.0 - beta2) * grad[k] * grad[k];
+        params[k] -= step * (m[k] / bc1) / (std::sqrt(vv[k] / bc2) + adam_eps);
+      }
+    }
+    OF_COUNTER_ADD("sgd.batches", static_cast<long long>(order.size()));
+    OF_COUNTER_INC("sgd.epochs");
+    epoch_loss /= static_cast<double>(n);
+
+    const bool diverged = !std::isfinite(epoch_loss) ||
+                          FaultInjector::ShouldFail(fault_sites::kMlpEpoch);
+    if (diverged) {
+      if (retries >= options_.max_divergence_retries) {
+        OF_LOG(Warning) << "mlp (sgd): divergence persisted after " << retries
+                        << " retries; returning last checkpoint";
+        params = checkpoint;
+        break;
+      }
+      ++retries;
+      CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+      OF_LOG(Warning) << "mlp (sgd): non-finite epoch loss at epoch " << epoch
+                      << "; backing off (retry " << retries << ")";
+      params = checkpoint;
+      std::fill(m.begin(), m.end(), 0.0);
+      std::fill(vv.begin(), vv.end(), 0.0);
+      learning_rate *= 0.5;
+      previous_loss = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    checkpoint = params;
+    if (std::fabs(previous_loss - epoch_loss) <
+        options_.tolerance * std::max(1.0, std::fabs(previous_loss))) {
+      break;
+    }
+    previous_loss = epoch_loss;
+  }
+
+  // The last batch of a finite epoch can still push a parameter out of range;
+  // fall back to the checkpoint then, exactly like the full-batch path.
+  if (!std::all_of(params.begin(), params.end(),
+                   [](double value) { return std::isfinite(value); })) {
+    CountRecoveryEvent(RecoveryEvent::kDivergenceBackoff);
+    OF_LOG(Warning) << "mlp (sgd): non-finite parameters after training; "
                        "returning last checkpoint";
     params = checkpoint;
   }

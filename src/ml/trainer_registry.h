@@ -22,6 +22,18 @@ namespace omnifair {
 /// Aborts on unknown names (programmer error).
 std::unique_ptr<Trainer> MakeTrainer(const std::string& name, uint64_t seed = 42);
 
+/// Optional hyperparameter overrides applied on top of a family's defaults.
+/// Zero values mean "keep the default". batch_size/epochs/lr_schedule only
+/// affect the SGD families (lr, nn); other families ignore them.
+struct TrainerOverrides {
+  size_t batch_size = 0;  ///< > 0 switches lr/nn to mini-batch SGD
+  int epochs = 0;         ///< mini-batch epochs (0 = family default)
+  LrSchedule lr_schedule = LrSchedule::kConstant;
+};
+
+std::unique_ptr<Trainer> MakeTrainer(const std::string& name, uint64_t seed,
+                                     const TrainerOverrides& overrides);
+
 /// The four model families of the paper's Table 5 header: lr, rf, xgb, nn.
 std::vector<std::string> PaperModelNames();
 

@@ -25,6 +25,9 @@ inline constexpr char kIoEnospc[] = "io.enospc";
 /// Flips one payload byte after ReadSnapshotFile reads a file (exercises the
 /// CRC32 guard).
 inline constexpr char kIoCorruptRead[] = "io.corrupt_read";
+/// Truncates one pread(2) in PreadFull to half the requested bytes; the
+/// surrounding loop must absorb it (exercises the chunked-dataset readers).
+inline constexpr char kIoShortRead[] = "io.short_read";
 /// Simulates a crash immediately after a checkpoint write completes: the
 /// tuner observes an interrupt and stops, leaving a durable snapshot behind.
 inline constexpr char kCheckpointCrashAfterWrite[] =

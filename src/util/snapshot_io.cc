@@ -1,6 +1,7 @@
 #include "util/snapshot_io.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -233,13 +234,8 @@ Status RetryIo(const RetryOptions& options, const std::function<Status()>& op) {
   return status;
 }
 
-namespace {
-
-/// write(2) loop with fault injection. `io.short_write` makes one call stop
-/// after half the bytes and report EINTR (transient, retried by RetryIo);
-/// `io.enospc` reports ENOSPC (permanent).
-Status WriteAll(int fd, const std::string& path, const uint8_t* data,
-                size_t size) {
+Status WriteFd(int fd, const std::string& path, const uint8_t* data,
+               size_t size) {
   size_t written = 0;
   while (written < size) {
     if (FaultInjector::ShouldFail(fault_sites::kIoEnospc)) {
@@ -262,6 +258,33 @@ Status WriteAll(int fd, const std::string& path, const uint8_t* data,
   }
   return Status::Ok();
 }
+
+Status PreadFull(int fd, const std::string& path, uint64_t offset,
+                 uint8_t* out, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    size_t want = size - done;
+    if (FaultInjector::ShouldFail(fault_sites::kIoShortRead) && want > 1) {
+      want = want / 2;  // one truncated read; the loop must pick up the rest
+    }
+    const ssize_t n = ::pread(fd, out + done, want,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(path, "pread");
+    }
+    if (n == 0) {
+      return Status::DataLoss("short read of " + path + ": wanted " +
+                              std::to_string(size) + " bytes at offset " +
+                              std::to_string(offset) + ", file ended after " +
+                              std::to_string(done));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+namespace {
 
 std::vector<uint8_t> SerializeSnapshot(const Snapshot& snapshot) {
   BinaryWriter writer;
@@ -289,7 +312,7 @@ Status WriteFileAtomic(const std::string& path, const uint8_t* data,
   return RetryIo(retry, [&]() -> Status {
     const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) return IoError(temp_path, "open");
-    Status write_status = WriteAll(fd, temp_path, data, size);
+    Status write_status = WriteFd(fd, temp_path, data, size);
     if (write_status.ok() && ::fsync(fd) != 0) {
       write_status = IoError(temp_path, "fsync");
     }
@@ -320,17 +343,46 @@ Result<Snapshot> ReadSnapshotFile(const std::string& path, uint32_t max_version)
   {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) return IoError(path, "open");
-    std::vector<uint8_t> chunk(1 << 16);
+    // Size the buffer once from fstat and read in place: the 64 KiB
+    // insert-append loop this replaces reallocated (and re-copied) the whole
+    // buffer O(n/64KiB) times on multi-megabyte bundles.
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      const Status status = IoError(path, "fstat");
+      ::close(fd);
+      return status;
+    }
+    bytes.resize(st.st_size > 0 ? static_cast<size_t>(st.st_size) : 0);
+    size_t filled = 0;
     for (;;) {
-      const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+      if (filled == bytes.size()) {
+        // At the expected size: probe for EOF, growing only if the file
+        // gained bytes after the fstat (append race — rare but legal).
+        uint8_t probe = 0;
+        const ssize_t n = ::read(fd, &probe, 1);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          const Status status = IoError(path, "read");
+          ::close(fd);
+          return status;
+        }
+        if (n == 0) break;
+        bytes.push_back(probe);
+        ++filled;
+        continue;
+      }
+      const ssize_t n = ::read(fd, bytes.data() + filled, bytes.size() - filled);
       if (n < 0) {
         if (errno == EINTR) continue;
         const Status status = IoError(path, "read");
         ::close(fd);
         return status;
       }
-      if (n == 0) break;
-      bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + n);
+      if (n == 0) {
+        bytes.resize(filled);  // file shrank after the fstat
+        break;
+      }
+      filled += static_cast<size_t>(n);
     }
     ::close(fd);
   }

@@ -35,6 +35,9 @@ uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc = 0);
 /// Appends primitives to a growable little-endian byte buffer.
 class BinaryWriter {
  public:
+  /// Pre-sizes the buffer for `bytes` more data; avoids growth copies when
+  /// the payload size is known up front (e.g. multi-MB dataset blocks).
+  void Reserve(size_t bytes) { buffer_.reserve(buffer_.size() + bytes); }
   void U8(uint8_t value) { buffer_.push_back(value); }
   void U32(uint32_t value);
   void U64(uint64_t value);
@@ -119,6 +122,21 @@ struct RetryOptions {
   double initial_backoff_ms = 2.0;
 };
 Status RetryIo(const RetryOptions& options, const std::function<Status()>& op);
+
+/// write(2) loop writing all `size` bytes to `fd`. The `io.enospc` fault site
+/// forces ENOSPC (kDataLoss — permanent); `io.short_write` forces one short
+/// write reported as EINTR (kUnavailable — transient, so callers wrapping the
+/// write in RetryIo recover). Shared by the snapshot writer and the chunked
+/// dataset spill path.
+Status WriteFd(int fd, const std::string& path, const uint8_t* data,
+               size_t size);
+
+/// pread(2) loop reading exactly `size` bytes at `offset`. Retries EINTR and
+/// short reads (the `io.short_read` fault site truncates one call to half the
+/// requested bytes, which this loop must absorb); EOF before `size` bytes
+/// yields kDataLoss naming the offset.
+Status PreadFull(int fd, const std::string& path, uint64_t offset,
+                 uint8_t* out, size_t size);
 
 /// Writes `size` bytes durably and atomically to `path`: temp file in the
 /// same directory, fsync, atomic rename — so a crash can never expose a

@@ -97,6 +97,75 @@ TEST(CsvTest, SkipsBlankLines) {
   EXPECT_EQ(result->NumRows(), 2u);
 }
 
+TEST(CsvTest, QuotedFieldsWithNewlinesAndCommas) {
+  const std::string path = TempPath("quoted.csv");
+  WriteFile(path,
+            "note,label\n"
+            "\"line\nbreak\",1\n"
+            "\"with,comma\",0\n"
+            "\"escaped \"\" quote\",1\n");
+  Result<Dataset> result = ReadCsv(path, CsvReadOptions{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->NumRows(), 3u);
+  EXPECT_EQ(result->ColumnByName("note").CategoryOf(0), "line\nbreak");
+  EXPECT_EQ(result->ColumnByName("note").CategoryOf(1), "with,comma");
+  EXPECT_EQ(result->ColumnByName("note").CategoryOf(2), "escaped \" quote");
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,label\r\n1.5,0\r\n2.5,1\r\n");
+  Result<Dataset> result = ReadCsv(path, CsvReadOptions{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->NumRows(), 2u);
+  EXPECT_EQ(result->ColumnByName("a").type(), ColumnType::kNumeric);
+  EXPECT_DOUBLE_EQ(result->ColumnByName("a").NumericValue(1), 2.5);
+}
+
+TEST(CsvTest, FinalRowWithoutTrailingNewline) {
+  const std::string path = TempPath("notrail.csv");
+  WriteFile(path, "a,label\n1,0\n2,1");
+  Result<Dataset> result = ReadCsv(path, CsvReadOptions{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->NumRows(), 2u);
+  EXPECT_EQ(result->Label(1), 1);
+}
+
+TEST(CsvTest, ErrorsNameByteOffsetOfBadRow) {
+  const std::string path = TempPath("offset.csv");
+  const std::string content =
+      "age,label\n"
+      "25,1\n"
+      "bad,row,0\n";
+  WriteFile(path, content);
+  CsvReadOptions options;
+  Result<Dataset> result = ReadCsv(path, options);
+  ASSERT_FALSE(result.ok());
+  const size_t expected_offset = content.find("bad,row");
+  EXPECT_NE(result.status().message().find(
+                "(byte " + std::to_string(expected_offset) + ")"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(CsvTest, ForceNumericErrorIsSeekable) {
+  const std::string path = TempPath("forcenum.csv");
+  const std::string content =
+      "age,label\n"
+      "25,1\n"
+      "n/a,0\n";
+  WriteFile(path, content);
+  CsvReadOptions options;
+  options.force_numeric = {"age"};
+  Result<Dataset> result = ReadCsv(path, options);
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  const size_t expected_offset = content.find("n/a");
+  EXPECT_NE(message.find("(byte " + std::to_string(expected_offset) + ")"),
+            std::string::npos)
+      << message;
+}
+
 TEST(CsvTest, WriteReadRoundTrip) {
   Dataset d("rt");
   Column age = Column::Numeric("age");

@@ -1,9 +1,12 @@
 #include "ml/logistic_regression.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "ml/metrics.h"
 #include "tests/testing_data.h"
+#include "util/fault_injector.h"
 #include "util/random.h"
 
 namespace omnifair {
@@ -131,6 +134,95 @@ TEST(LogisticRegressionTest, WeightingEquivalentToReplication) {
       replicated_X, replicated_y, std::vector<double>(replicated_y.size(), 1.0));
   // Same decisions on the original data.
   EXPECT_EQ(weighted->Predict(blobs.X), replicated->Predict(blobs.X));
+}
+
+TEST(LogisticRegressionSgdTest, BatchSizeZeroIsBitIdenticalToFullBatch) {
+  // batch_size = 0 must keep the exact full-batch path: not just the same
+  // predictions, the same bits.
+  const Blobs blobs = MakeBlobs(300, 1.5, 9);
+  LogisticRegressionOptions zero_batch;
+  zero_batch.batch_size = 0;
+  LogisticRegressionTrainer a;                  // seed defaults
+  LogisticRegressionTrainer b(zero_batch);
+  const auto ma = a.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto mb = b.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto& ca = static_cast<const LogisticRegressionModel&>(*ma);
+  const auto& cb = static_cast<const LogisticRegressionModel&>(*mb);
+  ASSERT_EQ(ca.coefficients().size(), cb.coefficients().size());
+  for (size_t i = 0; i < ca.coefficients().size(); ++i) {
+    EXPECT_EQ(ca.coefficients()[i], cb.coefficients()[i]);
+  }
+  EXPECT_EQ(ca.intercept(), cb.intercept());
+}
+
+TEST(LogisticRegressionSgdTest, MiniBatchLearnsSeparableData) {
+  const Blobs blobs = MakeBlobs(500, 2.0, 10);
+  LogisticRegressionOptions options;
+  options.batch_size = 32;
+  options.epochs = 20;
+  options.lr_schedule = LrSchedule::kInvSqrt;
+  LogisticRegressionTrainer trainer(options);
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.95);
+}
+
+TEST(LogisticRegressionSgdTest, MiniBatchDeterministic) {
+  const Blobs blobs = MakeBlobs(300, 1.0, 11);
+  LogisticRegressionOptions options;
+  options.batch_size = 64;
+  options.epochs = 5;
+  LogisticRegressionTrainer a(options);
+  LogisticRegressionTrainer b(options);
+  const auto ma = a.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto mb = b.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  const auto& ca = static_cast<const LogisticRegressionModel&>(*ma);
+  const auto& cb = static_cast<const LogisticRegressionModel&>(*mb);
+  ASSERT_EQ(ca.coefficients().size(), cb.coefficients().size());
+  for (size_t i = 0; i < ca.coefficients().size(); ++i) {
+    EXPECT_EQ(ca.coefficients()[i], cb.coefficients()[i]);
+  }
+  EXPECT_EQ(ca.intercept(), cb.intercept());
+}
+
+TEST(LogisticRegressionSgdTest, MiniBatchZeroWeightExamplesIgnored) {
+  Blobs blobs = MakeBlobs(400, 2.5, 12);
+  std::vector<double> weights(blobs.y.size(), 1.0);
+  Blobs corrupted = blobs;
+  for (size_t i = 0; i < blobs.y.size(); i += 2) {
+    corrupted.y[i] = 1 - corrupted.y[i];
+    weights[i] = 0.0;
+  }
+  LogisticRegressionOptions options;
+  options.batch_size = 50;
+  options.epochs = 20;
+  LogisticRegressionTrainer trainer(options);
+  const auto model = trainer.Fit(corrupted.X, corrupted.y, weights);
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.93);
+}
+
+TEST(LogisticRegressionSgdTest, MiniBatchBacksOffOnInjectedDivergence) {
+  FaultInjector::Reset();
+  const Blobs blobs = MakeBlobs(300, 2.0, 13);
+  LogisticRegressionOptions options;
+  options.batch_size = 32;
+  options.epochs = 12;
+  LogisticRegressionTrainer trainer(options);
+  // One injected divergence: the epoch rolls back, halves the step, and the
+  // fit still converges to a good model.
+  FaultInjector::Arm(fault_sites::kLrDescend);
+  const auto model = trainer.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  FaultInjector::Reset();
+  EXPECT_GE(TrainAccuracy(*model, blobs), 0.93);
+
+  // Persistent divergence: retries run out; the returned checkpoint model
+  // must still be finite.
+  FaultInjector::Arm(fault_sites::kLrDescend, 1, /*repeat=*/true);
+  LogisticRegressionTrainer doomed(options);
+  const auto checkpoint = doomed.Fit(blobs.X, blobs.y, blobs.unit_weights);
+  FaultInjector::Reset();
+  const auto& cm = static_cast<const LogisticRegressionModel&>(*checkpoint);
+  for (double c : cm.coefficients()) EXPECT_TRUE(std::isfinite(c));
+  EXPECT_TRUE(std::isfinite(cm.intercept()));
 }
 
 TEST(LogisticRegressionModelTest, CoefficientsExposed) {

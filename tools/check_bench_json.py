@@ -68,6 +68,14 @@ PER_BENCH_SECTIONS = {
         "serving_open": ["max_in_flight", "offered", "completed",
                          "rejected", "rows", "achieved_qps"],
     },
+    "ingest": {
+        "ingest_throughput": ["rows", "baseline_seconds", "stream_seconds",
+                              "speedup", "stream_rows_per_second",
+                              "spill_bytes", "peak_rss_mb"],
+        "lambda_tune": ["rows", "full_batch_seconds", "minibatch_seconds",
+                        "speedup", "full_batch_accuracy",
+                        "minibatch_accuracy", "peak_rss_mb"],
+    },
     # The in-process scalar-vs-active kernel comparison is emitted once per
     # run regardless of --benchmark_filter; *_speedup fields are added only
     # when a vector backend is active, so they are not required here.

@@ -30,13 +30,19 @@
 #include <vector>
 
 #include "core/omnifair.h"
+#include "core/run_profile.h"
+#include "core/stream_tune.h"
+#include "data/chunked_dataset.h"
 #include "data/csv.h"
 #include "data/datasets.h"
 #include "data/profile.h"
 #include "data/split.h"
+#include "data/stream_reader.h"
+#include "data/synthetic_stream.h"
 #include "ml/bundle.h"
 #include "ml/trainer_registry.h"
 #include "serve/server.h"
+#include "util/stopwatch.h"
 #include "util/string_utils.h"
 #include "util/telemetry.h"
 
@@ -75,8 +81,14 @@ int Usage() {
                "commands:\n"
                "  synth --dataset {adult|compas|lsac|bank} [--rows N] [--seed S]\n"
                "        --out data.csv\n"
+               "        [--stream [--block-rows N]]   (write a chunked .ofcd file\n"
+               "        block-by-block: 10M+ rows without holding them in RAM)\n"
                "  train --data data.csv --label COLUMN --sensitive COLUMN\n"
                "        [--metric sp] [--epsilon 0.05] [--model lr] [--seed S]\n"
+               "        [--batch-size N] [--epochs N] [--lr-schedule constant|invsqrt]\n"
+               "        (mini-batch SGD for lr/nn; batch-size 0 = full batch)\n"
+               "        [--stream]   (out-of-core: --data is a .ofcd chunked file,\n"
+               "        or a CSV ingested to <data>.ofcd first; lr + sp/mr/fpr/fnr)\n"
                "        [--positive-label VALUE] [--out model.txt]\n"
                "        [--checkpoint ckpt.bin] [--checkpoint-interval SECONDS]\n"
                "        [--resume [ckpt.bin]]   (resume a killed tuning run)\n"
@@ -115,6 +127,24 @@ int RunSynth(const Args& args) {
   const std::string name = args.Get("dataset");
   const std::string out = args.Get("out");
   if (name.empty() || out.empty()) return Usage();
+  if (args.Has("stream")) {
+    synthetic::StreamGenerateOptions options;
+    options.num_rows = static_cast<size_t>(args.GetLong("rows", 0));
+    options.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+    const long block_rows = args.GetLong("block-rows", 0);
+    if (block_rows > 0) options.block_rows = static_cast<size_t>(block_rows);
+    auto stats = synthetic::GenerateSyntheticStream(MakeSchemaByName(name), out,
+                                                    options);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %llu rows x %llu features in %llu blocks to %s\n",
+                static_cast<unsigned long long>(stats->rows),
+                static_cast<unsigned long long>(stats->num_features),
+                static_cast<unsigned long long>(stats->blocks), out.c_str());
+    return 0;
+  }
   SyntheticOptions options;
   options.num_rows = static_cast<size_t>(args.GetLong("rows", 0));
   options.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
@@ -145,9 +175,145 @@ int WriteProfileOut(const FairModel& fair, const std::string& path) {
   return 0;
 }
 
+bool MetricKindByName(const std::string& name, MetricKind* out) {
+  if (name == "sp") { *out = MetricKind::kStatisticalParity; return true; }
+  if (name == "mr") { *out = MetricKind::kMisclassificationRate; return true; }
+  if (name == "fpr") { *out = MetricKind::kFalsePositiveRate; return true; }
+  if (name == "fnr") { *out = MetricKind::kFalseNegativeRate; return true; }
+  return false;
+}
+
+/// Index of a --group1/--group2 name in the chunked file's dictionary;
+/// falls back to `fallback` when the flag is absent.
+int ResolveGroupIndex(const std::vector<std::string>& names,
+                      const std::string& flag, size_t fallback) {
+  if (flag.empty()) return static_cast<int>(fallback);
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == flag) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Out-of-core `train --stream`: --data is a chunked .ofcd file (or a CSV
+/// ingested to <data>.ofcd first), tuned by the streaming Algorithm 1 — one
+/// block resident at a time, LR + prediction-independent metrics only.
+int RunStreamTrain(const Args& args, bool explain) {
+  if (!args.Has("data")) return Usage();
+  const std::string model = args.Get("model", "lr");
+  if (model != "lr") {
+    std::fprintf(stderr, "error: --stream supports --model lr only\n");
+    return 2;
+  }
+  StreamTuneOptions tune;
+  if (!MetricKindByName(args.Get("metric", "sp"), &tune.metric)) {
+    std::fprintf(stderr,
+                 "error: --stream supports prediction-independent metrics "
+                 "only (sp|mr|fpr|fnr)\n");
+    return 2;
+  }
+
+  const bool profiling =
+      EffectiveTelemetryLevel() >= TelemetryLevel::kCounters;
+  RunProfiler profiler;
+  MetricsSnapshot metrics_before;
+  long long cpu_start_ns = -1;
+  if (profiling) {
+    metrics_before = MetricsRegistry::Global().Snapshot();
+    cpu_start_ns = ProcessCpuNowNs();
+  }
+  Stopwatch stopwatch;
+
+  const std::string data = args.Get("data");
+  std::string chunked_path = data;
+  const bool is_chunked =
+      data.size() >= 5 && data.compare(data.size() - 5, 5, ".ofcd") == 0;
+  if (!is_chunked) {
+    if (!args.Has("sensitive")) return Usage();
+    chunked_path = data + ".ofcd";
+    StreamIngestOptions ingest;
+    ingest.label_column = args.Get("label", "label");
+    ingest.positive_label_value = args.Get("positive-label");
+    ingest.group_column = args.Get("sensitive");
+    const long block_rows = args.GetLong("block-rows", 0);
+    if (block_rows > 0) ingest.block_rows = static_cast<size_t>(block_rows);
+    RunStageTimer timer(profiling ? &profiler : nullptr, RunStage::kIngest);
+    auto stats = StreamCsvToChunked(data, chunked_path, ingest);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ingested            : %llu rows, %llu blocks -> %s\n",
+                static_cast<unsigned long long>(stats->rows),
+                static_cast<unsigned long long>(stats->blocks),
+                chunked_path.c_str());
+  }
+
+  Result<ChunkedDataset> chunked = ChunkedDataset::Open(chunked_path);
+  if (!chunked.ok()) {
+    std::fprintf(stderr, "error: %s\n", chunked.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string>& group_names = chunked->meta().group_names;
+  const int g1 = ResolveGroupIndex(group_names, args.Get("group1"), 0);
+  const int g2 = ResolveGroupIndex(group_names, args.Get("group2"), 1);
+  if (g1 < 0 || g2 < 0) {
+    std::fprintf(stderr, "error: --group1/--group2 not in the group dictionary\n");
+    return 2;
+  }
+  tune.group1 = static_cast<size_t>(g1);
+  tune.group2 = static_cast<size_t>(g2);
+  tune.epsilon = args.GetDouble("epsilon", 0.05);
+  const long batch = args.GetLong("batch-size", 4096);
+  if (batch > 0) tune.batch_size = static_cast<size_t>(batch);
+  tune.epochs = static_cast<int>(args.GetLong("epochs", 3));
+  tune.shuffle_seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+  if (args.Get("lr-schedule") == "invsqrt") {
+    tune.lr_schedule = LrSchedule::kInvSqrt;
+  }
+
+  Result<StreamTuneResult> tuned = [&]() -> Result<StreamTuneResult> {
+    RunStageTimer timer(profiling ? &profiler : nullptr,
+                        RunStage::kTrainerFit);
+    return StreamTuneLambda(*chunked, tune);
+  }();
+  if (!tuned.ok()) {
+    std::fprintf(stderr, "error: %s\n", tuned.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("rows (out-of-core)  : %llu in %zu blocks\n",
+              static_cast<unsigned long long>(chunked->total_rows()),
+              chunked->num_blocks());
+  std::printf("constraint          : %s(%s) - %s(%s), epsilon %.4f\n",
+              args.Get("metric", "sp").c_str(),
+              group_names[tune.group1].c_str(), args.Get("metric", "sp").c_str(),
+              group_names[tune.group2].c_str(), tune.epsilon);
+  std::printf("satisfied (val)     : %s\n", tuned->satisfied ? "yes" : "no");
+  std::printf("validation accuracy : %.2f%%\n", 100.0 * tuned->val_accuracy);
+  std::printf("validation gap      : %.4f\n",
+              std::abs(tuned->val_fairness_gap));
+  std::printf("lambda              : %.6f\n", tuned->lambda);
+  std::printf("model fits          : %d (%.2fs)\n", tuned->models_trained,
+              stopwatch.ElapsedSeconds());
+  if (explain && profiling) {
+    const double total_wall_us = stopwatch.ElapsedSeconds() * 1e6;
+    const long long cpu_now_ns = ProcessCpuNowNs();
+    const double total_cpu_us =
+        (cpu_start_ns >= 0 && cpu_now_ns >= 0)
+            ? static_cast<double>(cpu_now_ns - cpu_start_ns) / 1e3
+            : 0.0;
+    const RunProfile profile = BuildRunProfile(
+        profiler, metrics_before, MetricsRegistry::Global().Snapshot(),
+        "stream_tune", 1, total_wall_us, total_cpu_us);
+    std::printf("\n%s\n", profile.ToText().c_str());
+  }
+  return tuned->satisfied ? 0 : 3;
+}
+
 /// `explain` is train plus a per-stage profile dump: same flags, same exit
 /// codes, with the RunProfile table printed after the training summary.
 int RunTrain(const Args& args, bool explain) {
+  if (args.Has("stream")) return RunStreamTrain(args, explain);
   if (!args.Has("data") || !args.Has("sensitive")) return Usage();
   Result<Dataset> dataset = LoadCsvDataset(args);
   if (!dataset.ok()) {
@@ -160,7 +326,13 @@ int RunTrain(const Args& args, bool explain) {
   FairnessSpec spec = MakeSpec(GroupByAttribute(args.Get("sensitive")),
                                args.Get("metric", "sp"),
                                args.GetDouble("epsilon", 0.05));
-  auto trainer = MakeTrainer(args.Get("model", "lr"), seed);
+  TrainerOverrides overrides;
+  overrides.batch_size = static_cast<size_t>(args.GetLong("batch-size", 0));
+  overrides.epochs = static_cast<int>(args.GetLong("epochs", 0));
+  if (args.Get("lr-schedule") == "invsqrt") {
+    overrides.lr_schedule = LrSchedule::kInvSqrt;
+  }
+  auto trainer = MakeTrainer(args.Get("model", "lr"), seed, overrides);
   OmniFairOptions options;
   options.checkpoint.path = args.Get("checkpoint");
   options.checkpoint.interval_s = args.GetDouble("checkpoint-interval", 0.0);

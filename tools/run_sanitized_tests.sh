@@ -7,7 +7,9 @@
 #                          (build-sanitized/), which includes the chaos-
 #                          labelled durability tests (fault-injected IO,
 #                          crash/resume, corrupted/truncated model bundles
-#                          walked byte-by-byte through the mmap loader).
+#                          walked byte-by-byte through the mmap loader, and
+#                          the streaming-ingest spill path under injected
+#                          ENOSPC/short-write/short-read faults).
 #   OMNIFAIR_SANITIZE=thread
 #                          ThreadSanitizer over the concurrency- and
 #                          chaos-labelled tests only (build-tsan/): the
@@ -16,11 +18,14 @@
 #                          background snapshot thread racing registry
 #                          writers) and run-profiler tests, the serving
 #                          layer (bounded admission queue racing pool
-#                          workers against submitters), and
-#                          checkpoint/resume (whose parallel-grid resume
-#                          exercises record barriers across workers). TSan
-#                          is incompatible with ASan, hence the separate
-#                          tree and mode.
+#                          workers against submitters), checkpoint/resume
+#                          (whose parallel-grid resume exercises record
+#                          barriers across workers), and the streaming
+#                          ingest + tuner (test_stream_reader /
+#                          test_stream_tune: pool-parallel block parsing
+#                          and mini-batch SGD must be bit-identical at any
+#                          thread count). TSan is incompatible with ASan,
+#                          hence the separate tree and mode.
 #
 # Usage: [OMNIFAIR_SANITIZE=thread] tools/run_sanitized_tests.sh [extra ctest args...]
 set -euo pipefail
